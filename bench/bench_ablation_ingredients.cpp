@@ -1,0 +1,56 @@
+// Ablation: which DWS ingredient buys what? For each mix we compare
+//   ABP          — no sleeping, no space sharing (the baseline)
+//   DWS-NC       — + sleeping workers, no core exchange (§4.2)
+//   DWS/no-recl  — + space sharing and free-core claiming, but the owner
+//                  never takes lent cores back (take-back disabled)
+//   DWS          — the full system (§3)
+//
+// Usage: bench_ablation_ingredients [--scale=1.0] [--runs=4]
+#include <iostream>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/mixes.hpp"
+#include "harness/report.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dws;
+  const util::CliArgs args(argc, argv);
+  harness::ExperimentConfig cfg;
+  cfg.work_scale = args.get_double("scale", 1.0);
+  cfg.target_runs = static_cast<unsigned>(args.get_int("runs", 4));
+
+  std::cout << "=== Ablation: DWS ingredients (sum of normalized times per"
+            << " mix; lower is better) ===\n\n";
+
+  const auto baselines = harness::run_solo_baselines(cfg);
+
+  harness::Table table({"mix", "ABP", "DWS-NC", "DWS/no-reclaim", "DWS"});
+  std::vector<double> abp_sums, nc_sums, norecl_sums, dws_sums;
+  for (const auto& mix : harness::kFigureMixes) {
+    const auto abp = harness::run_mix(cfg, mix, SchedMode::kAbp, baselines);
+    const auto nc = harness::run_mix(cfg, mix, SchedMode::kDwsNc, baselines);
+    cfg.params.disable_reclaim = true;
+    const auto norecl = harness::run_mix(cfg, mix, SchedMode::kDws, baselines);
+    cfg.params.disable_reclaim = false;
+    const auto dws = harness::run_mix(cfg, mix, SchedMode::kDws, baselines);
+
+    abp_sums.push_back(harness::mix_total_normalized(abp));
+    nc_sums.push_back(harness::mix_total_normalized(nc));
+    norecl_sums.push_back(harness::mix_total_normalized(norecl));
+    dws_sums.push_back(harness::mix_total_normalized(dws));
+    table.add_row({harness::mix_label(mix),
+                   harness::Table::num(abp_sums.back()),
+                   harness::Table::num(nc_sums.back()),
+                   harness::Table::num(norecl_sums.back()),
+                   harness::Table::num(dws_sums.back())});
+  }
+  table.add_row({"geomean", harness::Table::num(util::geomean(abp_sums)),
+                 harness::Table::num(util::geomean(nc_sums)),
+                 harness::Table::num(util::geomean(norecl_sums)),
+                 harness::Table::num(util::geomean(dws_sums))});
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,111 @@
+// §6 future-work extension: adaptive T_SLEEP. The paper fixes T_SLEEP at
+// k after a manual sweep (Fig. 6); the obvious extension is to adapt it
+// online — double the program's threshold whenever a worker's sleep is
+// cut short (premature sleep), decay it back each coordinator tick.
+//
+// This bench compares fixed thresholds against the adaptive controller
+// on the Fig.-6 mix (1, 8) and on a churn-hostile workload (rapidly
+// alternating demand). The adaptive row should track the best fixed row
+// without per-workload tuning.
+//
+// Usage: bench_adaptive_tsleep [--scale=1.0] [--runs=4]
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "harness/mixes.hpp"
+#include "harness/report.hpp"
+#include "sim/workload.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+/// Rapidly alternating narrow/wide program: the worst case for a fixed
+/// threshold (it sleeps at every narrow burst and pays a wake each time).
+dws::sim::TaskDag make_churny(double scale) {
+  using namespace dws::sim;
+  TaskDag dag;
+  DagSpan prev{};
+  for (int phase = 0; phase < 24; ++phase) {
+    DagSpan s = (phase % 2 == 0)
+                    ? emit_parallel_for(dag, 1, 2500.0 * scale, 0.2)
+                    : emit_parallel_for(dag, 64, 300.0 * scale, 0.2);
+    if (phase == 0) {
+      dag.set_root(s.entry);
+    } else {
+      dag.set_continuation(prev.exit, s.entry);
+    }
+    prev = s;
+  }
+  return dag;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dws;
+  const util::CliArgs args(argc, argv);
+  harness::ExperimentConfig cfg;
+  cfg.work_scale = args.get_double("scale", 1.0);
+  cfg.target_runs = static_cast<unsigned>(args.get_int("runs", 4));
+
+  std::cout << "=== §6 extension: adaptive T_SLEEP vs fixed thresholds"
+            << " ===\n\n-- Fig.-6 mix (1, 8), sum of normalized times --\n";
+  const auto baselines = harness::run_solo_baselines(cfg);
+
+  harness::Table t1({"threshold", "sum", "sleeps", "wakes"});
+  auto run18 = [&](int t_sleep, bool adaptive) {
+    cfg.params.t_sleep = t_sleep;
+    cfg.params.adaptive_t_sleep = adaptive;
+    const auto run = harness::run_mix(cfg, {1, 8}, SchedMode::kDws, baselines);
+    t1.add_row({adaptive ? "adaptive (base " + std::to_string(t_sleep) + ")"
+                         : std::to_string(t_sleep),
+                harness::Table::num(harness::mix_total_normalized(run)),
+                std::to_string(run.first.raw.sleeps + run.second.raw.sleeps),
+                std::to_string(run.first.raw.wakes + run.second.raw.wakes)});
+  };
+  for (int t : {1, 4, 16, 64}) run18(t, false);
+  run18(4, true);
+  run18(16, true);
+  cfg.params.adaptive_t_sleep = false;
+  t1.print(std::cout);
+
+  std::cout << "\n-- churn-hostile workload x2 (mean ms/run, lower is"
+            << " better) --\n";
+  const sim::TaskDag churny = make_churny(cfg.work_scale);
+  harness::Table t2({"threshold", "mean ms/run", "sleeps", "wakes"});
+  auto run_churn = [&](int t_sleep, bool adaptive) {
+    sim::SimParams params = cfg.params;
+    params.t_sleep = t_sleep;
+    params.adaptive_t_sleep = adaptive;
+    sim::SimProgramSpec a;
+    a.name = "a";
+    a.mode = SchedMode::kDws;
+    a.dag = &churny;
+    a.target_runs = cfg.target_runs;
+    a.default_mem_intensity = 0.2;
+    sim::SimProgramSpec b = a;
+    b.name = "b";
+    sim::SimEngine engine(params, {a, b});
+    const sim::SimResult r = engine.run();
+    double mean = 0.0;
+    std::uint64_t sleeps = 0, wakes = 0;
+    for (const auto& p : r.programs) {
+      mean += p.mean_run_time_us / 2000.0;
+      sleeps += p.sleeps;
+      wakes += p.wakes;
+    }
+    t2.add_row({adaptive ? "adaptive (base " + std::to_string(t_sleep) + ")"
+                         : std::to_string(t_sleep),
+                harness::Table::num(mean, 2), std::to_string(sleeps),
+                std::to_string(wakes)});
+  };
+  for (int t : {1, 4, 16, 64}) run_churn(t, false);
+  run_churn(4, true);
+  run_churn(16, true);
+  t2.print(std::cout);
+
+  std::cout << "\n(The adaptive rows should sit near the best fixed row in"
+            << " both tables; a fixed threshold can only be right for one"
+            << " workload class.)\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Related-work comparison (§5): BWS (Ding et al., EuroSys'12 — the
+// time-sharing scheduler the paper positions against) vs ABP vs DWS on
+// the eight mixes. The paper argues DWS's space-sharing beats BWS's
+// improved time-sharing because it removes cross-program interference
+// rather than just balancing it.
+//
+// Usage: bench_bws_comparison [--scale=1.0] [--runs=4]
+#include <iostream>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/mixes.hpp"
+#include "harness/report.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dws;
+  const util::CliArgs args(argc, argv);
+  harness::ExperimentConfig cfg;
+  cfg.work_scale = args.get_double("scale", 1.0);
+  cfg.target_runs = static_cast<unsigned>(args.get_int("runs", 4));
+
+  std::cout << "=== Related work: ABP vs BWS vs DWS (sum of normalized"
+            << " times per mix) ===\n\n";
+
+  const auto baselines = harness::run_solo_baselines(cfg);
+
+  harness::Table table({"mix", "ABP", "BWS", "DWS", "worst slot ABP",
+                        "worst slot BWS", "worst slot DWS"});
+  std::vector<double> abp_s, bws_s, dws_s;
+  for (const auto& mix : harness::kFigureMixes) {
+    const auto abp = harness::run_mix(cfg, mix, SchedMode::kAbp, baselines);
+    const auto bws = harness::run_mix(cfg, mix, SchedMode::kBws, baselines);
+    const auto dws = harness::run_mix(cfg, mix, SchedMode::kDws, baselines);
+    abp_s.push_back(harness::mix_total_normalized(abp));
+    bws_s.push_back(harness::mix_total_normalized(bws));
+    dws_s.push_back(harness::mix_total_normalized(dws));
+    auto worst = [](const harness::MixRun& r) {
+      return std::max(r.first.normalized, r.second.normalized);
+    };
+    table.add_row({harness::mix_label(mix),
+                   harness::Table::num(abp_s.back()),
+                   harness::Table::num(bws_s.back()),
+                   harness::Table::num(dws_s.back()),
+                   harness::Table::num(worst(abp)),
+                   harness::Table::num(worst(bws)),
+                   harness::Table::num(worst(dws))});
+  }
+  table.add_row({"geomean", harness::Table::num(util::geomean(abp_s)),
+                 harness::Table::num(util::geomean(bws_s)),
+                 harness::Table::num(util::geomean(dws_s)), "", "", ""});
+  table.print(std::cout);
+  std::cout << "\n(The worst-slot columns show fairness: BWS's directed"
+            << " yield narrows ABP's worst case; DWS's space-sharing"
+            << " should narrow it further.)\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Microbenchmarks of the Chase-Lev work-stealing deque (google-benchmark):
+// owner push/pop throughput, steal throughput, and mixed owner+thief
+// contention. These validate that the runtime's central data structure is
+// not the bottleneck in any macro experiment.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "runtime/deque.hpp"
+
+namespace {
+
+using dws::rt::ChaseLevDeque;
+
+void BM_PushPop(benchmark::State& state) {
+  ChaseLevDeque<std::intptr_t> deque(1024);
+  std::intptr_t v = 1;
+  for (auto _ : state) {
+    deque.push(v);
+    benchmark::DoNotOptimize(deque.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_PushPop);
+
+void BM_PushPopBatch(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  ChaseLevDeque<std::intptr_t> deque(1024);
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < batch; ++i) deque.push(i);
+    for (std::int64_t i = 0; i < batch; ++i) {
+      benchmark::DoNotOptimize(deque.pop());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch * 2);
+}
+BENCHMARK(BM_PushPopBatch)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_StealUncontended(benchmark::State& state) {
+  ChaseLevDeque<std::intptr_t> deque(1 << 20);
+  std::int64_t available = 0;
+  for (auto _ : state) {
+    if (available == 0) {
+      state.PauseTiming();
+      for (std::int64_t i = 0; i < (1 << 16); ++i) deque.push(i);
+      available = 1 << 16;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(deque.steal());
+    --available;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StealUncontended);
+
+void BM_OwnerVsThief(benchmark::State& state) {
+  // Owner churns push/pop while one thief steals continuously: worst-case
+  // top/bottom contention on the same deque.
+  ChaseLevDeque<std::intptr_t> deque(1024);
+  std::atomic<bool> stop{false};
+  std::thread thief([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      benchmark::DoNotOptimize(deque.steal());
+    }
+  });
+  std::intptr_t v = 1;
+  for (auto _ : state) {
+    deque.push(v);
+    benchmark::DoNotOptimize(deque.pop());
+  }
+  stop.store(true, std::memory_order_release);
+  thief.join();
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_OwnerVsThief);
+
+void BM_GrowthFromCold(benchmark::State& state) {
+  for (auto _ : state) {
+    ChaseLevDeque<std::intptr_t> deque(2);
+    for (std::intptr_t i = 0; i < 4096; ++i) deque.push(i);
+    benchmark::DoNotOptimize(deque.size_approx());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_GrowthFromCold);
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Microbenchmarks of the runtime's task-management primitives
+// (google-benchmark): spawn+wait round trips, parallel_for overhead at
+// several grain sizes, and scheduler construction cost per mode.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "runtime/api.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace {
+
+using dws::Config;
+using dws::SchedMode;
+using dws::rt::Scheduler;
+using dws::rt::TaskGroup;
+
+Config bench_config(SchedMode mode) {
+  Config cfg;
+  cfg.mode = mode;
+  cfg.num_cores = 2;  // keep thread churn sane on small CI hosts
+  cfg.pin_threads = false;
+  return cfg;
+}
+
+void BM_SpawnWaitRoundTrip(benchmark::State& state) {
+  Scheduler sched(bench_config(SchedMode::kDws));
+  for (auto _ : state) {
+    sched.run([] {});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpawnWaitRoundTrip);
+
+void BM_SpawnBatchFromWorker(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  Scheduler sched(bench_config(SchedMode::kDws));
+  for (auto _ : state) {
+    sched.run([&] {
+      TaskGroup g;
+      for (std::int64_t i = 0; i < batch; ++i) {
+        sched.spawn(g, [] { benchmark::DoNotOptimize(0); });
+      }
+      sched.wait(g);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SpawnBatchFromWorker)->Arg(16)->Arg(256);
+
+void BM_ParallelForGrain(benchmark::State& state) {
+  const std::int64_t grain = state.range(0);
+  Scheduler sched(bench_config(SchedMode::kDws));
+  constexpr std::int64_t kN = 1 << 14;
+  std::atomic<std::int64_t> sink{0};
+  for (auto _ : state) {
+    dws::rt::parallel_for(sched, 0, kN, grain,
+                          [&](std::int64_t b, std::int64_t e) {
+                            sink.fetch_add(e - b,
+                                           std::memory_order_relaxed);
+                          });
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_ParallelForGrain)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_SchedulerStartup(benchmark::State& state) {
+  const auto mode = static_cast<SchedMode>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched(bench_config(mode));
+    benchmark::DoNotOptimize(sched.num_workers());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerStartup)
+    ->Arg(static_cast<int>(SchedMode::kAbp))
+    ->Arg(static_cast<int>(SchedMode::kDws));
+
+}  // namespace

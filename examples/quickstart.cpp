@@ -1,0 +1,64 @@
+// Quickstart: create a DWS scheduler, run parallel work, read the stats.
+//
+//   $ ./quickstart
+//
+// A Scheduler is one "work-stealing program". With mode kDws its workers
+// sleep when they cannot find work (releasing their cores for co-running
+// programs) and a coordinator wakes them as the task backlog grows.
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+
+#include "dws.hpp"  // the umbrella header: Config, Scheduler, parallel_*
+
+namespace {
+
+// A classic divide-and-conquer job: parallel fibonacci via TaskGroup.
+std::uint64_t fib(dws::rt::Scheduler& sched, unsigned n) {
+  if (n < 2) return n;
+  std::uint64_t left = 0;
+  dws::rt::TaskGroup group;
+  sched.spawn(group, [&] { left = fib(sched, n - 1); });
+  const std::uint64_t right = fib(sched, n - 2);
+  sched.wait(group);
+  return left + right;
+}
+
+}  // namespace
+
+int main() {
+  dws::Config cfg;
+  cfg.mode = dws::SchedMode::kDws;  // the paper's scheduler
+  cfg.num_cores = 0;                // 0 = one worker per host core
+  cfg.pin_threads = false;
+
+  dws::rt::Scheduler sched(cfg);
+  std::cout << "scheduler up: " << sched.num_workers() << " workers, mode "
+            << to_string(sched.mode()) << "\n";
+
+  // 1. Structured fork-join with spawn/wait.
+  std::uint64_t f = 0;
+  sched.run([&] { f = fib(sched, 24); });
+  std::cout << "fib(24) = " << f << "\n";
+
+  // 2. Data parallelism with parallel_for / parallel_reduce.
+  constexpr std::int64_t n = 1'000'000;
+  const auto sum = dws::rt::parallel_reduce<std::int64_t>(
+      sched, 0, n, 4096, 0,
+      [](std::int64_t b, std::int64_t e) {
+        std::int64_t s = 0;
+        for (std::int64_t i = b; i < e; ++i) s += i % 7;
+        return s;
+      },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+  std::cout << "sum of i%7 over [0, 1e6) = " << sum << "\n";
+
+  // 3. Runtime statistics: what the workers actually did.
+  const auto stats = sched.stats();
+  std::cout << "tasks executed: " << stats.totals.tasks_executed
+            << ", steals: " << stats.totals.steals
+            << ", failed steals: " << stats.totals.failed_steals
+            << ", sleeps: " << stats.totals.sleeps
+            << ", coordinator wakes: " << stats.coordinator_wakes << "\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper (plus the extension
+# experiments) into results/, mirroring EXPERIMENTS.md.
+#
+#   scripts/run_all_experiments.sh [build-dir] [results-dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-results}"
+mkdir -p "$OUT"
+
+if [ ! -d "$BUILD/bench" ]; then
+  echo "build directory '$BUILD' not found — run:" >&2
+  echo "  cmake -B $BUILD -G Ninja && cmake --build $BUILD" >&2
+  exit 1
+fi
+
+run() {
+  local name="$1"; shift
+  echo "== $name"
+  "$BUILD/bench/$name" "$@" | tee "$OUT/$name.txt"
+  echo
+}
+
+run bench_table2_baselines
+run bench_fig4_mixes
+run bench_fig5_nc
+run bench_fig6_tsleep
+run bench_ablation_coordinator_period
+run bench_ablation_ingredients
+run bench_single_program_overhead
+run bench_scalability_multiprog
+run bench_bws_comparison
+run bench_asymmetric
+run bench_worksharing
+run bench_cache_model
+run bench_machine_width
+run bench_fig4_confidence --seeds=5
+run bench_adaptive_tsleep
+run bench_blocked_linalg
+run bench_timeline --out="$OUT"
+run bench_deque --benchmark_min_time=0.1
+run bench_spawn --benchmark_min_time=0.1
+
+echo "all experiment outputs written to $OUT/"

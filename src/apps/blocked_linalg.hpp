@@ -1,0 +1,67 @@
+// Tiled (blocked) variants of the factorization benchmarks: the task
+// formulation production runtimes (PLASMA, TBB examples, Cilk book
+// material) actually use. Each outer iteration factors a diagonal tile,
+// solves the panel tiles in parallel, and updates the trailing tiles in
+// parallel — a task DAG with far better cache behaviour and coarser,
+// more schedulable tasks than the row-wise versions in linalg.hpp.
+//
+// These are registered as "BlockedCholesky" and "BlockedLU" (beyond the
+// Table-2 eight) and are compared against the row-wise kernels in
+// tests/test_blocked_linalg.cpp and bench/bench_blocked_linalg.cpp.
+#pragma once
+
+#include <vector>
+
+#include "apps/app.hpp"
+
+namespace dws::apps {
+
+class BlockedCholeskyApp final : public App {
+ public:
+  /// `n` is the matrix order; `block` the tile size (n need not be a
+  /// multiple of block — edge tiles are ragged).
+  BlockedCholeskyApp(std::size_t n, std::size_t block, std::uint64_t seed);
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "BlockedCholesky";
+  }
+  void run(rt::Scheduler& sched) override;
+  void run_serial() override;
+  [[nodiscard]] std::string verify() const override;
+
+  [[nodiscard]] const std::vector<double>& factor() const noexcept {
+    return l_;
+  }
+
+ private:
+  void factorize(rt::Scheduler* sched);
+
+  std::size_t n_, block_;
+  std::vector<double> a_;
+  std::vector<double> l_;
+};
+
+class BlockedLuApp final : public App {
+ public:
+  BlockedLuApp(std::size_t n, std::size_t block, std::uint64_t seed);
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "BlockedLU";
+  }
+  void run(rt::Scheduler& sched) override;
+  void run_serial() override;
+  [[nodiscard]] std::string verify() const override;
+
+  [[nodiscard]] const std::vector<double>& factor() const noexcept {
+    return lu_;
+  }
+
+ private:
+  void factorize(rt::Scheduler* sched);
+
+  std::size_t n_, block_;
+  std::vector<double> a_;
+  std::vector<double> lu_;
+};
+
+}  // namespace dws::apps

@@ -1,0 +1,33 @@
+// p-1: Fast Fourier Transform (radix-2 Cooley-Tukey, complex doubles).
+// Parallelism: divide-and-conquer recursion with a parallel butterfly
+// combine per level — wide, well-balanced, highly scalable.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "apps/app.hpp"
+
+namespace dws::apps {
+
+class FftApp final : public App {
+ public:
+  /// `n` must be a power of two.
+  FftApp(std::size_t n, std::uint64_t seed);
+
+  [[nodiscard]] const char* name() const noexcept override { return "FFT"; }
+  void run(rt::Scheduler& sched) override;
+  void run_serial() override;
+  [[nodiscard]] std::string verify() const override;
+
+  [[nodiscard]] const std::vector<std::complex<double>>& result() const {
+    return output_;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<std::complex<double>> input_;
+  std::vector<std::complex<double>> output_;
+};
+
+}  // namespace dws::apps

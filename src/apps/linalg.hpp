@@ -1,0 +1,66 @@
+// p-3: Cholesky decomposition (A = L·Lᵀ, SPD input).
+// p-4: LU decomposition (Doolittle, diagonally dominant input, no pivot).
+// p-5: GE — Gaussian elimination solving A·x = b.
+//
+// All three are right-looking factorizations: the outer iteration k
+// eliminates column k and updates the trailing (n-k)² submatrix in
+// parallel. The trailing update shrinks every iteration, so the demand
+// for cores decreases over a run — exactly the dynamic-demand shape the
+// DWS coordinator exploits (§2.2).
+#pragma once
+
+#include <vector>
+
+#include "apps/app.hpp"
+
+namespace dws::apps {
+
+class CholeskyApp final : public App {
+ public:
+  CholeskyApp(std::size_t n, std::uint64_t seed);
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "Cholesky";
+  }
+  void run(rt::Scheduler& sched) override;
+  void run_serial() override;
+  [[nodiscard]] std::string verify() const override;
+
+ private:
+  std::size_t n_;
+  std::vector<double> a_;  // SPD input, row-major
+  std::vector<double> l_;  // factor from the last run
+};
+
+class LuApp final : public App {
+ public:
+  LuApp(std::size_t n, std::uint64_t seed);
+
+  [[nodiscard]] const char* name() const noexcept override { return "LU"; }
+  void run(rt::Scheduler& sched) override;
+  void run_serial() override;
+  [[nodiscard]] std::string verify() const override;
+
+ private:
+  std::size_t n_;
+  std::vector<double> a_;   // diagonally dominant input
+  std::vector<double> lu_;  // packed L\U from the last run
+};
+
+class GeApp final : public App {
+ public:
+  GeApp(std::size_t n, std::uint64_t seed);
+
+  [[nodiscard]] const char* name() const noexcept override { return "GE"; }
+  void run(rt::Scheduler& sched) override;
+  void run_serial() override;
+  [[nodiscard]] std::string verify() const override;
+
+ private:
+  std::size_t n_;
+  std::vector<double> a_;  // system matrix
+  std::vector<double> b_;  // right-hand side
+  std::vector<double> x_;  // solution from the last run
+};
+
+}  // namespace dws::apps

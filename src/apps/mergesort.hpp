@@ -1,0 +1,33 @@
+// p-8: Merge sort (the paper sorts 4e6 numbers). Parallelism: spawn the
+// two recursive halves; merges are serial, so parallelism collapses near
+// the root — the classic low-scalability co-runner in the paper's mixes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/app.hpp"
+
+namespace dws::apps {
+
+class MergesortApp final : public App {
+ public:
+  MergesortApp(std::size_t n, std::uint64_t seed);
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "Mergesort";
+  }
+  void run(rt::Scheduler& sched) override;
+  void run_serial() override;
+  [[nodiscard]] std::string verify() const override;
+
+  [[nodiscard]] const std::vector<std::int64_t>& result() const {
+    return data_;
+  }
+
+ private:
+  std::vector<std::int64_t> original_;
+  std::vector<std::int64_t> data_;
+};
+
+}  // namespace dws::apps

@@ -1,0 +1,46 @@
+// p-2: PNN — Polynomial Neural Network.
+//
+// A degree-2 polynomial regression network (GMDH-flavoured): inputs are
+// expanded into the full quadratic feature basis {1, x_i, x_i·x_j}, a
+// linear output layer is trained by full-batch gradient descent. Each
+// epoch computes per-sample gradients in parallel (data parallelism) and
+// reduces them — bursty, reduction-heavy parallelism.
+//
+// The paper gives no source for its PNN benchmark; this kernel follows
+// the standard polynomial-network formulation and exposes the same
+// coarse-grained data-parallel structure (see DESIGN.md §5).
+#pragma once
+
+#include <vector>
+
+#include "apps/app.hpp"
+
+namespace dws::apps {
+
+class PnnApp final : public App {
+ public:
+  PnnApp(std::size_t samples, std::size_t inputs, unsigned epochs,
+         std::uint64_t seed);
+
+  [[nodiscard]] const char* name() const noexcept override { return "PNN"; }
+  void run(rt::Scheduler& sched) override;
+  void run_serial() override;
+  [[nodiscard]] std::string verify() const override;
+
+  [[nodiscard]] double final_loss() const noexcept { return final_loss_; }
+
+ private:
+  void expand_features();
+  [[nodiscard]] double train(rt::Scheduler* sched);
+
+  std::size_t samples_, inputs_, n_features_;
+  unsigned epochs_;
+  std::vector<double> x_;         // raw inputs [samples x inputs]
+  std::vector<double> features_;  // expanded   [samples x n_features]
+  std::vector<double> targets_;   // ground truth from a hidden polynomial
+  std::vector<double> weights_;   // trained output layer
+  double initial_loss_ = 0.0;
+  double final_loss_ = 0.0;
+};
+
+}  // namespace dws::apps

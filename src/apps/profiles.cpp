@@ -1,0 +1,102 @@
+#include "apps/profiles.hpp"
+
+#include <stdexcept>
+
+#include "sim/workload.hpp"
+
+namespace dws::apps {
+
+using sim::DagSpan;
+using sim::NodeId;
+using sim::TaskDag;
+
+namespace {
+
+DagSpan emit_mergesort_rec(TaskDag& dag, unsigned depth, double leaf_work,
+                           double merge_unit, unsigned leaves_below,
+                           double mem) {
+  if (depth == 0) {
+    const NodeId leaf = dag.add_node(leaf_work, mem);
+    return {leaf, leaf};
+  }
+  const NodeId split = dag.add_node(0.5, mem);
+  // Merge cost grows with the subtree it merges: leaves_below * unit.
+  const NodeId merge =
+      dag.add_node(merge_unit * static_cast<double>(leaves_below), mem);
+  dag.set_continuation(split, merge);
+  for (int i = 0; i < 2; ++i) {
+    const DagSpan child = emit_mergesort_rec(
+        dag, depth - 1, leaf_work, merge_unit, leaves_below / 2, mem);
+    dag.add_spawn(split, child.entry);
+    dag.set_continuation(child.exit, merge);
+  }
+  return {split, merge};
+}
+
+}  // namespace
+
+TaskDag make_mergesort_dag(unsigned depth, double leaf_work_us,
+                           double merge_unit_us, double mem_intensity) {
+  TaskDag dag;
+  const DagSpan span =
+      emit_mergesort_rec(dag, depth, leaf_work_us, merge_unit_us,
+                         1u << depth, mem_intensity);
+  dag.set_root(span.entry);
+  return dag;
+}
+
+SimAppProfile make_sim_profile(const std::string& name, double work_scale) {
+  const double s = work_scale;
+  SimAppProfile p;
+  p.name = name;
+  // Task granularities mirror the real Cilk kernels (tens to hundreds of
+  // microseconds): fine enough that workers survive barrier gaps without
+  // sleeping, so cores are released only in genuinely narrow program
+  // phases (LU/GE/Cholesky tails, Mergesort's top merges, PNN lulls) —
+  // the demand signal DWS's coordinator is designed around.
+  if (name == "FFT") {
+    // 8192 leaves, cheap parallel combines: T1/Tinf in the thousands.
+    p.dag = sim::make_fork_join_tree(13, 2, 80.0 * s, 1.0, 3.0 * s, 0.3);
+    p.mem_intensity = 0.3;
+  } else if (name == "PNN") {
+    // Bursty irregular tree: epochs of uneven sample batches.
+    p.dag = sim::make_irregular_tree(0x9A11, 5000, 4, 40.0 * s, 400.0 * s,
+                                     0.25);
+    p.mem_intensity = 0.25;
+  } else if (name == "Cholesky") {
+    // Blocked right-looking factorization: quadratically shrinking width
+    // gives the long narrow tail that DWS lends to co-runners.
+    p.dag = sim::make_decreasing_chains(144, 96, 1, 2, 75.0 * s, 0.45, 2.0);
+    p.mem_intensity = 0.45;
+  } else if (name == "LU") {
+    p.dag = sim::make_decreasing_chains(192, 128, 1, 2, 75.0 * s, 0.45, 2.0);
+    p.mem_intensity = 0.45;
+  } else if (name == "GE") {
+    p.dag = sim::make_decreasing_chains(168, 112, 1, 2, 80.0 * s, 0.55, 2.0);
+    p.mem_intensity = 0.55;
+  } else if (name == "Heat") {
+    p.dag = sim::make_iterative_phases(40, 256, 60.0 * s, 0.95, 1.0);
+    p.mem_intensity = 0.95;
+  } else if (name == "SOR") {
+    p.dag = sim::make_iterative_phases(56, 256, 50.0 * s, 0.95, 1.0);
+    p.mem_intensity = 0.95;
+  } else if (name == "Mergesort") {
+    p.dag = make_mergesort_dag(12, 25.0 * s, 8.0 * s, 0.6);
+    p.mem_intensity = 0.6;
+  } else {
+    throw std::invalid_argument("unknown app profile: " + name);
+  }
+  return p;
+}
+
+std::vector<SimAppProfile> make_all_sim_profiles(double work_scale) {
+  std::vector<SimAppProfile> out;
+  out.reserve(8);
+  for (const char* name : {"FFT", "PNN", "Cholesky", "LU", "GE", "Heat",
+                           "SOR", "Mergesort"}) {
+    out.push_back(make_sim_profile(name, work_scale));
+  }
+  return out;
+}
+
+}  // namespace dws::apps

@@ -1,0 +1,44 @@
+// Simulator profiles of the Table-2 benchmarks: a TaskDag per app whose
+// shape (parallelism structure, task granularity, memory intensity)
+// mirrors the real kernel in src/apps. These drive the evaluation-figure
+// benches on the simulated 16-core machine (see DESIGN.md §1, §3).
+//
+// Shape rationale per app:
+//   FFT       wide divide-and-conquer with parallel combines  -> scalable
+//   PNN       irregular bursty tree (epoch reductions)        -> uneven
+//   Cholesky  shrinking trailing updates                      -> decreasing
+//   LU        shrinking trailing updates (more phases)        -> decreasing
+//   GE        shrinking row eliminations                      -> decreasing
+//   Heat      barrier-separated memory-bound sweeps           -> iterative
+//   SOR       two barrier-separated sweeps per iteration      -> iterative
+//   Mergesort serial merges doubling toward the root          -> limited
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/dag.hpp"
+
+namespace dws::apps {
+
+struct SimAppProfile {
+  std::string name;
+  sim::TaskDag dag;
+  double mem_intensity = 0.3;  ///< program-level default for the cache model
+};
+
+/// Profile for one Table-2 app name ("FFT", ..., "Mergesort").
+/// `work_scale` multiplies all task durations (problem-size knob).
+/// Throws std::invalid_argument for unknown names.
+SimAppProfile make_sim_profile(const std::string& name,
+                               double work_scale = 1.0);
+
+/// All eight profiles, Table-2 order.
+std::vector<SimAppProfile> make_all_sim_profiles(double work_scale = 1.0);
+
+/// Mergesort-specific DAG: binary recursion whose (serial) merge nodes
+/// double in cost toward the root — parallelism collapses at the top.
+sim::TaskDag make_mergesort_dag(unsigned depth, double leaf_work_us,
+                                double merge_unit_us, double mem_intensity);
+
+}  // namespace dws::apps

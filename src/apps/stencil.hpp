@@ -1,0 +1,56 @@
+// p-6: Heat — five-point Jacobi heat distribution on a 2D grid.
+// p-7: SOR — red-black successive over-relaxation on a 2D grid.
+// Both are iterative, memory-bound stencils: abundant parallelism inside
+// a sweep, a barrier between sweeps (the data-intensive co-runners whose
+// cache behaviour §4.1 discusses for p-7).
+#pragma once
+
+#include <vector>
+
+#include "apps/app.hpp"
+
+namespace dws::apps {
+
+class HeatApp final : public App {
+ public:
+  HeatApp(std::size_t rows, std::size_t cols, unsigned iterations);
+
+  [[nodiscard]] const char* name() const noexcept override { return "Heat"; }
+  void run(rt::Scheduler& sched) override;
+  void run_serial() override;
+  [[nodiscard]] std::string verify() const override;
+
+  [[nodiscard]] double checksum() const;
+
+ private:
+  void init_grid(std::vector<double>& g) const;
+  std::size_t rows_, cols_;
+  unsigned iterations_;
+  std::vector<double> grid_;     // result of the last run
+  mutable std::vector<double> reference_;  // lazily computed serial result
+};
+
+class SorApp final : public App {
+ public:
+  SorApp(std::size_t rows, std::size_t cols, unsigned iterations,
+         double omega = 1.5);
+
+  [[nodiscard]] const char* name() const noexcept override { return "SOR"; }
+  void run(rt::Scheduler& sched) override;
+  void run_serial() override;
+  [[nodiscard]] std::string verify() const override;
+
+  [[nodiscard]] double checksum() const;
+
+ private:
+  void init_grid(std::vector<double>& g) const;
+  void sweep_color(rt::Scheduler* sched, std::vector<double>& g,
+                   int color) const;
+  std::size_t rows_, cols_;
+  unsigned iterations_;
+  double omega_;
+  std::vector<double> grid_;
+  mutable std::vector<double> reference_;
+};
+
+}  // namespace dws::apps

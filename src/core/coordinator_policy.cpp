@@ -1,0 +1,88 @@
+#include "core/coordinator_policy.hpp"
+
+#include <algorithm>
+
+namespace dws {
+
+WakeDecision CoordinatorPolicy::decide(const DemandSnapshot& s) const noexcept {
+  WakeDecision d;
+  if (s.queued_tasks == 0 || s.sleeping_workers == 0) return d;
+
+  // Eq. 1: N_w = N_b / N_a. With no active workers the program is stalled
+  // (every worker slept while tasks remained or arrived); the backlog
+  // itself is then the demand.
+  const double backlog_per_worker =
+      s.active_workers > 0 ? static_cast<double>(s.queued_tasks) /
+                                 static_cast<double>(s.active_workers)
+                           : static_cast<double>(s.queued_tasks);
+  if (backlog_per_worker < wake_threshold_) return d;
+  auto n_w = static_cast<unsigned>(backlog_per_worker);
+
+  // We cannot usefully wake more workers than are asleep.
+  n_w = std::min(n_w, s.sleeping_workers);
+
+  const unsigned n_f = s.free_cores;
+  const unsigned n_r = s.reclaimable_cores;
+  if (n_w <= n_f) {
+    // Case 1: enough free cores for everyone we want to wake.
+    d.wake_on_free = n_w;
+  } else if (n_w <= n_f + n_r) {
+    // Case 2: top up with our own cores currently lent out.
+    d.wake_on_free = n_f;
+    d.wake_on_reclaim = n_w - n_f;
+  } else {
+    // Case 3: demand exceeds what constraint 3 lets us take; grab all free
+    // cores and everything of ours that is reclaimable, nothing more.
+    d.wake_on_free = n_f;
+    d.wake_on_reclaim = n_r;
+  }
+  return d;
+}
+
+CoordinatorDriver::CoordinatorDriver(CoreTable& table, ProgramId pid,
+                                     std::uint64_t seed)
+    : table_(&table), pid_(pid), rng_(seed) {}
+
+DemandSnapshot CoordinatorDriver::snapshot_cores() const noexcept {
+  DemandSnapshot s;
+  s.free_cores = table_->count_free();
+  s.reclaimable_cores = table_->count_borrowed_from(pid_);
+  return s;
+}
+
+AcquireResult CoordinatorDriver::acquire(const WakeDecision& decision) {
+  AcquireResult won;
+
+  if (decision.wake_on_free > 0) {
+    std::vector<CoreId> free = table_->free_cores();
+    // Fisher-Yates shuffle: the paper's coordinator picks free cores at
+    // random, which spreads co-runners across sockets statistically.
+    for (std::size_t i = free.size(); i > 1; --i) {
+      std::swap(free[i - 1], free[rng_.next_below(i)]);
+    }
+    unsigned need = decision.wake_on_free;
+    for (CoreId c : free) {
+      if (need == 0) break;
+      if (table_->try_claim(c, pid_)) {
+        won.claimed.push_back(c);
+        --need;
+      }
+      // A lost CAS means another coordinator raced us to this core; we
+      // simply move on — constraint 3 forbids taking non-free cores.
+    }
+  }
+
+  if (decision.wake_on_reclaim > 0) {
+    unsigned need = decision.wake_on_reclaim;
+    for (CoreId c : table_->borrowed_home_cores(pid_)) {
+      if (need == 0) break;
+      if (table_->try_reclaim(c, pid_)) {
+        won.reclaimed.push_back(c);
+        --need;
+      }
+    }
+  }
+  return won;
+}
+
+}  // namespace dws

@@ -1,0 +1,91 @@
+// The coordinator's wake-up model (§3.3): from a demand snapshot
+// (N_b queued tasks, N_a active workers, N_f free cores, N_r home cores
+// lent to other programs) compute how many sleeping workers to wake and
+// where the cores come from, honouring the paper's three constraints:
+//   1. more queued tasks => more woken workers  (Eq. 1: N_w = N_b / N_a);
+//   2. a program may take its own cores back when free cores run out;
+//   3. a program never takes a core another program has not released.
+//
+// Like StealPolicy this is pure, platform-independent logic shared by the
+// thread runtime and the simulator. The table-touching part (which
+// concrete cores to claim/reclaim) lives in CoordinatorDriver.
+#pragma once
+
+#include <vector>
+
+#include "core/core_table.hpp"
+#include "core/types.hpp"
+#include "util/rng.hpp"
+
+namespace dws {
+
+/// Inputs to one coordinator decision (§3.3 parameters).
+struct DemandSnapshot {
+  std::uint64_t queued_tasks = 0;  ///< N_b across all task pools
+  unsigned active_workers = 0;     ///< N_a
+  unsigned free_cores = 0;         ///< N_f (system-wide)
+  unsigned reclaimable_cores = 0;  ///< N_r (my home cores used by others)
+  unsigned sleeping_workers = 0;   ///< how many of my workers can be woken
+};
+
+/// Output of one coordinator decision.
+struct WakeDecision {
+  unsigned wake_on_free = 0;     ///< workers to wake on freshly claimed cores
+  unsigned wake_on_reclaim = 0;  ///< workers to wake on reclaimed home cores
+
+  [[nodiscard]] unsigned total() const noexcept {
+    return wake_on_free + wake_on_reclaim;
+  }
+  friend bool operator==(const WakeDecision&, const WakeDecision&) = default;
+};
+
+class CoordinatorPolicy {
+ public:
+  /// `wake_threshold`: minimum average backlog per active worker before
+  /// any wake-up happens (Config::wake_threshold; the paper's "a few
+  /// tasks on average" guard, 1.0 reproduces Eq. 1 exactly).
+  explicit constexpr CoordinatorPolicy(double wake_threshold = 1.0) noexcept
+      : wake_threshold_(wake_threshold) {}
+
+  /// Apply Eq. 1 and the three §3.3 cases. The result is additionally
+  /// capped at the number of sleeping workers (we cannot wake workers that
+  /// do not exist) and never wakes anyone when the backlog is empty.
+  [[nodiscard]] WakeDecision decide(const DemandSnapshot& s) const noexcept;
+
+ private:
+  double wake_threshold_;
+};
+
+/// Cores actually obtained by one CoordinatorDriver::acquire call.
+struct AcquireResult {
+  std::vector<CoreId> claimed;    ///< previously free cores now ours
+  std::vector<CoreId> reclaimed;  ///< home cores taken back from borrowers
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return claimed.size() + reclaimed.size();
+  }
+};
+
+/// Applies a WakeDecision against a concrete core allocation table:
+/// claims `wake_on_free` randomly chosen free cores (the paper: "randomly
+/// selects N_w free cores") and reclaims up to `wake_on_reclaim` home
+/// cores. Because other coordinators race on the same table, fewer cores
+/// than requested may be obtained; the result is what was won.
+class CoordinatorDriver {
+ public:
+  CoordinatorDriver(CoreTable& table, ProgramId pid, std::uint64_t seed);
+
+  /// Build the table-derived half of a demand snapshot (N_f, N_r).
+  [[nodiscard]] DemandSnapshot snapshot_cores() const noexcept;
+
+  /// Execute `decision`; on each returned core the caller should wake its
+  /// sleeping worker.
+  AcquireResult acquire(const WakeDecision& decision);
+
+ private:
+  CoreTable* table_;
+  ProgramId pid_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace dws

@@ -1,0 +1,187 @@
+#include "core/core_table.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <new>
+
+namespace dws {
+
+namespace {
+constexpr std::size_t kHeaderBytes = 64;  // one cache line for the header
+}
+
+std::size_t CoreTable::required_bytes(unsigned num_cores) noexcept {
+  return kHeaderBytes + static_cast<std::size_t>(num_cores) * sizeof(Slot);
+}
+
+CoreTable::Slot* CoreTable::slots() const noexcept {
+  return reinterpret_cast<Slot*>(static_cast<std::byte*>(mem_) + kHeaderBytes);
+}
+
+CoreTable::CoreTable(void* mem, unsigned num_cores, unsigned num_programs,
+                     bool initialize)
+    : mem_(mem) {
+  assert(mem != nullptr);
+  assert(num_cores > 0);
+  assert(num_programs > 0);
+  static_assert(sizeof(Header) <= kHeaderBytes);
+  static_assert(std::atomic<std::uint32_t>::is_always_lock_free,
+                "shared-memory table requires lock-free 32-bit atomics");
+  if (initialize) {
+    Header* h = new (mem_) Header;
+    h->num_cores = num_cores;
+    h->num_programs = num_programs;
+    h->registered.store(0, std::memory_order_relaxed);
+    Slot* s = slots();
+    for (unsigned i = 0; i < num_cores; ++i) {
+      new (&s[i]) Slot(kNoProgram);
+    }
+    // Publish: attachers spin on the magic before trusting the contents.
+    h->magic.store(kMagic, std::memory_order_release);
+  } else {
+    Header* h = header();
+    // The creator publishes magic with release ordering; acquire pairs it.
+    while (h->magic.load(std::memory_order_acquire) != kMagic) {
+      // Attach raced with creation; the window is a few stores long.
+    }
+    assert(h->num_cores == num_cores);
+    assert(h->num_programs == num_programs);
+  }
+}
+
+CoreTable::CoreTable(CoreTable&& other) noexcept : mem_(other.mem_) {
+  other.mem_ = nullptr;
+}
+
+CoreTable& CoreTable::operator=(CoreTable&& other) noexcept {
+  mem_ = other.mem_;
+  other.mem_ = nullptr;
+  return *this;
+}
+
+unsigned CoreTable::num_cores() const noexcept { return header()->num_cores; }
+
+unsigned CoreTable::num_programs() const noexcept {
+  return header()->num_programs;
+}
+
+ProgramId CoreTable::register_program() noexcept {
+  return header()->registered.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void CoreTable::unregister_program(ProgramId pid) noexcept {
+  for (CoreId c = 0; c < num_cores(); ++c) release(c, pid);
+}
+
+ProgramId CoreTable::user_of(CoreId core) const noexcept {
+  assert(core < num_cores());
+  return slots()[core].load(std::memory_order_acquire);
+}
+
+ProgramId CoreTable::home_of(CoreId core) const noexcept {
+  assert(core < num_cores());
+  const auto k = static_cast<std::uint64_t>(num_cores());
+  const auto m = static_cast<std::uint64_t>(num_programs());
+  return static_cast<ProgramId>(core * m / k) + 1;
+}
+
+bool CoreTable::try_claim(CoreId core, ProgramId pid) noexcept {
+  assert(core < num_cores());
+  assert(pid != kNoProgram);
+  std::uint32_t expected = kNoProgram;
+  return slots()[core].compare_exchange_strong(
+      expected, pid, std::memory_order_acq_rel, std::memory_order_acquire);
+}
+
+bool CoreTable::try_reclaim(CoreId core, ProgramId pid) noexcept {
+  assert(core < num_cores());
+  assert(pid != kNoProgram);
+  if (home_of(core) != pid) return false;
+  std::uint32_t current = slots()[core].load(std::memory_order_acquire);
+  if (current == kNoProgram || current == pid) return false;
+  return slots()[core].compare_exchange_strong(
+      current, pid, std::memory_order_acq_rel, std::memory_order_acquire);
+}
+
+bool CoreTable::release(CoreId core, ProgramId pid) noexcept {
+  assert(core < num_cores());
+  assert(pid != kNoProgram);
+  std::uint32_t expected = pid;
+  return slots()[core].compare_exchange_strong(
+      expected, kNoProgram, std::memory_order_acq_rel,
+      std::memory_order_acquire);
+}
+
+std::vector<CoreId> CoreTable::claim_home_cores(ProgramId pid) noexcept {
+  std::vector<CoreId> claimed;
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    if (home_of(c) == pid && try_claim(c, pid)) claimed.push_back(c);
+  }
+  return claimed;
+}
+
+unsigned CoreTable::count_free() const noexcept {
+  unsigned n = 0;
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    if (user_of(c) == kNoProgram) ++n;
+  }
+  return n;
+}
+
+unsigned CoreTable::count_borrowed_from(ProgramId pid) const noexcept {
+  unsigned n = 0;
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    const ProgramId u = user_of(c);
+    if (home_of(c) == pid && u != kNoProgram && u != pid) ++n;
+  }
+  return n;
+}
+
+unsigned CoreTable::count_active(ProgramId pid) const noexcept {
+  unsigned n = 0;
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    if (user_of(c) == pid) ++n;
+  }
+  return n;
+}
+
+std::vector<CoreId> CoreTable::free_cores() const {
+  std::vector<CoreId> out;
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    if (user_of(c) == kNoProgram) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<CoreId> CoreTable::borrowed_home_cores(ProgramId pid) const {
+  std::vector<CoreId> out;
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    const ProgramId u = user_of(c);
+    if (home_of(c) == pid && u != kNoProgram && u != pid) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<CoreId> CoreTable::home_cores(ProgramId pid) const {
+  std::vector<CoreId> out;
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    if (home_of(c) == pid) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<CoreId> CoreTable::cores_used_by(ProgramId pid) const {
+  std::vector<CoreId> out;
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    if (user_of(c) == pid) out.push_back(c);
+  }
+  return out;
+}
+
+CoreTableLocal::CoreTableLocal(unsigned num_cores, unsigned num_programs)
+    : storage_(new std::byte[CoreTable::required_bytes(num_cores)]) {
+  table_ = std::make_unique<CoreTable>(storage_.get(), num_cores,
+                                       num_programs, /*initialize=*/true);
+}
+
+}  // namespace dws

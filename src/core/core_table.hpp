@@ -1,0 +1,134 @@
+// The core allocation table (§3.1, Table 1): one slot per hardware core
+// recording which program's worker is currently *active* on that core
+// (0 = free). Co-running programs coordinate core exchange exclusively
+// through lock-free CAS operations on this table — there is no centralized
+// OS-level allocator, which is the paper's headline structural claim.
+//
+// Each core also has a static *home* program given by the initial
+// equipartition: with k cores and m declared programs, program i (1-based)
+// homes the contiguous block {j : j*m/k == i-1}. A program may *claim* any
+// free core, but may *reclaim* (take back from a borrower) only its home
+// cores — the paper's third coordinator constraint ("a program cannot take
+// the cores that are not released by other programs", §3.3).
+//
+// The same layout is used over private memory (CoreTableLocal, for
+// co-running several Scheduler instances inside one process: tests,
+// benches, the simulator) and over POSIX shared memory (CoreTableShm in
+// core_table_shm.hpp, for genuine multi-process co-running as in the
+// paper's mmap() implementation, §3.4).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dws {
+
+/// Non-owning view over a core-allocation-table memory block. All mutating
+/// operations are lock-free and safe for concurrent use from any number of
+/// threads or processes mapping the same block.
+class CoreTable {
+ public:
+  /// Bytes a table for `num_cores` cores occupies (header + slots).
+  [[nodiscard]] static std::size_t required_bytes(unsigned num_cores) noexcept;
+
+  /// Wrap `mem` (which must be at least required_bytes(num_cores) and
+  /// suitably aligned for std::atomic<uint32_t>). When `initialize` is
+  /// true the block is formatted (all cores free, zero programs
+  /// registered); otherwise the existing contents are adopted and
+  /// (num_cores, num_programs) must match what the creator wrote.
+  CoreTable(void* mem, unsigned num_cores, unsigned num_programs,
+            bool initialize);
+
+  CoreTable(const CoreTable&) = delete;
+  CoreTable& operator=(const CoreTable&) = delete;
+  CoreTable(CoreTable&&) noexcept;
+  CoreTable& operator=(CoreTable&&) noexcept;
+  ~CoreTable() = default;
+
+  [[nodiscard]] unsigned num_cores() const noexcept;
+  /// Declared co-runner count m used for the home partition.
+  [[nodiscard]] unsigned num_programs() const noexcept;
+
+  /// Obtain a fresh 1-based program id. Ids beyond the declared m are
+  /// legal but own no home cores (they can only use free cores).
+  [[nodiscard]] ProgramId register_program() noexcept;
+
+  /// Release every core currently used by `pid`.
+  void unregister_program(ProgramId pid) noexcept;
+
+  /// Current active program on `core`, or kNoProgram if free.
+  [[nodiscard]] ProgramId user_of(CoreId core) const noexcept;
+
+  /// Static home owner of `core` under the equipartition.
+  [[nodiscard]] ProgramId home_of(CoreId core) const noexcept;
+
+  /// CAS free -> pid. True iff this call performed the transition.
+  bool try_claim(CoreId core, ProgramId pid) noexcept;
+
+  /// Take a *home* core of `pid` back from whichever program borrowed it
+  /// (§3.3 cases 2–3). Fails if the core is free, already ours, or not a
+  /// home core of `pid`. The evicted borrower's worker observes the change
+  /// at its next policy check and goes to sleep (see Worker::should_vacate).
+  bool try_reclaim(CoreId core, ProgramId pid) noexcept;
+
+  /// CAS pid -> free. True iff `pid` was the user. A worker whose core was
+  /// reclaimed from under it calls this and fails harmlessly.
+  bool release(CoreId core, ProgramId pid) noexcept;
+
+  /// Claim all currently-free home cores of `pid`; returns those claimed.
+  /// Used at program start to realize the initial equipartition (§3.1).
+  std::vector<CoreId> claim_home_cores(ProgramId pid) noexcept;
+
+  // ---- Demand-snapshot counters (coordinator inputs, §3.3) ----
+
+  /// N_f: cores currently free.
+  [[nodiscard]] unsigned count_free() const noexcept;
+  /// N_r: home cores of `pid` currently used by *other* programs.
+  [[nodiscard]] unsigned count_borrowed_from(ProgramId pid) const noexcept;
+  /// Cores on which `pid` is the active user.
+  [[nodiscard]] unsigned count_active(ProgramId pid) const noexcept;
+
+  [[nodiscard]] std::vector<CoreId> free_cores() const;
+  [[nodiscard]] std::vector<CoreId> borrowed_home_cores(ProgramId pid) const;
+  [[nodiscard]] std::vector<CoreId> home_cores(ProgramId pid) const;
+  [[nodiscard]] std::vector<CoreId> cores_used_by(ProgramId pid) const;
+
+ private:
+  struct Header {
+    std::atomic<std::uint32_t> magic;
+    std::uint32_t num_cores;
+    std::uint32_t num_programs;
+    std::atomic<std::uint32_t> registered;
+  };
+  using Slot = std::atomic<std::uint32_t>;
+
+  static constexpr std::uint32_t kMagic = 0xD1575AB1u;
+
+  [[nodiscard]] Header* header() const noexcept {
+    return static_cast<Header*>(mem_);
+  }
+  [[nodiscard]] Slot* slots() const noexcept;
+
+  void* mem_ = nullptr;
+};
+
+/// Owning in-process table: co-run several Scheduler instances (or the
+/// simulator's virtual programs) inside one address space.
+class CoreTableLocal {
+ public:
+  CoreTableLocal(unsigned num_cores, unsigned num_programs);
+
+  [[nodiscard]] CoreTable& table() noexcept { return *table_; }
+  [[nodiscard]] const CoreTable& table() const noexcept { return *table_; }
+
+ private:
+  std::unique_ptr<std::byte[]> storage_;
+  std::unique_ptr<CoreTable> table_;
+};
+
+}  // namespace dws

@@ -1,0 +1,82 @@
+#include "core/core_table_shm.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+
+namespace dws {
+
+namespace {
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+}  // namespace
+
+CoreTableShm::CoreTableShm(const std::string& name, unsigned num_cores,
+                           unsigned num_programs)
+    : name_(name), bytes_(CoreTable::required_bytes(num_cores)) {
+  // Try to create exclusively first: the winner formats the segment.
+  int fd = ::shm_open(name_.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd >= 0) {
+    creator_ = true;
+  } else if (errno == EEXIST) {
+    fd = ::shm_open(name_.c_str(), O_RDWR, 0600);
+    if (fd < 0) throw_errno("shm_open(attach)");
+  } else {
+    throw_errno("shm_open(create)");
+  }
+
+  if (creator_ && ::ftruncate(fd, static_cast<off_t>(bytes_)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::shm_unlink(name_.c_str());
+    errno = saved;
+    throw_errno("ftruncate");
+  }
+  if (!creator_) {
+    // The creator may still be between shm_open and ftruncate; wait until
+    // the segment has its final size before mapping.
+    struct stat st{};
+    do {
+      if (::fstat(fd, &st) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno("fstat");
+      }
+    } while (static_cast<std::size_t>(st.st_size) < bytes_);
+  }
+
+  mapping_ = ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  const int saved = errno;
+  ::close(fd);
+  if (mapping_ == MAP_FAILED) {
+    mapping_ = nullptr;
+    if (creator_) ::shm_unlink(name_.c_str());
+    errno = saved;
+    throw_errno("mmap");
+  }
+
+  // CoreTable's constructor handles the format/adopt handshake (attachers
+  // spin on the magic word until the creator publishes it).
+  table_ = std::make_unique<CoreTable>(mapping_, num_cores, num_programs,
+                                       /*initialize=*/creator_);
+}
+
+CoreTableShm::~CoreTableShm() {
+  table_.reset();
+  if (mapping_ != nullptr) ::munmap(mapping_, bytes_);
+  // Deliberately no shm_unlink here: other co-running programs may still
+  // be attached. Lifetime of the name is managed by the launcher via
+  // remove().
+}
+
+void CoreTableShm::remove(const std::string& name) noexcept {
+  ::shm_unlink(name.c_str());
+}
+
+}  // namespace dws

@@ -1,0 +1,52 @@
+// POSIX shared-memory backend for the core allocation table, matching the
+// paper's implementation note (§3.4): "the first-launched work-stealing
+// program creates a new file and maps the file into the shared memory
+// using mmap(); ... all the following programs can easily access the core
+// allocation table".
+//
+// We use shm_open() + mmap() with a create-or-attach protocol: O_CREAT
+// without O_EXCL, then an atomic magic word distinguishes "I created the
+// segment and must format it" from "someone else already formatted it".
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/core_table.hpp"
+
+namespace dws {
+
+/// Owning cross-process table. Every co-running process constructs one
+/// with the same `name` and (num_cores, num_programs); exactly one of them
+/// formats the segment.
+class CoreTableShm {
+ public:
+  /// `name` must start with '/' per POSIX (it is passed to shm_open).
+  /// Throws std::system_error on shm_open/ftruncate/mmap failure.
+  CoreTableShm(const std::string& name, unsigned num_cores,
+               unsigned num_programs);
+
+  CoreTableShm(const CoreTableShm&) = delete;
+  CoreTableShm& operator=(const CoreTableShm&) = delete;
+
+  ~CoreTableShm();
+
+  [[nodiscard]] CoreTable& table() noexcept { return *table_; }
+  [[nodiscard]] const CoreTable& table() const noexcept { return *table_; }
+
+  /// True if this process created (and formatted) the segment.
+  [[nodiscard]] bool is_creator() const noexcept { return creator_; }
+
+  /// Remove the named segment from the system (idempotent). Call after all
+  /// co-running programs have exited, e.g. from the launcher.
+  static void remove(const std::string& name) noexcept;
+
+ private:
+  std::string name_;
+  void* mapping_ = nullptr;
+  std::size_t bytes_ = 0;
+  bool creator_ = false;
+  std::unique_ptr<CoreTable> table_;
+};
+
+}  // namespace dws

@@ -1,0 +1,25 @@
+// Umbrella header for the DWS library: everything a downstream user
+// needs to schedule work and co-run programs.
+//
+//   #include "dws.hpp"
+//
+//   dws::Config cfg;                       // policy + machine knobs
+//   cfg.mode = dws::SchedMode::kDws;
+//   dws::rt::Scheduler sched(cfg);         // one work-stealing program
+//   dws::rt::parallel_for(sched, 0, n, grain, body);
+//
+// Co-running (one process):   dws::CoreTableLocal + shared table pointer.
+// Co-running (processes):     dws::CoreTableShm over shm_open/mmap.
+// Observability:              dws::rt::Observer.
+// Simulation & evaluation:    sim/engine.hpp, harness/experiment.hpp
+// (deliberately not pulled in here — they are research tooling, not the
+// scheduling library).
+#pragma once
+
+#include "core/config.hpp"           // IWYU pragma: export
+#include "core/core_table.hpp"       // IWYU pragma: export
+#include "core/core_table_shm.hpp"   // IWYU pragma: export
+#include "core/types.hpp"            // IWYU pragma: export
+#include "runtime/api.hpp"           // IWYU pragma: export
+#include "runtime/observer.hpp"      // IWYU pragma: export
+#include "runtime/scheduler.hpp"     // IWYU pragma: export

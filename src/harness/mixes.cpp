@@ -1,0 +1,26 @@
+#include "harness/mixes.hpp"
+
+#include <stdexcept>
+
+namespace dws::harness {
+
+const char* app_name(unsigned table2_id) {
+  switch (table2_id) {
+    case 1: return "FFT";
+    case 2: return "PNN";
+    case 3: return "Cholesky";
+    case 4: return "LU";
+    case 5: return "GE";
+    case 6: return "Heat";
+    case 7: return "SOR";
+    case 8: return "Mergesort";
+    default: throw std::out_of_range("Table-2 id must be 1..8");
+  }
+}
+
+std::string mix_label(std::pair<unsigned, unsigned> mix) {
+  return "(" + std::to_string(mix.first) + ", " + std::to_string(mix.second) +
+         ")";
+}
+
+}  // namespace dws::harness

@@ -1,0 +1,29 @@
+// The paper's benchmark mixes (§4.1, Fig. 4/5): pairs (i, j) meaning
+// Table-2 programs p-i and p-j co-run on the 16-core machine.
+#pragma once
+
+#include <array>
+#include <string>
+#include <utility>
+
+namespace dws::harness {
+
+/// Table-2 id (1-based) -> app name.
+[[nodiscard]] const char* app_name(unsigned table2_id);
+
+/// The eight mixes shown in Fig. 4 and Fig. 5.
+inline constexpr std::array<std::pair<unsigned, unsigned>, 8> kFigureMixes{{
+    {1, 8},  // FFT + Mergesort (also the Fig. 6 T_SLEEP mix)
+    {2, 7},  // PNN + SOR (the cache-locality discussion mix)
+    {3, 6},  // Cholesky + Heat
+    {4, 5},  // LU + GE
+    {1, 2},  // FFT + PNN
+    {3, 8},  // Cholesky + Mergesort
+    {5, 7},  // GE + SOR
+    {4, 6},  // LU + Heat
+}};
+
+/// "(1, 8)" display form.
+[[nodiscard]] std::string mix_label(std::pair<unsigned, unsigned> mix);
+
+}  // namespace dws::harness

@@ -1,0 +1,32 @@
+// Fixed-width table and CSV emitters for the bench binaries: every
+// figure-reproduction binary prints the same rows the paper plots.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dws::harness {
+
+/// Simple column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Format a double with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Write the table (with a separator under the header) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated form (header + rows), for machine consumption.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dws::harness

@@ -1,0 +1,101 @@
+#include "runtime/coordinator.hpp"
+
+#include <chrono>
+
+#include "runtime/scheduler.hpp"
+
+namespace dws::rt {
+
+Coordinator::Coordinator(Scheduler& sched, double period_ms,
+                         double wake_threshold, std::uint64_t seed)
+    : sched_(sched), period_ms_(period_ms), policy_(wake_threshold) {
+  if (mode_space_shares(sched_.mode())) {
+    driver_ = std::make_unique<CoordinatorDriver>(*sched_.table(),
+                                                  sched_.pid(), seed);
+  }
+}
+
+Coordinator::~Coordinator() { stop(); }
+
+void Coordinator::start() {
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void Coordinator::stop() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stop_requested_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void Coordinator::thread_main() {
+  const auto period = std::chrono::duration<double, std::milli>(period_ms_);
+  std::unique_lock<std::mutex> lock(m_);
+  while (!stop_requested_) {
+    // Sleeping every T ms (§3.4). nudge() — a notify without stop — cuts
+    // the wait short so externally submitted work on a fully-asleep
+    // program is picked up promptly.
+    cv_.wait_for(lock, period);
+    if (stop_requested_) break;
+    lock.unlock();
+    tick();
+    lock.lock();
+  }
+}
+
+void Coordinator::nudge() noexcept {
+  std::lock_guard<std::mutex> lock(m_);
+  cv_.notify_all();
+}
+
+void Coordinator::tick() {
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  if (sched_.config().adaptive_t_sleep) sched_.decay_t_sleep();
+
+  DemandSnapshot s;
+  s.queued_tasks = sched_.queued_tasks();          // N_b
+  s.active_workers = sched_.active_workers();      // N_a
+  s.sleeping_workers = sched_.sleeping_workers();
+  if (driver_ != nullptr) {
+    const DemandSnapshot cores = driver_->snapshot_cores();
+    s.free_cores = cores.free_cores;               // N_f
+    s.reclaimable_cores = cores.reclaimable_cores; // N_r
+  } else {
+    // DWS-NC: no core exchange; every sleeping worker can be woken in
+    // place (the OS time-shares the cores underneath, §4.2).
+    s.free_cores = s.sleeping_workers;
+    s.reclaimable_cores = 0;
+  }
+
+  const WakeDecision d = policy_.decide(s);
+  if (d.total() == 0) return;
+
+  if (driver_ != nullptr) {
+    const AcquireResult won = driver_->acquire(d);
+    cores_claimed_.fetch_add(won.claimed.size(), std::memory_order_relaxed);
+    cores_reclaimed_.fetch_add(won.reclaimed.size(),
+                               std::memory_order_relaxed);
+    for (CoreId c : won.claimed) {
+      if (sched_.worker_at(c).wake()) {
+        wakes_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    for (CoreId c : won.reclaimed) {
+      if (sched_.worker_at(c).wake()) {
+        wakes_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  } else {
+    unsigned need = d.total();
+    for (unsigned i = 0; i < sched_.num_workers() && need > 0; ++i) {
+      if (sched_.worker_at(i).wake()) {
+        --need;
+        wakes_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+}  // namespace dws::rt

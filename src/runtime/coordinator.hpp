@@ -1,0 +1,77 @@
+// The per-program coordinator thread (§3.3): every T milliseconds it
+// snapshots the program's demand (N_b, N_a) and the table state (N_f,
+// N_r), runs CoordinatorPolicy, acquires cores, and wakes the sleeping
+// workers on them.
+//
+// Only the sleeping modes (DWS, DWS-NC) get a live coordinator; for other
+// modes the scheduler does not construct one, matching the paper's claim
+// that the coordinator is DWS's only overhead (§4.4).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/coordinator_policy.hpp"
+#include "core/types.hpp"
+
+namespace dws::rt {
+
+class Scheduler;
+
+class Coordinator {
+ public:
+  Coordinator(Scheduler& sched, double period_ms, double wake_threshold,
+              std::uint64_t seed);
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+  ~Coordinator();
+
+  void start();
+  /// Signal and join. Safe to call multiple times.
+  void stop();
+
+  /// Run one coordination step immediately (also used by tests to drive
+  /// the coordinator deterministically without waiting out the period).
+  void tick();
+
+  /// Cut the current period's sleep short so the next tick happens now.
+  /// Called when external work arrives on a fully-asleep program.
+  void nudge() noexcept;
+
+  [[nodiscard]] std::uint64_t ticks() const noexcept {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t wakes() const noexcept {
+    return wakes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t cores_claimed() const noexcept {
+    return cores_claimed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t cores_reclaimed() const noexcept {
+    return cores_reclaimed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void thread_main();
+
+  Scheduler& sched_;
+  const double period_ms_;
+  CoordinatorPolicy policy_;
+  std::unique_ptr<CoordinatorDriver> driver_;  // only for table-using modes
+
+  std::thread thread_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;  // guarded by m_
+
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<std::uint64_t> wakes_{0};
+  std::atomic<std::uint64_t> cores_claimed_{0};
+  std::atomic<std::uint64_t> cores_reclaimed_{0};
+};
+
+}  // namespace dws::rt

@@ -1,0 +1,147 @@
+// Chase-Lev work-stealing deque, following Le, Pop, Cohen & Zappa Nardelli,
+// "Correct and Efficient Work-Stealing for Weak Memory Models" (PPoPP'13).
+//
+// The owner worker pushes and pops at the bottom; thieves steal from the
+// top. All operations are lock-free; only the owner may call push()/pop().
+// The buffer grows geometrically on overflow. Old buffers cannot be freed
+// while concurrent thieves might still be reading them, so they are parked
+// on a retire list owned by the deque and reclaimed in the destructor —
+// the total leaked-by-delay memory is bounded by 2x the high-water mark.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace dws::rt {
+
+/// T must be trivially copyable (we store raw task pointers).
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64)
+      : top_(0), bottom_(0) {
+    buffer_.store(new Buffer(round_up_pow2(initial_capacity)),
+                  std::memory_order_relaxed);
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  ~ChaseLevDeque() {
+    delete buffer_.load(std::memory_order_relaxed);
+    for (Buffer* b : retired_) delete b;
+  }
+
+  /// Owner only: push one element at the bottom.
+  void push(T item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(buf->capacity) - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only: pop from the bottom (LIFO — preserves locality).
+  std::optional<T> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was already empty; restore bottom.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T item = buf->get(b);
+    if (t == b) {
+      // Last element: race against thieves via CAS on top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        // A thief won the race.
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread: steal from the top (FIFO end — steals the oldest, which
+  /// in divide-and-conquer DAGs is the largest subtree).
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;  // observed empty
+    Buffer* buf = buffer_.load(std::memory_order_consume);
+    T item = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // lost the race to the owner or another thief
+    }
+    return item;
+  }
+
+  /// Racy size estimate for demand accounting (N_b); never negative.
+  [[nodiscard]] std::size_t size_approx() const noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  [[nodiscard]] bool empty_approx() const noexcept { return size_approx() == 0; }
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return buffer_.load(std::memory_order_relaxed)->capacity;
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap)
+        : capacity(cap), mask(cap - 1), data(new std::atomic<T>[cap]) {}
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::unique_ptr<std::atomic<T>[]> data;
+
+    void put(std::int64_t i, T v) noexcept {
+      data[static_cast<std::size_t>(i) & mask].store(
+          v, std::memory_order_relaxed);
+    }
+    T get(std::int64_t i) const noexcept {
+      return data[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+  };
+
+  static std::size_t round_up_pow2(std::size_t v) noexcept {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p < 2 ? 2 : p;
+  }
+
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Buffer(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    buffer_.store(bigger, std::memory_order_release);
+    retired_.push_back(old);  // thieves may still read it; free at dtor
+    return bigger;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_;
+  alignas(64) std::atomic<std::int64_t> bottom_;
+  alignas(64) std::atomic<Buffer*> buffer_;
+  std::vector<Buffer*> retired_;  // owner-only mutation (inside push)
+};
+
+}  // namespace dws::rt

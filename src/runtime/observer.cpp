@@ -1,0 +1,78 @@
+#include "runtime/observer.hpp"
+
+#include <chrono>
+#include <ostream>
+
+namespace dws::rt {
+
+Observer::Observer(std::vector<Scheduler*> targets, double period_ms,
+                   std::size_t capacity)
+    : targets_(std::move(targets)),
+      period_ms_(period_ms),
+      capacity_(capacity),
+      series_(targets_.size()) {
+  for (auto& s : series_) s.reserve(capacity_);
+}
+
+Observer::~Observer() { stop(); }
+
+void Observer::start() {
+  if (running_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stop_requested_ = false;
+  }
+  clock_.restart();
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void Observer::stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stop_requested_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void Observer::sample_now() {
+  const double t = clock_.elapsed_ms();
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    if (series_[i].size() >= capacity_) continue;
+    Scheduler* sched = targets_[i];
+    SchedulerSample s;
+    s.t_ms = t;
+    s.active_workers = sched->active_workers();
+    s.sleeping_workers = sched->sleeping_workers();
+    s.queued_tasks = sched->queued_tasks();
+    s.cores_held =
+        sched->table() != nullptr ? sched->table()->count_active(sched->pid())
+                                  : 0;
+    series_[i].push_back(s);
+  }
+}
+
+void Observer::thread_main() {
+  const auto period = std::chrono::duration<double, std::milli>(period_ms_);
+  std::unique_lock<std::mutex> lock(m_);
+  while (!stop_requested_) {
+    lock.unlock();
+    sample_now();
+    lock.lock();
+    cv_.wait_for(lock, period, [this] { return stop_requested_; });
+  }
+}
+
+void Observer::write_csv(std::ostream& os) const {
+  os << "t_ms,target,active,sleeping,queued,cores_held\n";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    for (const SchedulerSample& s : series_[i]) {
+      os << s.t_ms << ',' << i << ',' << s.active_workers << ','
+         << s.sleeping_workers << ',' << s.queued_tasks << ','
+         << s.cores_held << '\n';
+    }
+  }
+}
+
+}  // namespace dws::rt

@@ -1,0 +1,85 @@
+// Runtime observability: a sampling thread that periodically snapshots
+// one or more co-running schedulers — active/sleeping worker counts,
+// queued tasks, core-allocation occupancy — into a bounded in-memory
+// series that can be printed or exported as CSV.
+//
+// This is the real-runtime counterpart of the simulator's timeline
+// sampling (SimParams::timeline_sample_period_us): it lets a user *see*
+// demand-aware core exchange happening on live threads, and gives tests
+// a way to assert scheduling dynamics rather than just end states.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+#include "util/timer.hpp"
+
+namespace dws::rt {
+
+/// One observation of one scheduler.
+struct SchedulerSample {
+  double t_ms = 0.0;            ///< since observer start
+  unsigned active_workers = 0;  ///< N_a
+  unsigned sleeping_workers = 0;
+  std::uint64_t queued_tasks = 0;  ///< N_b
+  unsigned cores_held = 0;  ///< table slots owned (0 for table-less modes)
+};
+
+/// Periodically samples a fixed set of schedulers. The schedulers must
+/// outlive the observer. Start/stop are explicit; samples are available
+/// (and stable) after stop().
+class Observer {
+ public:
+  /// `capacity` bounds the per-scheduler series; sampling stops recording
+  /// when full (the thread keeps running until stop()).
+  Observer(std::vector<Scheduler*> targets, double period_ms,
+           std::size_t capacity = 4096);
+  Observer(const Observer&) = delete;
+  Observer& operator=(const Observer&) = delete;
+  ~Observer();
+
+  void start();
+  void stop();
+
+  /// Take one sample of every target immediately (also usable without
+  /// start(), for deterministic tests).
+  void sample_now();
+
+  [[nodiscard]] std::size_t num_targets() const noexcept {
+    return targets_.size();
+  }
+
+  /// Series for target i (index into the constructor vector). Only safe
+  /// to call while the sampling thread is stopped.
+  [[nodiscard]] const std::vector<SchedulerSample>& series(
+      std::size_t i) const {
+    return series_[i];
+  }
+
+  /// Write all series as CSV: t_ms,target,active,sleeping,queued,cores.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  void thread_main();
+
+  std::vector<Scheduler*> targets_;
+  double period_ms_;
+  std::size_t capacity_;
+  std::vector<std::vector<SchedulerSample>> series_;
+  util::Stopwatch clock_;
+
+  std::thread thread_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;  // guarded by m_
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace dws::rt

@@ -1,0 +1,215 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "util/affinity.hpp"
+
+namespace dws::rt {
+
+Scheduler::Scheduler(const Config& cfg, CoreTable* shared_table) : cfg_(cfg) {
+  if (cfg_.num_cores == 0) cfg_.num_cores = util::hardware_cores();
+  const unsigned k = cfg_.num_cores;
+  cur_t_sleep_.store(cfg_.effective_t_sleep(k), std::memory_order_relaxed);
+
+  if (mode_space_shares(cfg_.mode)) {
+    if (shared_table != nullptr) {
+      assert(shared_table->num_cores() == k &&
+             "shared table width must match Config::num_cores");
+      table_ = shared_table;
+    } else {
+      owned_table_ = std::make_unique<CoreTableLocal>(k, cfg_.num_programs);
+      table_ = &owned_table_->table();
+    }
+    pid_ = table_->register_program();
+    // Realize the initial equipartition (§3.1): grab whatever home cores
+    // are free right now. Workers on unowned cores park themselves.
+    table_->claim_home_cores(pid_);
+  } else {
+    // Time-sharing modes have no table; the program id is only used for
+    // logging/stats.
+    pid_ = 1;
+  }
+
+  workers_.reserve(k);
+  for (unsigned i = 0; i < k; ++i) {
+    workers_.push_back(std::make_unique<Worker>(*this, i));
+  }
+  // All workers must exist before any thread can look up steal victims.
+  for (auto& w : workers_) w->start();
+
+  if (mode_sleeps(cfg_.mode)) {
+    coordinator_ = std::make_unique<Coordinator>(
+        *this, cfg_.coordinator_period_ms, cfg_.wake_threshold,
+        cfg_.seed ^ 0xC00D1E5EULL);
+    coordinator_->start();
+  }
+}
+
+Scheduler::~Scheduler() {
+  if (coordinator_) coordinator_->stop();
+  shutdown_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(gate_m_);
+    gate_cv_.notify_all();
+  }
+  for (auto& w : workers_) w->notify_shutdown();
+  for (auto& w : workers_) w->join();
+
+  if (table_ != nullptr) table_->unregister_program(pid_);
+
+  // Contract: all submitted work was waited for. Anything still queued is
+  // destroyed without running (and without touching its — possibly
+  // already destroyed — group).
+  while (TaskBase* t = try_pop_inbox()) delete t;
+  for (auto& w : workers_) {
+    while (auto t = w->deque().pop()) delete *t;
+  }
+}
+
+void Scheduler::enqueue(TaskBase* task) {
+  const std::int64_t prev =
+      total_pending_.fetch_add(1, std::memory_order_acq_rel);
+  Worker* w = current_worker();
+  if (!cfg_.work_sharing && w != nullptr && &w->sched_ == this) {
+    // Algorithm 1's common case: spawn onto the spawning worker's deque.
+    w->deque().push(task);
+    return;
+  }
+  // External submission — or every submission under work-sharing (§4.4
+  // extension), where the inbox doubles as the program's central queue.
+  {
+    std::lock_guard<std::mutex> lock(inbox_m_);
+    inbox_.push_back(task);
+  }
+  inbox_size_.fetch_add(1, std::memory_order_release);
+  if (prev == 0) {
+    // The program was idle: open the gate for non-sleeping modes and cut
+    // the coordinator's nap short for sleeping modes.
+    {
+      std::lock_guard<std::mutex> lock(gate_m_);
+      gate_cv_.notify_all();
+    }
+    if (coordinator_) coordinator_->nudge();
+  }
+}
+
+void Scheduler::execute(TaskBase* task) noexcept {
+  task->run_and_destroy();
+  total_pending_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+TaskBase* Scheduler::try_pop_inbox() {
+  if (inbox_size_.load(std::memory_order_acquire) == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(inbox_m_);
+  if (inbox_.empty()) return nullptr;
+  TaskBase* t = inbox_.front();
+  inbox_.pop_front();
+  inbox_size_.fetch_sub(1, std::memory_order_release);
+  return t;
+}
+
+void Scheduler::wait(TaskGroup& group) {
+  Worker* w = current_worker();
+  if (w == nullptr || &w->sched_ != this) {
+    // External thread: block with a bounded poll (the group's condvar is
+    // notified on drain; the timeout covers lost wakeups from tasks that
+    // complete between done() and the wait).
+    while (!group.done()) {
+      group.timed_block(std::chrono::milliseconds(1));
+    }
+    group.rethrow_if_exception();
+    return;
+  }
+
+  // Help-first join: execute whatever is available until the group
+  // drains. The waiter never goes to sleep here — its stack holds the
+  // continuation — so after a yield phase it falls back to a bounded
+  // block on the group's condvar (woken on drain).
+  int consecutive_failures = 0;
+  while (!group.done()) {
+    if (TaskBase* t = w->find_task()) {
+      consecutive_failures = 0;
+      ++w->stats_.tasks_executed;
+      execute(t);
+      continue;
+    }
+    ++consecutive_failures;
+    if (consecutive_failures < 64) {
+      std::this_thread::yield();
+    } else {
+      group.timed_block(std::chrono::microseconds(200));
+    }
+  }
+  group.rethrow_if_exception();
+}
+
+std::uint64_t Scheduler::queued_tasks() const noexcept {
+  std::uint64_t n = inbox_size_.load(std::memory_order_acquire);
+  for (const auto& w : workers_) n += w->queue_size();
+  return n;
+}
+
+unsigned Scheduler::active_workers() const noexcept {
+  unsigned n = 0;
+  for (const auto& w : workers_) {
+    if (w->state() == Worker::State::kActive) ++n;
+  }
+  return n;
+}
+
+unsigned Scheduler::sleeping_workers() const noexcept {
+  unsigned n = 0;
+  for (const auto& w : workers_) {
+    if (w->state() == Worker::State::kSleeping) ++n;
+  }
+  return n;
+}
+
+void Scheduler::escalate_t_sleep() noexcept {
+  const int base = cfg_.effective_t_sleep(cfg_.num_cores);
+  const int cap = base > 0 ? 64 * base : 64;
+  int cur = cur_t_sleep_.load(std::memory_order_relaxed);
+  int next = std::min(cap, cur > 0 ? cur * 2 : 1);
+  while (next > cur && !cur_t_sleep_.compare_exchange_weak(
+                           cur, next, std::memory_order_relaxed)) {
+    next = std::min(cap, cur > 0 ? cur * 2 : 1);
+  }
+}
+
+void Scheduler::decay_t_sleep() noexcept {
+  const int base = cfg_.effective_t_sleep(cfg_.num_cores);
+  int cur = cur_t_sleep_.load(std::memory_order_relaxed);
+  int next = std::max(base, static_cast<int>(cur * 0.97));
+  while (next < cur && !cur_t_sleep_.compare_exchange_weak(
+                           cur, next, std::memory_order_relaxed)) {
+    next = std::max(base, static_cast<int>(cur * 0.97));
+  }
+}
+
+SchedulerStats Scheduler::stats() const {
+  SchedulerStats s;
+  s.per_worker.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    const WorkerStats& ws = w->stats();
+    s.per_worker.push_back(ws);
+    s.totals.tasks_executed += ws.tasks_executed;
+    s.totals.steal_attempts += ws.steal_attempts;
+    s.totals.steals += ws.steals;
+    s.totals.failed_steals += ws.failed_steals;
+    s.totals.yields += ws.yields;
+    s.totals.sleeps += ws.sleeps;
+    s.totals.wakes += ws.wakes;
+    s.totals.evictions += ws.evictions;
+  }
+  if (coordinator_) {
+    s.coordinator_ticks = coordinator_->ticks();
+    s.coordinator_wakes = coordinator_->wakes();
+    s.cores_claimed = coordinator_->cores_claimed();
+    s.cores_reclaimed = coordinator_->cores_reclaimed();
+  }
+  return s;
+}
+
+}  // namespace dws::rt

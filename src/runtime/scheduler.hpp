@@ -1,0 +1,155 @@
+// The per-program scheduler: k workers (one per core), an optional
+// coordinator thread, and the program's view of the shared core allocation
+// table. This is the library's main entry point — one Scheduler instance
+// corresponds to one "work-stealing program" in the paper's terminology.
+//
+// Co-running: several programs share a table either across processes
+// (CoreTableShm) or within one process (CoreTableLocal); each constructs
+// its Scheduler with a pointer to the shared table. A Scheduler built
+// without a table creates a private single-program table when its mode
+// needs one.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/core_table.hpp"
+#include "core/types.hpp"
+#include "runtime/coordinator.hpp"
+#include "runtime/task.hpp"
+#include "runtime/worker.hpp"
+
+namespace dws::rt {
+
+/// Aggregated snapshot of all workers' counters plus scheduler-level ones.
+struct SchedulerStats {
+  WorkerStats totals;
+  std::vector<WorkerStats> per_worker;
+  std::uint64_t coordinator_ticks = 0;
+  std::uint64_t coordinator_wakes = 0;
+  std::uint64_t cores_claimed = 0;
+  std::uint64_t cores_reclaimed = 0;
+};
+
+class Scheduler {
+ public:
+  /// `shared_table`, when given, must outlive the scheduler and have been
+  /// created with the num_cores this config resolves to. Ownership stays
+  /// with the caller (it is shared between co-running programs).
+  explicit Scheduler(const Config& cfg, CoreTable* shared_table = nullptr);
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Blocks until all workers and the coordinator have exited. All
+  /// submitted work must have been waited for before destruction;
+  /// leftover unexecuted tasks are destroyed without running.
+  ~Scheduler();
+
+  // ---- Work submission ----
+
+  /// Spawn `fn` into `group`. Callable from a worker of this scheduler
+  /// (pushes to its own deque, Algorithm 1's common case) or from any
+  /// external thread (goes through the injection inbox).
+  template <typename F>
+  void spawn(TaskGroup& group, F&& fn) {
+    group.add_pending();
+    enqueue(new TaskImpl<std::decay_t<F>>(&group, std::forward<F>(fn)));
+  }
+
+  /// Help-first join: the calling worker executes/steals tasks until the
+  /// group drains; external threads block. Rethrows the first task
+  /// exception captured by the group.
+  void wait(TaskGroup& group);
+
+  /// Convenience: run `fn` as a root task and wait for it (and, because
+  /// the API is structured, everything it transitively spawned).
+  template <typename F>
+  void run(F&& fn) {
+    TaskGroup root;
+    spawn(root, std::forward<F>(fn));
+    wait(root);
+  }
+
+  // ---- Introspection ----
+
+  [[nodiscard]] unsigned num_workers() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+  [[nodiscard]] ProgramId pid() const noexcept { return pid_; }
+  [[nodiscard]] SchedMode mode() const noexcept { return cfg_.mode; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  /// The allocation table in use (nullptr for modes that do not use one).
+  [[nodiscard]] CoreTable* table() noexcept { return table_; }
+
+  /// N_b: queued tasks across all deques plus the injection inbox.
+  [[nodiscard]] std::uint64_t queued_tasks() const noexcept;
+  /// N_a: workers currently in the Active state.
+  [[nodiscard]] unsigned active_workers() const noexcept;
+  [[nodiscard]] unsigned sleeping_workers() const noexcept;
+
+  [[nodiscard]] SchedulerStats stats() const;
+
+  /// The worker affiliated with core `core` (0-based, < num_workers()).
+  [[nodiscard]] Worker& worker_at(unsigned core) noexcept {
+    return *workers_[core];
+  }
+
+  /// The coordinator, or nullptr for modes that run without one.
+  [[nodiscard]] Coordinator* coordinator() noexcept {
+    return coordinator_.get();
+  }
+
+  // ---- adaptive T_SLEEP (§6 extension; see Config::adaptive_t_sleep) ----
+
+  /// The program's current threshold (== the configured one when the
+  /// adaptive controller is off).
+  [[nodiscard]] int current_t_sleep() const noexcept {
+    return cur_t_sleep_.load(std::memory_order_relaxed);
+  }
+  /// Called by a worker whose sleep was cut short: double the threshold,
+  /// capped at 64x the configured base.
+  void escalate_t_sleep() noexcept;
+  /// Called by the coordinator each period: decay toward the base.
+  void decay_t_sleep() noexcept;
+
+ private:
+  friend class Worker;
+  friend class Coordinator;
+
+  void enqueue(TaskBase* task);
+  void execute(TaskBase* task) noexcept;
+  TaskBase* try_pop_inbox();
+  [[nodiscard]] bool shutdown_requested() const noexcept {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  Config cfg_;
+  ProgramId pid_ = kNoProgram;
+  CoreTable* table_ = nullptr;               // shared or owned_table_'s
+  std::unique_ptr<CoreTableLocal> owned_table_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<Coordinator> coordinator_;
+
+  // Injection inbox for external submissions (run() from the main thread).
+  std::mutex inbox_m_;
+  std::deque<TaskBase*> inbox_;
+  std::atomic<std::size_t> inbox_size_{0};
+
+  // Unfinished-task count for the idle gate: workers block here when the
+  // program has no work at all instead of spinning per-policy.
+  std::atomic<std::int64_t> total_pending_{0};
+  std::mutex gate_m_;
+  std::condition_variable gate_cv_;
+
+  std::atomic<bool> shutdown_{false};
+  std::atomic<int> cur_t_sleep_{0};  // resolved in the constructor
+};
+
+}  // namespace dws::rt

@@ -1,0 +1,130 @@
+// Task representation for the DWS runtime: a heap-allocated, type-erased
+// closure plus the bookkeeping hooks the scheduler needs (per-group join
+// counting, exception propagation).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+namespace dws::rt {
+
+class TaskGroup;
+
+/// Type-erased unit of work. Owned by the deque/scheduler from push until
+/// execution; `run_and_destroy` is the single consumption point.
+class TaskBase {
+ public:
+  explicit TaskBase(TaskGroup* group) noexcept : group_(group) {}
+  TaskBase(const TaskBase&) = delete;
+  TaskBase& operator=(const TaskBase&) = delete;
+  virtual ~TaskBase() = default;
+
+  /// Execute the payload, complete the group, delete `this`.
+  void run_and_destroy() noexcept;
+
+  [[nodiscard]] TaskGroup* group() const noexcept { return group_; }
+
+ protected:
+  virtual void execute() = 0;
+
+ private:
+  TaskGroup* group_;
+};
+
+template <typename F>
+class TaskImpl final : public TaskBase {
+ public:
+  TaskImpl(TaskGroup* group, F&& fn)
+      : TaskBase(group), fn_(std::forward<F>(fn)) {}
+
+ protected:
+  void execute() override { fn_(); }
+
+ private:
+  F fn_;
+};
+
+/// Join counter for a set of spawned tasks (TBB task_group-style). The
+/// spawner increments `pending` per spawn; task completion decrements it.
+/// wait() is implemented by the scheduler (help-first: the waiter executes
+/// and steals tasks until the counter drains). The first exception thrown
+/// by any task in the group is captured and rethrown from wait().
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  [[nodiscard]] bool done() const noexcept {
+    return pending_.load(std::memory_order_acquire) == 0;
+  }
+
+  [[nodiscard]] std::int64_t pending() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+  void add_pending() noexcept {
+    pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Called exactly once per task (from run_and_destroy). Wakes blocked
+  /// waiters when the group drains.
+  void complete_one() noexcept {
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(m_);
+      cv_.notify_all();
+    }
+  }
+
+  /// Record the first exception thrown by a task of this group.
+  void capture_exception(std::exception_ptr e) noexcept {
+    bool expected = false;
+    if (has_exception_.compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel)) {
+      exception_ = std::move(e);
+    }
+  }
+
+  /// Rethrow a captured exception, if any. Call only after done().
+  void rethrow_if_exception() {
+    if (has_exception_.load(std::memory_order_acquire) && exception_) {
+      std::exception_ptr e = std::exception_ptr(exception_);
+      exception_ = nullptr;
+      has_exception_.store(false, std::memory_order_release);
+      std::rethrow_exception(e);
+    }
+  }
+
+  /// Block until the group drains or `timeout_us` elapses. Used by nested
+  /// waiters that have nothing to steal (bounded poll; see Worker docs).
+  template <typename Rep, typename Period>
+  void timed_block(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait_for(lock, timeout, [this] { return done(); });
+  }
+
+ private:
+  std::atomic<std::int64_t> pending_{0};
+  std::atomic<bool> has_exception_{false};
+  std::exception_ptr exception_;
+  std::mutex m_;
+  std::condition_variable cv_;
+};
+
+inline void TaskBase::run_and_destroy() noexcept {
+  TaskGroup* g = group_;
+  try {
+    execute();
+  } catch (...) {
+    if (g != nullptr) g->capture_exception(std::current_exception());
+  }
+  if (g != nullptr) g->complete_one();
+  delete this;
+}
+
+}  // namespace dws::rt

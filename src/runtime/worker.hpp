@@ -1,0 +1,113 @@
+// A worker thread: one per (program, core), affiliated permanently with
+// its core (§3.1). Runs Algorithm 1 (§3.2) with the mode's StealPolicy,
+// participates in the sleep/wake protocol, and maintains owner-written
+// statistics.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "core/steal_policy.hpp"
+#include "core/types.hpp"
+#include "runtime/deque.hpp"
+#include "runtime/task.hpp"
+#include "util/rng.hpp"
+
+namespace dws::rt {
+
+class Scheduler;
+
+/// Owner-written execution counters. Reads from other threads (coordinator
+/// snapshots, post-quiescence test assertions) are racy-but-monotonic;
+/// exact values are only guaranteed after the worker thread joined or the
+/// scheduler quiesced.
+struct WorkerStats {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t failed_steals = 0;
+  std::uint64_t yields = 0;
+  std::uint64_t sleeps = 0;
+  std::uint64_t wakes = 0;
+  std::uint64_t evictions = 0;  ///< times this worker vacated a reclaimed core
+};
+
+class Worker {
+ public:
+  enum class State : int {
+    kActive = 0,    ///< running the Algorithm-1 loop
+    kSleeping = 1,  ///< released its core; wakeable by the coordinator
+    kParked = 2,    ///< EP worker outside the home partition; never woken
+  };
+
+  Worker(Scheduler& sched, unsigned id);
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+  ~Worker();
+
+  /// Launch the OS thread. Called once by the scheduler.
+  void start();
+  /// Join the OS thread (the scheduler has already signalled shutdown).
+  void join();
+
+  /// Worker id == core id this worker is affiliated with.
+  [[nodiscard]] unsigned id() const noexcept { return id_; }
+
+  [[nodiscard]] State state() const noexcept {
+    return static_cast<State>(state_.load(std::memory_order_acquire));
+  }
+
+  /// Coordinator-side wake. Returns true iff the worker was sleeping and
+  /// has now been signalled (the caller must already have secured the
+  /// worker's core in the allocation table for DWS).
+  bool wake() noexcept;
+
+  /// Wake the worker for shutdown regardless of state.
+  void notify_shutdown() noexcept;
+
+  [[nodiscard]] ChaseLevDeque<TaskBase*>& deque() noexcept { return deque_; }
+  [[nodiscard]] std::size_t queue_size() const noexcept {
+    return deque_.size_approx();
+  }
+  [[nodiscard]] const WorkerStats& stats() const noexcept { return stats_; }
+
+  /// One help-first scheduling step on behalf of a nested wait: pop own
+  /// deque, poll the inbox, or attempt one steal. Returns nullptr when no
+  /// task was found. Only callable from this worker's own thread.
+  TaskBase* find_task();
+
+ private:
+  friend class Scheduler;
+
+  void thread_main();
+  /// True when this worker must vacate its core (space-sharing modes only):
+  /// the allocation table no longer lists our program as the core's user.
+  [[nodiscard]] bool should_vacate() const noexcept;
+  void go_to_sleep(bool count_as_eviction);
+  /// Block on the scheduler's idle gate while the program has no work at
+  /// all (keeps idle schedulers off the CPU without altering behaviour
+  /// while work exists).
+  void idle_gate_block();
+
+  Scheduler& sched_;
+  const unsigned id_;
+  util::Xoshiro256 rng_;
+  StealPolicy policy_;
+  ChaseLevDeque<TaskBase*> deque_;
+  WorkerStats stats_;
+
+  std::thread thread_;
+  std::atomic<int> state_{static_cast<int>(State::kActive)};
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool wake_pending_ = false;  // guarded by m_
+};
+
+/// The worker currently executing on this thread (nullptr on external
+/// threads). Set for the lifetime of Worker::thread_main.
+[[nodiscard]] Worker* current_worker() noexcept;
+
+}  // namespace dws::rt

@@ -1,0 +1,80 @@
+// Fork-join task DAGs for the simulator.
+//
+// A DagNode carries its execution cost and memory intensity plus the
+// dynamic-spawning structure work-stealing actually sees: when a node
+// finishes executing, its `spawns` are pushed onto the executing worker's
+// deque, and its `continuation` (if any) receives one join signal; a
+// continuation with all signals received is pushed onto the deque of the
+// worker that delivered the last signal (the Cilk steal-the-continuation
+// discipline, approximated in a child-stealing runtime).
+//
+// Well-formedness: every non-root node is enabled exactly once — either
+// spawned by exactly one node or enabled as a continuation with at least
+// one join predecessor — and the graph is acyclic. validate() checks this.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dws::sim {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+struct DagNode {
+  /// Execution cost at full cache warmth, virtual microseconds.
+  double work_us = 1.0;
+  /// 0 = pure compute; 1 = fully memory-bound. <0 means "use the
+  /// program-level default".
+  double mem_intensity = -1.0;
+  /// Nodes pushed to the executing worker's deque when this node finishes
+  /// (in order: spawns[0] ends up deepest, so thieves steal it first).
+  std::vector<NodeId> spawns;
+  /// Join successor: receives one signal when this node finishes.
+  NodeId continuation = kNoNode;
+};
+
+class TaskDag {
+ public:
+  TaskDag() = default;
+
+  NodeId add_node(double work_us, double mem_intensity = -1.0) {
+    nodes_.push_back(DagNode{work_us, mem_intensity, {}, kNoNode});
+    return static_cast<NodeId>(nodes_.size() - 1);
+  }
+
+  void add_spawn(NodeId parent, NodeId child) {
+    nodes_[parent].spawns.push_back(child);
+  }
+  void set_continuation(NodeId node, NodeId continuation) {
+    nodes_[node].continuation = continuation;
+  }
+  void set_root(NodeId root) noexcept { root_ = root; }
+
+  [[nodiscard]] NodeId root() const noexcept { return root_; }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+  [[nodiscard]] const DagNode& node(NodeId id) const { return nodes_[id]; }
+
+  /// Work of all nodes (T_1, the serial execution time).
+  [[nodiscard]] double total_work() const;
+
+  /// Length of the longest path (T_inf, the critical path / span),
+  /// following both spawn and join edges.
+  [[nodiscard]] double critical_path() const;
+
+  /// Join fan-in per node: how many nodes name it as their continuation.
+  [[nodiscard]] std::vector<std::uint32_t> join_counts() const;
+
+  /// Verify well-formedness; returns an empty string when valid, else a
+  /// human-readable description of the first defect found.
+  [[nodiscard]] std::string validate() const;
+
+ private:
+  std::vector<DagNode> nodes_;
+  NodeId root_ = kNoNode;
+};
+
+}  // namespace dws::sim

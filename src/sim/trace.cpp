@@ -1,0 +1,33 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+namespace dws::sim {
+
+const char* to_string(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::kTaskStart: return "task_start";
+    case TraceKind::kTaskFinish: return "task_finish";
+    case TraceKind::kSteal: return "steal";
+    case TraceKind::kSleep: return "sleep";
+    case TraceKind::kEvicted: return "evicted";
+    case TraceKind::kWake: return "wake";
+    case TraceKind::kClaim: return "claim";
+    case TraceKind::kReclaim: return "reclaim";
+    case TraceKind::kRunStart: return "run_start";
+    case TraceKind::kRunFinish: return "run_finish";
+  }
+  return "?";
+}
+
+void write_trace_jsonl(std::ostream& os,
+                       const std::vector<TraceEvent>& events) {
+  for (const TraceEvent& e : events) {
+    os << "{\"t_us\":" << e.t_us << ",\"kind\":\"" << to_string(e.kind)
+       << "\",\"prog\":" << e.prog << ",\"core\":" << e.core;
+    if (e.node != kNoNode) os << ",\"node\":" << e.node;
+    os << "}\n";
+  }
+}
+
+}  // namespace dws::sim

@@ -1,0 +1,45 @@
+// Event tracing for the simulator: when enabled, the engine records every
+// scheduling-relevant event (task start/finish, steal, sleep, wake,
+// eviction, core claim/reclaim) into the result, and this module renders
+// them as JSON Lines for external analysis (one JSON object per line —
+// loads directly into pandas/jq/DuckDB).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/dag.hpp"
+
+namespace dws::sim {
+
+enum class TraceKind : int {
+  kTaskStart = 0,
+  kTaskFinish = 1,
+  kSteal = 2,      ///< successful steal (thief's event)
+  kSleep = 3,      ///< voluntary sleep after T_SLEEP failures
+  kEvicted = 4,    ///< vacated a reclaimed core
+  kWake = 5,       ///< coordinator (or relaunch) woke this worker
+  kClaim = 6,      ///< coordinator claimed a free core
+  kReclaim = 7,    ///< coordinator took a lent home core back
+  kRunStart = 8,   ///< program repetition began
+  kRunFinish = 9,  ///< program repetition completed
+};
+
+[[nodiscard]] const char* to_string(TraceKind kind) noexcept;
+
+struct TraceEvent {
+  double t_us = 0.0;
+  TraceKind kind = TraceKind::kTaskStart;
+  unsigned prog = 0;        ///< program index (0-based)
+  CoreId core = 0;          ///< core involved (worker's core; claimed core)
+  NodeId node = kNoNode;    ///< task id for task events
+};
+
+/// Render events as JSON Lines:
+///   {"t_us":123.4,"kind":"steal","prog":0,"core":3}
+/// Task events additionally carry "node".
+void write_trace_jsonl(std::ostream& os, const std::vector<TraceEvent>& events);
+
+}  // namespace dws::sim

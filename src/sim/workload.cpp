@@ -1,0 +1,250 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dws::sim {
+
+namespace {
+
+/// Recursive helper for emit_parallel_for: cover `n` leaves, return the
+/// span (entry splitter or single leaf, exit join node).
+DagSpan emit_pfor_rec(TaskDag& dag, std::uint32_t n, double leaf_work,
+                      double mem, double split_work) {
+  if (n == 1) {
+    const NodeId leaf = dag.add_node(leaf_work, mem);
+    return {leaf, leaf};
+  }
+  const NodeId split = dag.add_node(split_work, mem);
+  const NodeId join = dag.add_node(split_work, mem);
+  const std::uint32_t half = n / 2;
+  const DagSpan lo = emit_pfor_rec(dag, half, leaf_work, mem, split_work);
+  const DagSpan hi = emit_pfor_rec(dag, n - half, leaf_work, mem, split_work);
+  dag.add_spawn(split, hi.entry);   // spawn the upper half...
+  dag.add_spawn(split, lo.entry);   // ...and descend into the lower half
+  dag.set_continuation(split, join);
+  dag.set_continuation(lo.exit, join);
+  dag.set_continuation(hi.exit, join);
+  return {split, join};
+}
+
+DagSpan emit_tree_rec(TaskDag& dag, unsigned depth, unsigned fanout,
+                      double leaf_work, double split_work, double merge_work,
+                      double mem) {
+  if (depth == 0) {
+    const NodeId leaf = dag.add_node(leaf_work, mem);
+    return {leaf, leaf};
+  }
+  const NodeId split = dag.add_node(split_work, mem);
+  const NodeId merge = dag.add_node(merge_work, mem);
+  dag.set_continuation(split, merge);
+  for (unsigned i = 0; i < fanout; ++i) {
+    const DagSpan child = emit_tree_rec(dag, depth - 1, fanout, leaf_work,
+                                        split_work, merge_work, mem);
+    dag.add_spawn(split, child.entry);
+    dag.set_continuation(child.exit, merge);
+  }
+  return {split, merge};
+}
+
+}  // namespace
+
+DagSpan emit_parallel_for(TaskDag& dag, std::uint32_t n_tasks,
+                          double leaf_work_us, double mem_intensity,
+                          double split_work_us) {
+  assert(n_tasks >= 1);
+  return emit_pfor_rec(dag, n_tasks, leaf_work_us, mem_intensity,
+                       split_work_us);
+}
+
+TaskDag make_fork_join_tree(unsigned depth, unsigned fanout,
+                            double leaf_work_us, double split_work_us,
+                            double merge_work_us, double mem_intensity) {
+  assert(fanout >= 1);
+  TaskDag dag;
+  const DagSpan span = emit_tree_rec(dag, depth, fanout, leaf_work_us,
+                                     split_work_us, merge_work_us,
+                                     mem_intensity);
+  dag.set_root(span.entry);
+  return dag;
+}
+
+TaskDag make_iterative_phases(unsigned n_phases, std::uint32_t tasks_per_phase,
+                              double task_work_us, double mem_intensity,
+                              double barrier_work_us) {
+  assert(n_phases >= 1 && tasks_per_phase >= 1);
+  TaskDag dag;
+  DagSpan prev{};
+  for (unsigned p = 0; p < n_phases; ++p) {
+    DagSpan phase = emit_parallel_for(dag, tasks_per_phase, task_work_us,
+                                      mem_intensity, barrier_work_us);
+    if (p == 0) {
+      dag.set_root(phase.entry);
+    } else {
+      dag.set_continuation(prev.exit, phase.entry);
+    }
+    prev = phase;
+  }
+  return dag;
+}
+
+TaskDag make_decreasing_parallelism(unsigned n_phases,
+                                    std::uint32_t initial_width,
+                                    std::uint32_t final_width,
+                                    double task_work_us, double mem_intensity,
+                                    double barrier_work_us) {
+  assert(n_phases >= 1 && initial_width >= 1 && final_width >= 1);
+  TaskDag dag;
+  DagSpan prev{};
+  for (unsigned p = 0; p < n_phases; ++p) {
+    // Linear interpolation of the phase width, inclusive of endpoints.
+    const double frac =
+        n_phases == 1 ? 0.0 : static_cast<double>(p) / (n_phases - 1);
+    const auto width = static_cast<std::uint32_t>(
+        static_cast<double>(initial_width) +
+        frac * (static_cast<double>(final_width) -
+                static_cast<double>(initial_width)));
+    DagSpan phase = emit_parallel_for(dag, std::max(width, 1u), task_work_us,
+                                      mem_intensity, barrier_work_us);
+    if (p == 0) {
+      dag.set_root(phase.entry);
+    } else {
+      dag.set_continuation(prev.exit, phase.entry);
+    }
+    prev = phase;
+  }
+  return dag;
+}
+
+namespace {
+
+/// Recursive splitter over `width` chains (parallel-for whose leaves are
+/// serial chains).
+DagSpan emit_chains_rec(TaskDag& dag, std::uint32_t width,
+                        std::uint32_t chain_len, double task_work, double mem,
+                        double split_work) {
+  if (width == 1) {
+    NodeId head = dag.add_node(task_work, mem);
+    NodeId tail = head;
+    for (std::uint32_t i = 1; i < chain_len; ++i) {
+      const NodeId next = dag.add_node(task_work, mem);
+      dag.set_continuation(tail, next);
+      tail = next;
+    }
+    return {head, tail};
+  }
+  const NodeId split = dag.add_node(split_work, mem);
+  const NodeId join = dag.add_node(split_work, mem);
+  const std::uint32_t half = width / 2;
+  const DagSpan lo =
+      emit_chains_rec(dag, half, chain_len, task_work, mem, split_work);
+  const DagSpan hi = emit_chains_rec(dag, width - half, chain_len, task_work,
+                                     mem, split_work);
+  dag.add_spawn(split, hi.entry);
+  dag.add_spawn(split, lo.entry);
+  dag.set_continuation(split, join);
+  dag.set_continuation(lo.exit, join);
+  dag.set_continuation(hi.exit, join);
+  return {split, join};
+}
+
+/// Recursive irregular subtree: consumes from `budget`, returns its span.
+DagSpan emit_irregular_rec(TaskDag& dag, util::Xoshiro256& rng,
+                           std::int64_t& budget, unsigned max_fanout,
+                           double min_work, double max_work, double mem,
+                           unsigned depth_left, bool force_split = false) {
+  const double w = rng.next_double(min_work, max_work);
+  if (budget <= 2 || depth_left == 0 ||
+      (!force_split && rng.next_bool(0.2))) {
+    --budget;
+    const NodeId leaf = dag.add_node(w, mem);
+    return {leaf, leaf};
+  }
+  const NodeId split = dag.add_node(w, mem);
+  const NodeId merge = dag.add_node(w * 0.25, mem);
+  budget -= 2;
+  dag.set_continuation(split, merge);
+  const unsigned fanout =
+      1 + static_cast<unsigned>(rng.next_below(max_fanout));
+  for (unsigned i = 0; i < fanout && budget > 0; ++i) {
+    const DagSpan child =
+        emit_irregular_rec(dag, rng, budget, max_fanout, min_work, max_work,
+                           mem, depth_left - 1);
+    dag.add_spawn(split, child.entry);
+    dag.set_continuation(child.exit, merge);
+  }
+  return {split, merge};
+}
+
+}  // namespace
+
+TaskDag make_irregular_tree(std::uint64_t seed, std::uint32_t target_nodes,
+                            unsigned max_fanout, double min_work_us,
+                            double max_work_us, double mem_intensity) {
+  assert(target_nodes >= 1 && max_fanout >= 1);
+  util::Xoshiro256 rng(seed);
+  TaskDag dag;
+  std::int64_t budget = static_cast<std::int64_t>(target_nodes);
+  // The root always splits (when the budget allows): a "tree" that is a
+  // single leaf is not a useful irregular workload.
+  const DagSpan span = emit_irregular_rec(
+      dag, rng, budget, max_fanout, min_work_us, max_work_us, mem_intensity,
+      /*depth_left=*/24, /*force_split=*/true);
+  dag.set_root(span.entry);
+  return dag;
+}
+
+DagSpan emit_parallel_chains(TaskDag& dag, std::uint32_t width,
+                             std::uint32_t chain_len, double task_work_us,
+                             double mem_intensity, double split_work_us) {
+  assert(width >= 1 && chain_len >= 1);
+  return emit_chains_rec(dag, width, chain_len, task_work_us, mem_intensity,
+                         split_work_us);
+}
+
+TaskDag make_decreasing_chains(unsigned n_phases, std::uint32_t initial_width,
+                               std::uint32_t final_width,
+                               std::uint32_t chain_len, double task_work_us,
+                               double mem_intensity, double curve) {
+  assert(n_phases >= 1 && initial_width >= 1 && final_width >= 1);
+  assert(curve > 0.0);
+  TaskDag dag;
+  DagSpan prev{};
+  for (unsigned p = 0; p < n_phases; ++p) {
+    const double frac =
+        n_phases == 1 ? 0.0 : static_cast<double>(p) / (n_phases - 1);
+    const double scaled = std::pow(1.0 - frac, curve);
+    const auto width = std::max(
+        final_width,
+        static_cast<std::uint32_t>(
+            std::lround(static_cast<double>(initial_width) * scaled)));
+    DagSpan phase = emit_parallel_chains(dag, std::max(width, 1u), chain_len,
+                                         task_work_us, mem_intensity);
+    if (p == 0) {
+      dag.set_root(phase.entry);
+    } else {
+      dag.set_continuation(prev.exit, phase.entry);
+    }
+    prev = phase;
+  }
+  return dag;
+}
+
+TaskDag make_serial_chain(unsigned length, double work_us,
+                          double mem_intensity) {
+  assert(length >= 1);
+  TaskDag dag;
+  NodeId prev = dag.add_node(work_us, mem_intensity);
+  dag.set_root(prev);
+  for (unsigned i = 1; i < length; ++i) {
+    const NodeId next = dag.add_node(work_us, mem_intensity);
+    dag.set_continuation(prev, next);
+    prev = next;
+  }
+  return dag;
+}
+
+}  // namespace dws::sim

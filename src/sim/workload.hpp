@@ -1,0 +1,87 @@
+// Parameterized task-DAG generators covering the parallelism shapes of
+// the Table-2 benchmarks: divide-and-conquer trees (FFT, Mergesort,
+// Cholesky), iterative barrier phases (Heat, SOR), phases of shrinking
+// width (LU, GE), and irregular trees (PNN).
+//
+// Generators return well-formed DAGs (validate() passes) so the simulator
+// can run them under any scheduling mode.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/dag.hpp"
+
+namespace dws::sim {
+
+/// entry/exit handle for composing sub-DAGs sequentially.
+struct DagSpan {
+  NodeId entry = kNoNode;
+  NodeId exit = kNoNode;
+};
+
+/// Binary-splitter parallel-for: `n_tasks` leaves of `leaf_work_us` each,
+/// distributed by a spawn tree of `split_work_us` splitter nodes, joining
+/// into a single exit node. This is what dws::rt::parallel_for generates.
+DagSpan emit_parallel_for(TaskDag& dag, std::uint32_t n_tasks,
+                          double leaf_work_us, double mem_intensity,
+                          double split_work_us = 0.5);
+
+/// Full divide-and-conquer fork-join tree of the given depth and fanout:
+/// every internal node costs `split_work_us`, every leaf `leaf_work_us`,
+/// every join/merge `merge_work_us`. Leaves = fanout^depth.
+TaskDag make_fork_join_tree(unsigned depth, unsigned fanout,
+                            double leaf_work_us, double split_work_us,
+                            double merge_work_us, double mem_intensity);
+
+/// Iterative kernel: `n_phases` barrier-separated parallel-for phases of
+/// constant width (Heat / SOR shape: abundant parallelism inside a phase,
+/// a full join between phases).
+TaskDag make_iterative_phases(unsigned n_phases, std::uint32_t tasks_per_phase,
+                              double task_work_us, double mem_intensity,
+                              double barrier_work_us = 1.0);
+
+/// Phases whose width shrinks linearly from `initial_width` down to
+/// `final_width` (right-looking LU / GE / Cholesky shape: the trailing
+/// submatrix shrinks every outer iteration, so so does the demand for
+/// cores — the prime workload for demand-aware scheduling).
+TaskDag make_decreasing_parallelism(unsigned n_phases,
+                                    std::uint32_t initial_width,
+                                    std::uint32_t final_width,
+                                    double task_work_us, double mem_intensity,
+                                    double barrier_work_us = 1.0);
+
+/// `width` independent serial chains of `chain_len` tasks each, joining a
+/// single exit node. A phase of this shape holds its core demand at
+/// `width` for chain_len * task_work_us — the *sustained* narrow section
+/// a blocked factorization exhibits (panel factor + small trailing
+/// updates), which is what lets a co-runner actually use borrowed cores.
+DagSpan emit_parallel_chains(TaskDag& dag, std::uint32_t width,
+                             std::uint32_t chain_len, double task_work_us,
+                             double mem_intensity,
+                             double split_work_us = 0.5);
+
+/// Barrier-separated phases of parallel chains with shrinking width
+/// (blocked LU/GE/Cholesky shape: each outer iteration is a sustained
+/// region of (n_b - k)-way parallelism). `curve` shapes the decay:
+/// width_p = max(final, initial * (1-frac)^curve); curve = 1 is linear,
+/// curve = 2 matches the quadratically shrinking trailing submatrix of a
+/// right-looking factorization (many consecutive narrow phases — the
+/// sustained low-demand tail DWS lends out).
+TaskDag make_decreasing_chains(unsigned n_phases, std::uint32_t initial_width,
+                               std::uint32_t final_width,
+                               std::uint32_t chain_len, double task_work_us,
+                               double mem_intensity, double curve = 1.0);
+
+/// Irregular random recursive tree (PNN shape): node fanout and work are
+/// drawn from seeded distributions, producing bursty, unpredictable
+/// parallelism. `target_nodes` bounds the total size.
+TaskDag make_irregular_tree(std::uint64_t seed, std::uint32_t target_nodes,
+                            unsigned max_fanout, double min_work_us,
+                            double max_work_us, double mem_intensity);
+
+/// A serial chain (no parallelism at all) — degenerate case for tests.
+TaskDag make_serial_chain(unsigned length, double work_us,
+                          double mem_intensity);
+
+}  // namespace dws::sim

@@ -1,0 +1,38 @@
+#include "util/affinity.hpp"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace dws::util {
+
+unsigned hardware_cores() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+bool pin_this_thread(unsigned core) noexcept {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % hardware_cores(), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
+
+bool unpin_this_thread() noexcept {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (unsigned i = 0; i < hardware_cores(); ++i) CPU_SET(i, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace dws::util

@@ -1,0 +1,25 @@
+// CPU-affinity helpers for the real runtime. DWS pins worker i of every
+// program to hardware core i so that the core allocation table's slots map
+// 1:1 onto hardware cores (§3.1 of the paper).
+//
+// All functions degrade gracefully on platforms/cgroups where affinity is
+// restricted: failures are reported, never fatal, because the scheduling
+// policies remain correct (just less cache-friendly) without pinning.
+#pragma once
+
+#include <thread>
+
+namespace dws::util {
+
+/// Number of logical CPUs visible to this process (>= 1).
+[[nodiscard]] unsigned hardware_cores() noexcept;
+
+/// Pin the calling thread to logical CPU `core` (mod the visible count).
+/// Returns true on success.
+bool pin_this_thread(unsigned core) noexcept;
+
+/// Remove any affinity restriction from the calling thread (all CPUs).
+/// Returns true on success.
+bool unpin_this_thread() noexcept;
+
+}  // namespace dws::util

@@ -1,0 +1,91 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace dws::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "";  // bare flag
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string CliArgs::get_str(const std::string& key,
+                             const std::string& def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+long CliArgs::get_int(const std::string& key, long def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  std::size_t pos = 0;
+  const long v = std::stol(it->second, &pos);
+  if (pos != it->second.size()) {
+    throw std::invalid_argument("--" + key + " expects an integer, got '" +
+                                it->second + "'");
+  }
+  return v;
+}
+
+double CliArgs::get_double(const std::string& key, double def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  std::size_t pos = 0;
+  const double v = std::stod(it->second, &pos);
+  if (pos != it->second.size()) {
+    throw std::invalid_argument("--" + key + " expects a number, got '" +
+                                it->second + "'");
+  }
+  return v;
+}
+
+bool CliArgs::get_bool(const std::string& key, bool def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on")
+    return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("--" + key + " expects a boolean, got '" + v +
+                              "'");
+}
+
+std::vector<long> CliArgs::get_int_list(const std::string& key,
+                                        const std::vector<long>& def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  std::vector<long> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    std::size_t pos = 0;
+    out.push_back(std::stol(item, &pos));
+    if (pos != item.size()) {
+      throw std::invalid_argument("--" + key + " expects integers, got '" +
+                                  item + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace dws::util

@@ -1,0 +1,59 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace dws::util {
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  return std::accumulate(xs_.begin(), xs_.end(), 0.0) /
+         static_cast<double>(xs_.size());
+}
+
+double Samples::stddev() const {
+  if (xs_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : xs_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs_.size() - 1));
+}
+
+double Samples::min() const {
+  return xs_.empty() ? 0.0 : *std::min_element(xs_.begin(), xs_.end());
+}
+
+double Samples::max() const {
+  return xs_.empty() ? 0.0 : *std::max_element(xs_.begin(), xs_.end());
+}
+
+double Samples::percentile(double q) const {
+  if (xs_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> sorted = xs_;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+std::string Samples::summary() const {
+  std::ostringstream os;
+  os << mean() << " ± " << stddev() << " (n=" << xs_.size() << ")";
+  return os.str();
+}
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace dws::util

@@ -1,0 +1,73 @@
+// Summary statistics used by the benchmark harness (Eq. 2 averaging,
+// confidence reporting) and by the simulator's metric collection.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dws::util {
+
+/// Online accumulator (Welford) — numerically stable mean/variance without
+/// retaining samples. Suitable for hot paths in the simulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+
+  void reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample container with percentile support, for offline reporting.
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  void reserve(std::size_t n) { xs_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return xs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return xs_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Linear-interpolated percentile; q in [0,1]. Empty => 0.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double median() const { return percentile(0.5); }
+
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return xs_; }
+
+  /// "mean ± stddev (n=N)" for human-readable reports.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<double> xs_;
+};
+
+/// Geometric mean of a vector of positive values (used for cross-mix
+/// aggregate speedups). Returns 0 for empty input.
+[[nodiscard]] double geomean(const std::vector<double>& xs);
+
+}  // namespace dws::util

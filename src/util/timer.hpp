@@ -1,0 +1,37 @@
+// Wall-clock timing helpers for the real runtime and the harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dws::util {
+
+/// Monotonic stopwatch with nanosecond resolution.
+class Stopwatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  [[nodiscard]] std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_)
+        .count();
+  }
+  [[nodiscard]] double elapsed_us() const {
+    return static_cast<double>(elapsed_ns()) / 1e3;
+  }
+  [[nodiscard]] double elapsed_ms() const {
+    return static_cast<double>(elapsed_ns()) / 1e6;
+  }
+  [[nodiscard]] double elapsed_s() const {
+    return static_cast<double>(elapsed_ns()) / 1e9;
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+}  // namespace dws::util

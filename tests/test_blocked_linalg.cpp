@@ -1,0 +1,125 @@
+// Tests for the tiled factorization kernels: reconstruction correctness,
+// agreement with the row-wise kernels (the factors are mathematically
+// unique), ragged edge tiles, and parallel/serial equivalence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/blocked_linalg.hpp"
+#include "apps/linalg.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace dws::apps {
+namespace {
+
+Config cfg4() {
+  Config cfg;
+  cfg.mode = SchedMode::kDws;
+  cfg.num_cores = 4;
+  cfg.pin_threads = false;
+  cfg.coordinator_period_ms = 2.0;
+  return cfg;
+}
+
+class BlockedShapes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(BlockedShapes, CholeskyReconstructs) {
+  const auto [n, block] = GetParam();
+  BlockedCholeskyApp app(n, block, 17);
+  rt::Scheduler sched(cfg4());
+  app.run(sched);
+  EXPECT_EQ(app.verify(), "") << "n=" << n << " block=" << block;
+}
+
+TEST_P(BlockedShapes, LuReconstructs) {
+  const auto [n, block] = GetParam();
+  BlockedLuApp app(n, block, 18);
+  rt::Scheduler sched(cfg4());
+  app.run(sched);
+  EXPECT_EQ(app.verify(), "") << "n=" << n << " block=" << block;
+}
+
+TEST_P(BlockedShapes, SerialMatchesParallel) {
+  const auto [n, block] = GetParam();
+  BlockedCholeskyApp parallel_app(n, block, 19), serial_app(n, block, 19);
+  rt::Scheduler sched(cfg4());
+  parallel_app.run(sched);
+  serial_app.run_serial();
+  const auto& a = parallel_app.factor();
+  const auto& b = serial_app.factor();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Identical arithmetic order within each tile op => bitwise equality.
+    ASSERT_EQ(a[i], b[i]) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockedShapes,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{16, 4},
+                      std::pair<std::size_t, std::size_t>{24, 8},
+                      std::pair<std::size_t, std::size_t>{30, 7},   // ragged
+                      std::pair<std::size_t, std::size_t>{33, 32},  // 2 tiles
+                      std::pair<std::size_t, std::size_t>{20, 64},  // 1 tile
+                      std::pair<std::size_t, std::size_t>{48, 12}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.first) + "_b" +
+             std::to_string(info.param.second);
+    });
+
+TEST(BlockedVsRowwise, CholeskyFactorsAgree) {
+  // The Cholesky factor is unique: blocked and row-wise must agree to
+  // floating-point reassociation tolerance.
+  constexpr std::size_t n = 32;
+  CholeskyApp rowwise(n, 23);
+  BlockedCholeskyApp blocked(n, 8, 23);  // same seed => same matrix
+  rowwise.run_serial();
+  blocked.run_serial();
+  EXPECT_EQ(rowwise.verify(), "");
+  EXPECT_EQ(blocked.verify(), "");
+  // Spot-check via the verify()s above: both reconstruct the same A, so
+  // both factors are the unique L up to tolerance; no direct element
+  // access to the row-wise app's factor is exposed, which is fine — the
+  // reconstruction residuals already pin both to the same L.
+}
+
+TEST(BlockedVsRowwise, LuFactorsAgree) {
+  constexpr std::size_t n = 32;
+  LuApp rowwise(n, 29);
+  BlockedLuApp blocked(n, 8, 29);
+  rowwise.run_serial();
+  blocked.run_serial();
+  EXPECT_EQ(rowwise.verify(), "");
+  EXPECT_EQ(blocked.verify(), "");
+}
+
+TEST(BlockedRegistry, RegisteredBeyondTable2) {
+  EXPECT_NE(make_app("BlockedCholesky", Scale::kTiny), nullptr);
+  EXPECT_NE(make_app("BlockedLU", Scale::kTiny), nullptr);
+  // Not part of the Table-2 eight.
+  const auto all = make_all_apps(Scale::kTiny);
+  EXPECT_EQ(all.size(), 8u);
+}
+
+TEST(BlockedRegistry, RegistryInstancesVerify) {
+  rt::Scheduler sched(cfg4());
+  for (const char* name : {"BlockedCholesky", "BlockedLU"}) {
+    auto app = make_app(name, Scale::kTiny);
+    ASSERT_NE(app, nullptr) << name;
+    app->run(sched);
+    EXPECT_EQ(app->verify(), "") << name;
+  }
+}
+
+TEST(BlockedRepetition, RepeatedRunsStayCorrect) {
+  BlockedLuApp app(24, 6, 31);
+  rt::Scheduler sched(cfg4());
+  for (int round = 0; round < 3; ++round) {
+    app.run(sched);
+    ASSERT_EQ(app.verify(), "") << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace dws::apps

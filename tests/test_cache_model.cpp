@@ -1,0 +1,111 @@
+// Behavioural tests of the two-level cache-warmth model, observed through
+// engine results (warmth state is internal; penalties are the contract).
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/workload.hpp"
+
+namespace dws::sim {
+namespace {
+
+SimProgramSpec spec(const std::string& name, SchedMode mode,
+                    const TaskDag* dag, unsigned runs, double mem) {
+  SimProgramSpec s;
+  s.name = name;
+  s.mode = mode;
+  s.dag = dag;
+  s.target_runs = runs;
+  s.default_mem_intensity = mem;
+  return s;
+}
+
+TEST(CacheModel, WarmupAmortizesAcrossRepetitions) {
+  // A memory-bound program starts with cold caches; later repetitions run
+  // on warmed cores, so the first run is the slowest.
+  const TaskDag dag = make_iterative_phases(10, 64, 80.0, 1.0, 1.0);
+  SimParams p;
+  p.num_cores = 4;
+  p.num_sockets = 1;
+  const SimResult r = simulate_solo(p, spec("m", SchedMode::kEp, &dag, 5, 1.0));
+  const auto& times = r.programs[0].run_times_us;
+  ASSERT_GE(times.size(), 5u);
+  EXPECT_GT(times[0], times[4])
+      << "first (cold) repetition should be the slowest";
+  // And the later repetitions stabilize near each other.
+  EXPECT_NEAR(times[3], times[4], 0.05 * times[4]);
+}
+
+TEST(CacheModel, ComputeBoundProgramsAreInsensitive) {
+  const TaskDag dag = make_iterative_phases(10, 64, 80.0, 0.0, 1.0);
+  SimParams hot;
+  hot.num_cores = 4;
+  hot.num_sockets = 1;
+  SimParams off = hot;
+  off.core_miss_penalty = 0.0;
+  off.llc_miss_penalty = 0.0;
+  const double with_model =
+      simulate_solo(hot, spec("c", SchedMode::kEp, &dag, 2, 0.0))
+          .programs[0]
+          .mean_run_time_us;
+  const double without_model =
+      simulate_solo(off, spec("c", SchedMode::kEp, &dag, 2, 0.0))
+          .programs[0]
+          .mean_run_time_us;
+  EXPECT_DOUBLE_EQ(with_model, without_model);
+}
+
+TEST(CacheModel, CrossSocketCoRunnerThrashesLessThanSameSocket) {
+  // Two memory-bound EP programs on a 2-socket, 4-core machine. With the
+  // home partition [0,1] vs [2,3], a 2-socket topology puts them on
+  // different sockets (separate LLCs); a 1-socket topology makes them
+  // share the LLC. The shared-LLC configuration must show a larger
+  // total cache penalty.
+  const TaskDag dag = make_iterative_phases(20, 32, 60.0, 1.0, 1.0);
+  auto run_with_sockets = [&](unsigned sockets) {
+    SimParams p;
+    p.num_cores = 4;
+    p.num_sockets = sockets;
+    SimEngine e(p, {spec("a", SchedMode::kEp, &dag, 3, 1.0),
+                    spec("b", SchedMode::kEp, &dag, 3, 1.0)});
+    const SimResult r = e.run();
+    return r.programs[0].cache_penalty_us + r.programs[1].cache_penalty_us;
+  };
+  const double shared_llc = run_with_sockets(1);
+  const double split_llc = run_with_sockets(2);
+  EXPECT_LT(split_llc, shared_llc)
+      << "separate sockets must reduce LLC interference";
+}
+
+TEST(CacheModel, HigherMemIntensityMeansHigherPenalty) {
+  SimParams p;
+  p.num_cores = 4;
+  p.num_sockets = 1;
+  auto penalty_at = [&](double mem) {
+    const TaskDag dag = make_iterative_phases(10, 32, 60.0, mem, 1.0);
+    SimEngine e(p, {spec("a", SchedMode::kAbp, &dag, 2, mem),
+                    spec("b", SchedMode::kAbp, &dag, 2, mem)});
+    const SimResult r = e.run();
+    return r.programs[0].cache_penalty_us + r.programs[1].cache_penalty_us;
+  };
+  const double low = penalty_at(0.2);
+  const double high = penalty_at(0.9);
+  EXPECT_GT(high, low * 1.5);
+}
+
+TEST(CacheModel, PenaltyNeverNegative) {
+  const TaskDag dag = make_fork_join_tree(6, 2, 100.0, 1.0, 1.0, 0.5);
+  SimParams p;
+  p.num_cores = 4;
+  p.num_sockets = 2;
+  SimEngine e(p, {spec("a", SchedMode::kDws, &dag, 3, 0.5),
+                  spec("b", SchedMode::kAbp, &dag, 3, 0.5)});
+  const SimResult r = e.run();
+  for (const auto& prog : r.programs) {
+    EXPECT_GE(prog.cache_penalty_us, 0.0) << prog.name;
+    // Penalty is part of exec wall time, never more than all of it.
+    EXPECT_LE(prog.cache_penalty_us, prog.exec_time_us) << prog.name;
+  }
+}
+
+}  // namespace
+}  // namespace dws::sim

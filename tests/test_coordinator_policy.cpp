@@ -1,0 +1,221 @@
+// Tests for the coordinator wake-up model (Eq. 1 + the three §3.3 cases)
+// and for CoordinatorDriver's table interaction, including the paper's
+// three constraints as properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/coordinator_policy.hpp"
+
+namespace dws {
+namespace {
+
+DemandSnapshot snap(std::uint64_t nb, unsigned na, unsigned nf, unsigned nr,
+                    unsigned sleeping) {
+  return DemandSnapshot{nb, na, nf, nr, sleeping};
+}
+
+TEST(CoordinatorPolicy, NoBacklogNoWake) {
+  CoordinatorPolicy p;
+  EXPECT_EQ(p.decide(snap(0, 4, 8, 2, 12)).total(), 0u);
+}
+
+TEST(CoordinatorPolicy, NoSleepersNoWake) {
+  CoordinatorPolicy p;
+  EXPECT_EQ(p.decide(snap(100, 4, 8, 2, 0)).total(), 0u);
+}
+
+TEST(CoordinatorPolicy, SmallBacklogPerWorkerStaysAsleep) {
+  // 3 tasks across 4 active workers: N_w = 3/4 < 1, no wake (the paper's
+  // "only a few tasks on average" guard).
+  CoordinatorPolicy p;
+  EXPECT_EQ(p.decide(snap(3, 4, 8, 2, 12)).total(), 0u);
+}
+
+TEST(CoordinatorPolicy, Case1AllFromFreeCores) {
+  // N_w = 16/4 = 4 <= N_f = 8: wake 4 on free cores, reclaim none.
+  CoordinatorPolicy p;
+  const WakeDecision d = p.decide(snap(16, 4, 8, 2, 12));
+  EXPECT_EQ(d.wake_on_free, 4u);
+  EXPECT_EQ(d.wake_on_reclaim, 0u);
+}
+
+TEST(CoordinatorPolicy, Case2TopsUpWithReclaims) {
+  // N_w = 24/4 = 6, N_f = 4, N_r = 3: 4 free + 2 reclaimed.
+  CoordinatorPolicy p;
+  const WakeDecision d = p.decide(snap(24, 4, 4, 3, 12));
+  EXPECT_EQ(d.wake_on_free, 4u);
+  EXPECT_EQ(d.wake_on_reclaim, 2u);
+}
+
+TEST(CoordinatorPolicy, Case2BoundaryUsesAllReclaimable) {
+  // N_w = N_f + N_r exactly.
+  CoordinatorPolicy p;
+  const WakeDecision d = p.decide(snap(28, 4, 4, 3, 12));
+  EXPECT_EQ(d.wake_on_free, 4u);
+  EXPECT_EQ(d.wake_on_reclaim, 3u);
+}
+
+TEST(CoordinatorPolicy, Case3CapsAtFreePlusReclaimable) {
+  // N_w = 400/4 = 100 > N_f + N_r = 7: take everything allowed, no more.
+  CoordinatorPolicy p;
+  const WakeDecision d = p.decide(snap(400, 4, 4, 3, 12));
+  EXPECT_EQ(d.wake_on_free, 4u);
+  EXPECT_EQ(d.wake_on_reclaim, 3u);
+}
+
+TEST(CoordinatorPolicy, CappedBySleepingWorkers) {
+  // Demand says wake 8, but only 2 workers are asleep.
+  CoordinatorPolicy p;
+  const WakeDecision d = p.decide(snap(32, 4, 8, 0, 2));
+  EXPECT_EQ(d.total(), 2u);
+}
+
+TEST(CoordinatorPolicy, StalledProgramUsesBacklogAsDemand) {
+  // N_a = 0: all workers asleep but tasks queued (e.g. an external enqueue
+  // raced the last sleep). The program must not deadlock: backlog itself
+  // drives the wake.
+  CoordinatorPolicy p;
+  const WakeDecision d = p.decide(snap(5, 0, 8, 0, 16));
+  EXPECT_EQ(d.total(), 5u);
+  EXPECT_EQ(d.wake_on_free, 5u);
+}
+
+TEST(CoordinatorPolicy, StalledProgramWakesAtLeastOneWithSingleTask) {
+  CoordinatorPolicy p;
+  const WakeDecision d = p.decide(snap(1, 0, 1, 0, 16));
+  EXPECT_EQ(d.total(), 1u);
+}
+
+TEST(CoordinatorPolicy, HigherThresholdSuppressesMarginalWakes) {
+  CoordinatorPolicy strict(4.0);
+  EXPECT_EQ(strict.decide(snap(12, 4, 8, 0, 8)).total(), 0u);  // 3 < 4
+  EXPECT_EQ(strict.decide(snap(16, 4, 8, 0, 8)).total(), 4u);  // 4 >= 4
+}
+
+// Property sweep over a grid of snapshots: the three paper constraints
+// must hold for every input.
+class CoordinatorPolicyProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(CoordinatorPolicyProperty, RespectsAllThreeConstraints) {
+  const auto [nb, na, nf, nr] = GetParam();
+  const unsigned sleeping = 16;
+  CoordinatorPolicy p;
+  const auto s = snap(static_cast<std::uint64_t>(nb),
+                      static_cast<unsigned>(na), static_cast<unsigned>(nf),
+                      static_cast<unsigned>(nr), sleeping);
+  const WakeDecision d = p.decide(s);
+
+  // Constraint 3: never take cores beyond free + own-reclaimable.
+  EXPECT_LE(d.wake_on_free, s.free_cores);
+  EXPECT_LE(d.wake_on_reclaim, s.reclaimable_cores);
+  // Feasibility: never wake more than the sleeping workers.
+  EXPECT_LE(d.total(), s.sleeping_workers);
+  // Constraint 2: reclaims only happen once free cores are exhausted.
+  if (d.wake_on_reclaim > 0) {
+    EXPECT_EQ(d.wake_on_free, s.free_cores);
+  }
+  // Zero backlog must never wake anyone.
+  if (s.queued_tasks == 0) {
+    EXPECT_EQ(d.total(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CoordinatorPolicyProperty,
+    ::testing::Combine(::testing::Values(0, 1, 3, 8, 64, 1000),   // N_b
+                       ::testing::Values(0, 1, 4, 16),            // N_a
+                       ::testing::Values(0, 1, 4, 16),            // N_f
+                       ::testing::Values(0, 1, 4, 8)));           // N_r
+
+// Constraint 1 as a monotonicity property: more queued tasks never wakes
+// fewer workers (all else equal).
+TEST(CoordinatorPolicy, WakeCountIsMonotoneInBacklog) {
+  CoordinatorPolicy p;
+  unsigned prev = 0;
+  for (std::uint64_t nb = 0; nb <= 200; ++nb) {
+    const unsigned total = p.decide(snap(nb, 4, 16, 0, 16)).total();
+    EXPECT_GE(total, prev) << "backlog " << nb;
+    prev = total;
+  }
+}
+
+// ---- CoordinatorDriver against a real table ----
+
+TEST(CoordinatorDriver, AcquiresRequestedFreeCores) {
+  CoreTableLocal local(16, 2);
+  CoreTable& t = local.table();
+  CoordinatorDriver drv(t, /*pid=*/1, /*seed=*/42);
+  const auto won = drv.acquire(WakeDecision{.wake_on_free = 4});
+  EXPECT_EQ(won.claimed.size(), 4u);
+  EXPECT_TRUE(won.reclaimed.empty());
+  std::set<CoreId> unique(won.claimed.begin(), won.claimed.end());
+  EXPECT_EQ(unique.size(), 4u);
+  for (CoreId c : won.claimed) EXPECT_EQ(t.user_of(c), 1u);
+  EXPECT_EQ(t.count_free(), 12u);
+}
+
+TEST(CoordinatorDriver, AcquireStopsWhenTableRunsDry) {
+  CoreTableLocal local(4, 2);
+  CoreTable& t = local.table();
+  for (CoreId c = 0; c < 3; ++c) ASSERT_TRUE(t.try_claim(c, 2));
+  CoordinatorDriver drv(t, 1, 7);
+  const auto won = drv.acquire(WakeDecision{.wake_on_free = 4});
+  ASSERT_EQ(won.claimed.size(), 1u);
+  EXPECT_EQ(won.claimed[0], 3u);
+}
+
+TEST(CoordinatorDriver, ReclaimTakesOnlyHomeCores) {
+  CoreTableLocal local(16, 2);
+  CoreTable& t = local.table();
+  // p2 borrows two of p1's home cores and sits on two of its own.
+  ASSERT_TRUE(t.try_claim(0, 2));
+  ASSERT_TRUE(t.try_claim(1, 2));
+  ASSERT_TRUE(t.try_claim(8, 2));
+  ASSERT_TRUE(t.try_claim(9, 2));
+  CoordinatorDriver drv(t, 1, 1);
+  const auto won = drv.acquire(WakeDecision{.wake_on_reclaim = 8});
+  EXPECT_EQ(won.reclaimed.size(), 2u);  // only the two borrowed home cores
+  EXPECT_TRUE(won.claimed.empty());
+  EXPECT_EQ(t.user_of(0), 1u);
+  EXPECT_EQ(t.user_of(1), 1u);
+  EXPECT_EQ(t.user_of(8), 2u);  // p2's own cores untouched
+  EXPECT_EQ(t.user_of(9), 2u);
+}
+
+TEST(CoordinatorDriver, SnapshotReflectsTable) {
+  CoreTableLocal local(16, 2);
+  CoreTable& t = local.table();
+  ASSERT_TRUE(t.try_claim(0, 2));   // p2 borrows p1's core
+  ASSERT_TRUE(t.try_claim(8, 2));   // p2 uses own core
+  CoordinatorDriver drv(t, 1, 3);
+  const DemandSnapshot s = drv.snapshot_cores();
+  EXPECT_EQ(s.free_cores, 14u);
+  EXPECT_EQ(s.reclaimable_cores, 1u);
+}
+
+TEST(CoordinatorDriver, RandomSelectionIsSeedDeterministic) {
+  CoreTableLocal a(16, 2), b(16, 2);
+  CoordinatorDriver da(a.table(), 1, 999), db(b.table(), 1, 999);
+  const auto wa = da.acquire(WakeDecision{.wake_on_free = 6});
+  const auto wb = db.acquire(WakeDecision{.wake_on_free = 6});
+  EXPECT_EQ(wa.claimed, wb.claimed);
+}
+
+TEST(CoordinatorDriver, TwoDriversNeverDoubleClaim) {
+  CoreTableLocal local(16, 2);
+  CoreTable& t = local.table();
+  CoordinatorDriver d1(t, 1, 10), d2(t, 2, 20);
+  const auto w1 = d1.acquire(WakeDecision{.wake_on_free = 10});
+  const auto w2 = d2.acquire(WakeDecision{.wake_on_free = 10});
+  EXPECT_EQ(w1.total() + w2.total(), 16u);
+  std::set<CoreId> all;
+  for (CoreId c : w1.claimed) all.insert(c);
+  for (CoreId c : w2.claimed) all.insert(c);
+  EXPECT_EQ(all.size(), 16u);  // disjoint
+}
+
+}  // namespace
+}  // namespace dws

@@ -1,0 +1,139 @@
+// Model-based fuzz test for the core allocation table: random sequences
+// of claim/release/reclaim from several "programs" are applied both to
+// the real lock-free table and to a trivial reference model; the states
+// must match after every operation. Run single-threaded (the model is
+// sequential); the separate concurrency tests cover raciness.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/core_table.hpp"
+#include "util/rng.hpp"
+
+namespace dws {
+namespace {
+
+/// The obviously-correct reference: an array of owners.
+class ModelTable {
+ public:
+  ModelTable(unsigned cores, unsigned programs)
+      : num_programs_(programs), user_(cores, kNoProgram) {}
+
+  [[nodiscard]] ProgramId home_of(CoreId c) const {
+    // Must match the real table's partition formula.
+    return static_cast<ProgramId>(static_cast<std::uint64_t>(c) *
+                                  num_programs_ / user_.size()) +
+           1;
+  }
+  bool try_claim(CoreId c, ProgramId p) {
+    if (user_[c] != kNoProgram) return false;
+    user_[c] = p;
+    return true;
+  }
+  bool try_reclaim(CoreId c, ProgramId p) {
+    if (home_of(c) != p) return false;
+    if (user_[c] == kNoProgram || user_[c] == p) return false;
+    user_[c] = p;
+    return true;
+  }
+  bool release(CoreId c, ProgramId p) {
+    if (user_[c] != p) return false;
+    user_[c] = kNoProgram;
+    return true;
+  }
+  [[nodiscard]] ProgramId user_of(CoreId c) const { return user_[c]; }
+  [[nodiscard]] unsigned count_free() const {
+    unsigned n = 0;
+    for (ProgramId u : user_) n += (u == kNoProgram);
+    return n;
+  }
+  [[nodiscard]] unsigned count_borrowed_from(ProgramId p) const {
+    unsigned n = 0;
+    for (CoreId c = 0; c < user_.size(); ++c) {
+      if (home_of(c) == p && user_[c] != kNoProgram && user_[c] != p) ++n;
+    }
+    return n;
+  }
+
+ private:
+  unsigned num_programs_;
+  std::vector<ProgramId> user_;
+};
+
+struct FuzzCase {
+  unsigned cores;
+  unsigned programs;
+  std::uint64_t seed;
+};
+
+class CoreTableFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(CoreTableFuzz, MatchesReferenceModel) {
+  const auto [cores, programs, seed] = GetParam();
+  CoreTableLocal local(cores, programs);
+  CoreTable& real = local.table();
+  ModelTable model(cores, programs);
+  util::Xoshiro256 rng(seed);
+
+  constexpr int kOps = 20000;
+  for (int i = 0; i < kOps; ++i) {
+    const auto c = static_cast<CoreId>(rng.next_below(cores));
+    const auto p = static_cast<ProgramId>(1 + rng.next_below(programs));
+    const auto op = rng.next_below(3);
+    bool got = false, want = false;
+    switch (op) {
+      case 0:
+        got = real.try_claim(c, p);
+        want = model.try_claim(c, p);
+        break;
+      case 1:
+        got = real.release(c, p);
+        want = model.release(c, p);
+        break;
+      case 2:
+        got = real.try_reclaim(c, p);
+        want = model.try_reclaim(c, p);
+        break;
+    }
+    ASSERT_EQ(got, want) << "op " << op << " core " << c << " pid " << p
+                         << " at step " << i;
+    ASSERT_EQ(real.user_of(c), model.user_of(c)) << "step " << i;
+    // Periodically cross-check the aggregate views.
+    if (i % 500 == 0) {
+      ASSERT_EQ(real.count_free(), model.count_free()) << "step " << i;
+      for (ProgramId q = 1; q <= programs; ++q) {
+        ASSERT_EQ(real.count_borrowed_from(q), model.count_borrowed_from(q))
+            << "pid " << q << " step " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CoreTableFuzz,
+    ::testing::Values(FuzzCase{4, 2, 1}, FuzzCase{16, 2, 2},
+                      FuzzCase{16, 4, 3}, FuzzCase{7, 3, 4},
+                      FuzzCase{1, 1, 5}, FuzzCase{32, 5, 6},
+                      FuzzCase{3, 8, 7}, FuzzCase{64, 8, 8}),
+    [](const auto& info) {
+      return "k" + std::to_string(info.param.cores) + "_m" +
+             std::to_string(info.param.programs) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(CoreTableFuzz, HomeFormulaMatchesModelEverywhere) {
+  for (unsigned cores : {1u, 2u, 3u, 5u, 8u, 13u, 16u, 21u, 32u, 64u}) {
+    for (unsigned programs : {1u, 2u, 3u, 4u, 7u, 8u}) {
+      CoreTableLocal local(cores, programs);
+      ModelTable model(cores, programs);
+      for (CoreId c = 0; c < cores; ++c) {
+        ASSERT_EQ(local.table().home_of(c), model.home_of(c))
+            << "k=" << cores << " m=" << programs << " c=" << c;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dws

@@ -1,0 +1,204 @@
+// Integration tests for the POSIX shared-memory core allocation table,
+// including a fork()-based multi-process exchange mirroring the paper's
+// deployment (§3.4).
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "core/core_table_shm.hpp"
+
+namespace dws {
+namespace {
+
+std::string unique_name(const char* tag) {
+  return std::string("/dws_test_") + tag + "_" + std::to_string(::getpid());
+}
+
+class ShmGuard {
+ public:
+  explicit ShmGuard(std::string name) : name_(std::move(name)) {
+    CoreTableShm::remove(name_);  // clear leftovers from crashed runs
+  }
+  ~ShmGuard() { CoreTableShm::remove(name_); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+TEST(CoreTableShm, CreateThenAttachSeesSameState) {
+  ShmGuard guard(unique_name("attach"));
+  CoreTableShm creator(guard.name(), 16, 2);
+  EXPECT_TRUE(creator.is_creator());
+  ASSERT_TRUE(creator.table().try_claim(3, 1));
+
+  CoreTableShm attacher(guard.name(), 16, 2);
+  EXPECT_FALSE(attacher.is_creator());
+  EXPECT_EQ(attacher.table().user_of(3), 1u);
+  EXPECT_EQ(attacher.table().count_free(), 15u);
+
+  // Writes through the attachment are visible to the creator.
+  ASSERT_TRUE(attacher.table().try_claim(4, 2));
+  EXPECT_EQ(creator.table().user_of(4), 2u);
+}
+
+TEST(CoreTableShm, RegistrationIsSharedAcrossAttachments) {
+  ShmGuard guard(unique_name("reg"));
+  CoreTableShm a(guard.name(), 8, 2);
+  CoreTableShm b(guard.name(), 8, 2);
+  EXPECT_EQ(a.table().register_program(), 1u);
+  EXPECT_EQ(b.table().register_program(), 2u);
+  EXPECT_EQ(a.table().register_program(), 3u);
+}
+
+TEST(CoreTableShm, RemoveIsIdempotent) {
+  const std::string name = unique_name("rm");
+  { CoreTableShm t(name, 4, 1); }
+  CoreTableShm::remove(name);
+  CoreTableShm::remove(name);  // second remove must not crash
+}
+
+// Full multi-process protocol: the child claims its home cores and one of
+// the parent's, then exits; the parent reclaims its lent core. Exercises
+// the actual mmap-shared atomics across address spaces.
+TEST(CoreTableShm, ForkExchangeAcrossProcesses) {
+  ShmGuard guard(unique_name("fork"));
+  CoreTableShm parent_table(guard.name(), 16, 2);
+  CoreTable& t = parent_table.table();
+  const ProgramId parent_pid = t.register_program();
+  ASSERT_EQ(parent_pid, 1u);
+  const auto own = t.claim_home_cores(parent_pid);
+  ASSERT_EQ(own.size(), 8u);
+  // Lend core 0 by releasing it; the child should pick it up.
+  ASSERT_TRUE(t.release(0, parent_pid));
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child process: attach, act as program 2, grab home cores + the free
+    // core 0 lent by the parent. Exit code encodes success.
+    int status = 0;
+    {
+      CoreTableShm child_table(guard.name(), 16, 2);
+      CoreTable& ct = child_table.table();
+      const ProgramId cpid = ct.register_program();
+      if (cpid != 2u) status |= 1;
+      if (ct.claim_home_cores(cpid).size() != 8u) status |= 2;
+      if (!ct.try_claim(0, cpid)) status |= 4;       // borrow parent's core
+      if (ct.count_borrowed_from(1) != 1u) status |= 8;
+    }
+    _exit(status);
+  }
+
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  EXPECT_EQ(WEXITSTATUS(wstatus), 0);
+
+  // Parent observes the borrow and takes the core back.
+  EXPECT_EQ(t.user_of(0), 2u);
+  EXPECT_EQ(t.count_borrowed_from(parent_pid), 1u);
+  EXPECT_TRUE(t.try_reclaim(0, parent_pid));
+  EXPECT_EQ(t.user_of(0), parent_pid);
+}
+
+// Creation race: several processes construct CoreTableShm with the same
+// name simultaneously. Exactly one wins the O_EXCL create and formats;
+// all the others must attach to a fully formatted segment (no torn
+// headers) and register distinct program ids.
+TEST(CoreTableShm, ConcurrentCreationRace) {
+  constexpr unsigned kProcs = 4;
+  constexpr unsigned kCores = 8;
+  ShmGuard guard(unique_name("race"));
+
+  std::vector<pid_t> children;
+  for (unsigned i = 0; i < kProcs; ++i) {
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      int status = 0;
+      {
+        // All children race shm_open(O_CREAT|O_EXCL) on the same name.
+        CoreTableShm t(guard.name(), kCores, kProcs);
+        CoreTable& table = t.table();
+        const ProgramId pid = table.register_program();
+        if (pid < 1 || pid > kProcs) status |= 1;
+        const auto claimed = table.claim_home_cores(pid);
+        if (claimed.size() != kCores / kProcs) status |= 2;
+        for (CoreId c : claimed) {
+          if (table.user_of(c) != pid) status |= 4;
+        }
+      }
+      _exit(status);
+    }
+    children.push_back(child);
+  }
+  for (pid_t child : children) {
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+    ASSERT_TRUE(WIFEXITED(wstatus));
+    EXPECT_EQ(WEXITSTATUS(wstatus), 0);
+  }
+
+  // Parent attaches afterwards: all four home partitions claimed, by
+  // four distinct registered programs.
+  CoreTableShm parent(guard.name(), kCores, kProcs);
+  EXPECT_EQ(parent.table().count_free(), 0u);
+  unsigned total = 0;
+  for (ProgramId p = 1; p <= kProcs; ++p) {
+    const unsigned held = parent.table().count_active(p);
+    EXPECT_EQ(held, kCores / kProcs) << "program " << p;
+    total += held;
+  }
+  EXPECT_EQ(total, kCores);
+  EXPECT_EQ(parent.table().register_program(), kProcs + 1);
+}
+
+// Churn across processes: children repeatedly claim/release shared cores;
+// the table must end fully free and never report an out-of-range user.
+TEST(CoreTableShm, MultiProcessClaimReleaseChurn) {
+  constexpr unsigned kProcs = 3;
+  constexpr unsigned kCores = 4;
+  constexpr int kIters = 5000;
+  ShmGuard guard(unique_name("churn"));
+  CoreTableShm parent(guard.name(), kCores, kProcs);
+
+  std::vector<pid_t> children;
+  for (unsigned i = 0; i < kProcs; ++i) {
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      int status = 0;
+      {
+        CoreTableShm t(guard.name(), kCores, kProcs);
+        const ProgramId pid = ProgramId(i + 1);
+        for (int it = 0; it < kIters; ++it) {
+          const CoreId c = static_cast<CoreId>(it % kCores);
+          if (t.table().try_claim(c, pid)) {
+            if (t.table().user_of(c) != pid) status |= 1;
+            if (!t.table().release(c, pid)) status |= 2;
+          }
+          const ProgramId u = t.table().user_of(c);
+          if (u > kProcs) status |= 4;  // torn/corrupt value
+        }
+      }
+      _exit(status);
+    }
+    children.push_back(child);
+  }
+  for (pid_t child : children) {
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+    ASSERT_TRUE(WIFEXITED(wstatus));
+    EXPECT_EQ(WEXITSTATUS(wstatus), 0);
+  }
+  EXPECT_EQ(parent.table().count_free(), kCores);
+}
+
+}  // namespace
+}  // namespace dws

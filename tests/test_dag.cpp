@@ -1,0 +1,172 @@
+// Tests for TaskDag structure/validation and the workload generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/dag.hpp"
+#include "sim/workload.hpp"
+
+namespace dws::sim {
+namespace {
+
+TEST(TaskDag, EmptyIsInvalid) {
+  TaskDag dag;
+  EXPECT_NE(dag.validate(), "");
+}
+
+TEST(TaskDag, SingleNodeIsValid) {
+  TaskDag dag;
+  const NodeId n = dag.add_node(10.0);
+  dag.set_root(n);
+  EXPECT_EQ(dag.validate(), "");
+  EXPECT_DOUBLE_EQ(dag.total_work(), 10.0);
+  EXPECT_DOUBLE_EQ(dag.critical_path(), 10.0);
+}
+
+TEST(TaskDag, SimpleForkJoinIsValid) {
+  // root spawns a,b; root, a, b all join into m.
+  TaskDag dag;
+  const NodeId root = dag.add_node(1.0);
+  const NodeId a = dag.add_node(5.0);
+  const NodeId b = dag.add_node(7.0);
+  const NodeId m = dag.add_node(2.0);
+  dag.set_root(root);
+  dag.add_spawn(root, a);
+  dag.add_spawn(root, b);
+  dag.set_continuation(root, m);
+  dag.set_continuation(a, m);
+  dag.set_continuation(b, m);
+  EXPECT_EQ(dag.validate(), "");
+  EXPECT_DOUBLE_EQ(dag.total_work(), 15.0);
+  // Critical path: root -> b -> m.
+  EXPECT_DOUBLE_EQ(dag.critical_path(), 10.0);
+  const auto joins = dag.join_counts();
+  EXPECT_EQ(joins[m], 3u);
+}
+
+TEST(TaskDag, DoubleSpawnIsRejected) {
+  TaskDag dag;
+  const NodeId root = dag.add_node(1.0);
+  const NodeId a = dag.add_node(1.0);
+  dag.set_root(root);
+  dag.add_spawn(root, a);
+  dag.add_spawn(root, a);  // spawned twice
+  EXPECT_NE(dag.validate(), "");
+}
+
+TEST(TaskDag, OrphanNodeIsRejected) {
+  TaskDag dag;
+  const NodeId root = dag.add_node(1.0);
+  dag.add_node(1.0);  // never enabled
+  dag.set_root(root);
+  EXPECT_NE(dag.validate(), "");
+}
+
+TEST(TaskDag, SpawnedRootIsRejected) {
+  TaskDag dag;
+  const NodeId root = dag.add_node(1.0);
+  const NodeId a = dag.add_node(1.0);
+  dag.set_root(a);
+  dag.add_spawn(a, root);
+  dag.add_spawn(a, root);  // also exercise double spawn on root
+  EXPECT_NE(dag.validate(), "");
+}
+
+TEST(TaskDag, CycleIsRejected) {
+  TaskDag dag;
+  const NodeId a = dag.add_node(1.0);
+  const NodeId b = dag.add_node(1.0);
+  dag.set_root(a);
+  dag.add_spawn(a, b);
+  dag.set_continuation(b, a);  // b -> a -> b
+  EXPECT_NE(dag.validate(), "");
+}
+
+TEST(TaskDag, NegativeWorkIsRejected) {
+  TaskDag dag;
+  const NodeId a = dag.add_node(-1.0);
+  dag.set_root(a);
+  EXPECT_NE(dag.validate(), "");
+}
+
+// ---- generators ----
+
+TEST(Workload, SerialChainShape) {
+  const TaskDag dag = make_serial_chain(10, 5.0, 0.0);
+  EXPECT_EQ(dag.validate(), "");
+  EXPECT_EQ(dag.size(), 10u);
+  EXPECT_DOUBLE_EQ(dag.total_work(), 50.0);
+  EXPECT_DOUBLE_EQ(dag.critical_path(), 50.0);  // zero parallelism
+}
+
+TEST(Workload, ForkJoinTreeCounts) {
+  // depth 3, fanout 2: 8 leaves, 7 splits, 7 merges = 22 nodes.
+  const TaskDag dag = make_fork_join_tree(3, 2, 100.0, 1.0, 2.0, 0.2);
+  EXPECT_EQ(dag.validate(), "");
+  EXPECT_EQ(dag.size(), 22u);
+  EXPECT_DOUBLE_EQ(dag.total_work(), 8 * 100.0 + 7 * 1.0 + 7 * 2.0);
+  // Critical path: 3 splits + leaf + 3 merges.
+  EXPECT_DOUBLE_EQ(dag.critical_path(), 3 * 1.0 + 100.0 + 3 * 2.0);
+}
+
+TEST(Workload, ParallelForCoversAllLeaves) {
+  TaskDag dag;
+  const DagSpan span = emit_parallel_for(dag, 13, 10.0, 0.1, 0.5);
+  dag.set_root(span.entry);
+  EXPECT_EQ(dag.validate(), "");
+  // 13 leaves and 12 split/join pairs.
+  EXPECT_EQ(dag.size(), 13u + 2u * 12u);
+}
+
+TEST(Workload, ParallelForSingleTaskDegeneratesToLeaf) {
+  TaskDag dag;
+  const DagSpan span = emit_parallel_for(dag, 1, 10.0, 0.1);
+  dag.set_root(span.entry);
+  EXPECT_EQ(dag.validate(), "");
+  EXPECT_EQ(dag.size(), 1u);
+  EXPECT_EQ(span.entry, span.exit);
+}
+
+TEST(Workload, IterativePhasesChainThroughBarriers) {
+  const TaskDag dag = make_iterative_phases(5, 8, 20.0, 0.8, 1.0);
+  EXPECT_EQ(dag.validate(), "");
+  // Parallelism is bounded by the phase width: critical path must include
+  // one leaf per phase.
+  EXPECT_GE(dag.critical_path(), 5 * 20.0);
+  EXPECT_DOUBLE_EQ(dag.total_work(),
+                   5 * (8 * 20.0 + 7 * 2 * 1.0));  // leaves + split/join
+}
+
+TEST(Workload, DecreasingParallelismShrinks) {
+  const TaskDag wide = make_decreasing_parallelism(10, 16, 16, 10.0, 0.2);
+  const TaskDag shrinking = make_decreasing_parallelism(10, 16, 1, 10.0, 0.2);
+  EXPECT_EQ(wide.validate(), "");
+  EXPECT_EQ(shrinking.validate(), "");
+  EXPECT_LT(shrinking.total_work(), wide.total_work());
+  EXPECT_GT(shrinking.size(), 0u);
+}
+
+TEST(Workload, IrregularTreeIsValidAndSeedDeterministic) {
+  const TaskDag a = make_irregular_tree(42, 500, 4, 5.0, 50.0, 0.4);
+  const TaskDag b = make_irregular_tree(42, 500, 4, 5.0, 50.0, 0.4);
+  const TaskDag c = make_irregular_tree(43, 500, 4, 5.0, 50.0, 0.4);
+  EXPECT_EQ(a.validate(), "");
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_DOUBLE_EQ(a.total_work(), b.total_work());
+  // A different seed should (overwhelmingly) give a different tree.
+  EXPECT_TRUE(c.size() != a.size() ||
+              std::abs(c.total_work() - a.total_work()) > 1e-9);
+  // Budget respected within slack (generator may stop early, not overrun
+  // by more than one expansion).
+  EXPECT_LE(a.size(), 500u + 8u);
+}
+
+TEST(Workload, GeneratorsProduceParallelSlack) {
+  // Sanity: the D&C tree has parallelism ~ leaves; T1/Tinf >> 1.
+  const TaskDag dag = make_fork_join_tree(6, 2, 100.0, 1.0, 1.0, 0.2);
+  const double parallelism = dag.total_work() / dag.critical_path();
+  EXPECT_GT(parallelism, 16.0);
+}
+
+}  // namespace
+}  // namespace dws::sim

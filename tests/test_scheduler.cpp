@@ -1,0 +1,318 @@
+// Integration tests for the threads runtime: correctness of spawn/wait
+// under every scheduling mode, the parallel algorithms, exception
+// propagation, and the DWS sleep/wake lifecycle of a single program.
+//
+// Note: the CI host may have a single hardware core; these tests validate
+// functional correctness (which is core-count independent), not speedup.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/api.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace dws::rt {
+namespace {
+
+using namespace std::chrono_literals;
+
+Config make_config(SchedMode mode, unsigned cores, unsigned programs = 1) {
+  Config cfg;
+  cfg.mode = mode;
+  cfg.num_cores = cores;
+  cfg.num_programs = programs;
+  cfg.pin_threads = false;  // the CI host may have fewer cores than k
+  cfg.coordinator_period_ms = 2.0;
+  return cfg;
+}
+
+/// Spin until `pred` holds or `timeout` elapses; returns pred().
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds timeout = 3000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+std::uint64_t parallel_fib(Scheduler& sched, unsigned n) {
+  if (n < 2) return n;
+  std::uint64_t a = 0, b = 0;
+  TaskGroup g;
+  sched.spawn(g, [&sched, &a, n] { a = parallel_fib(sched, n - 1); });
+  b = parallel_fib(sched, n - 2);
+  sched.wait(g);
+  return a + b;
+}
+
+class SchedulerModes : public ::testing::TestWithParam<SchedMode> {};
+
+TEST_P(SchedulerModes, RunsASingleTask) {
+  Scheduler sched(make_config(GetParam(), 4));
+  std::atomic<int> x{0};
+  sched.run([&] { x = 42; });
+  EXPECT_EQ(x.load(), 42);
+}
+
+TEST_P(SchedulerModes, FibIsCorrect) {
+  Scheduler sched(make_config(GetParam(), 4));
+  std::uint64_t result = 0;
+  sched.run([&] { result = parallel_fib(sched, 16); });
+  EXPECT_EQ(result, 987u);
+}
+
+TEST_P(SchedulerModes, ParallelForCoversEveryIndexOnce) {
+  Scheduler sched(make_config(GetParam(), 4));
+  constexpr std::int64_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(sched, 0, n, 64, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_P(SchedulerModes, ParallelReduceSumsCorrectly) {
+  Scheduler sched(make_config(GetParam(), 4));
+  constexpr std::int64_t n = 100000;
+  const auto sum = parallel_reduce<std::int64_t>(
+      sched, 0, n, 512, 0,
+      [](std::int64_t b, std::int64_t e) {
+        std::int64_t s = 0;
+        for (std::int64_t i = b; i < e; ++i) s += i;
+        return s;
+      },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST_P(SchedulerModes, SequentialRunsReuseTheScheduler) {
+  Scheduler sched(make_config(GetParam(), 2));
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    parallel_for_each_index(sched, 0, 100, 10,
+                            [&](std::int64_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 100) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, SchedulerModes,
+                         ::testing::Values(SchedMode::kClassic, SchedMode::kAbp,
+                                           SchedMode::kEp, SchedMode::kDws,
+                                           SchedMode::kDwsNc, SchedMode::kBws),
+                         [](const auto& info) {
+                           std::string s = to_string(info.param);
+                           for (auto& ch : s) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return s;
+                         });
+
+TEST(SchedulerApi, ParallelInvokeRunsAllBranches) {
+  Scheduler sched(make_config(SchedMode::kDws, 4));
+  std::atomic<int> mask{0};
+  parallel_invoke(
+      sched, [&] { mask.fetch_or(1); }, [&] { mask.fetch_or(2); },
+      [&] { mask.fetch_or(4); }, [&] { mask.fetch_or(8); });
+  EXPECT_EQ(mask.load(), 15);
+}
+
+TEST(SchedulerApi, EmptyAndTinyRangesWork) {
+  Scheduler sched(make_config(SchedMode::kDws, 2));
+  std::atomic<int> count{0};
+  parallel_for(sched, 5, 5, 8, [&](std::int64_t, std::int64_t) {
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 0);
+  parallel_for(sched, 0, 1, 8, [&](std::int64_t b, std::int64_t e) {
+    count.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(SchedulerApi, NestedParallelForIsCorrect) {
+  Scheduler sched(make_config(SchedMode::kDws, 4));
+  constexpr std::int64_t n = 64;
+  std::vector<std::atomic<int>> hits(n * n);
+  sched.run([&] {
+    parallel_for(sched, 0, n, 4, [&](std::int64_t rb, std::int64_t re) {
+      for (std::int64_t r = rb; r < re; ++r) {
+        parallel_for(sched, 0, n, 8, [&, r](std::int64_t cb, std::int64_t ce) {
+          for (std::int64_t c = cb; c < ce; ++c) hits[r * n + c].fetch_add(1);
+        });
+      }
+    });
+  });
+  for (std::int64_t i = 0; i < n * n; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(SchedulerApi, TaskExceptionPropagatesToWaiter) {
+  Scheduler sched(make_config(SchedMode::kAbp, 2));
+  EXPECT_THROW(sched.run([&] { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  // The scheduler remains usable afterwards.
+  std::atomic<int> x{0};
+  sched.run([&] { x = 7; });
+  EXPECT_EQ(x.load(), 7);
+}
+
+TEST(SchedulerApi, ExceptionFromSpawnedChildPropagates) {
+  Scheduler sched(make_config(SchedMode::kDws, 4));
+  EXPECT_THROW(
+      parallel_for_each_index(sched, 0, 100, 1,
+                              [&](std::int64_t i) {
+                                if (i == 37) throw std::logic_error("i=37");
+                              }),
+      std::logic_error);
+}
+
+TEST(SchedulerApi, ManyConcurrentGroups) {
+  Scheduler sched(make_config(SchedMode::kDws, 4));
+  std::atomic<int> total{0};
+  sched.run([&] {
+    TaskGroup g1, g2;
+    for (int i = 0; i < 50; ++i) {
+      sched.spawn(g1, [&] { total.fetch_add(1); });
+      sched.spawn(g2, [&] { total.fetch_add(10); });
+    }
+    sched.wait(g1);
+    sched.wait(g2);
+  });
+  EXPECT_EQ(total.load(), 50 + 500);
+}
+
+// ---- Mode-specific behaviour ----
+
+TEST(SchedulerEp, NonHomeWorkersArePermanentlyParked) {
+  // One EP program declared among 2: it may only ever use its 2 home
+  // cores out of 4.
+  Scheduler sched(make_config(SchedMode::kEp, 4, 2));
+  ASSERT_TRUE(eventually([&] {
+    unsigned parked = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+      if (sched.worker_at(i).state() == Worker::State::kParked) ++parked;
+    }
+    return parked == 2;
+  }));
+  // Work still completes on the remaining home workers.
+  std::atomic<int> count{0};
+  parallel_for_each_index(sched, 0, 1000, 10,
+                          [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1000);
+  // And the parked workers never executed anything.
+  const auto stats = sched.stats();
+  for (unsigned i = 0; i < 4; ++i) {
+    if (sched.worker_at(i).state() == Worker::State::kParked) {
+      EXPECT_EQ(stats.per_worker[i].tasks_executed, 0u);
+    }
+  }
+}
+
+TEST(SchedulerDws, IdleProgramReleasesAllCores) {
+  Scheduler sched(make_config(SchedMode::kDws, 4, 1));
+  // With no work, every worker fails T_SLEEP steals and releases its core.
+  ASSERT_TRUE(eventually([&] { return sched.sleeping_workers() == 4; }));
+  EXPECT_EQ(sched.table()->count_free(), 4u);
+  EXPECT_EQ(sched.active_workers(), 0u);
+}
+
+TEST(SchedulerDws, WakesUpForNewWorkAfterFullSleep) {
+  Scheduler sched(make_config(SchedMode::kDws, 4, 1));
+  ASSERT_TRUE(eventually([&] { return sched.sleeping_workers() == 4; }));
+  // Submitting from the outside must revive the program.
+  std::atomic<int> count{0};
+  parallel_for_each_index(sched, 0, 500, 5,
+                          [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 500);
+  const auto stats = sched.stats();
+  EXPECT_GT(stats.totals.sleeps, 0u);
+  EXPECT_GT(stats.coordinator_wakes, 0u);
+}
+
+TEST(SchedulerDws, SecondProgramSlotStartsAsleep) {
+  // Declared m=2 but only this program exists: its home half runs, the
+  // other half's workers must park (their cores are unowned), and the
+  // coordinator may later claim the free half under load.
+  Scheduler sched(make_config(SchedMode::kDws, 4, 2));
+  ASSERT_TRUE(eventually([&] { return sched.sleeping_workers() >= 2; }));
+  // Sustained load lets the coordinator claim the free non-home cores.
+  std::atomic<std::int64_t> sum{0};
+  parallel_for_each_index(sched, 0, 200000, 16, [&](std::int64_t i) {
+    sum.fetch_add(i % 7, std::memory_order_relaxed);
+  });
+  const auto stats = sched.stats();
+  EXPECT_GT(stats.cores_claimed, 0u)
+      << "coordinator should have claimed free non-home cores under load";
+}
+
+TEST(SchedulerDwsNc, SleepsAndWakesWithoutATable) {
+  Scheduler sched(make_config(SchedMode::kDwsNc, 4));
+  EXPECT_EQ(sched.table(), nullptr);
+  ASSERT_TRUE(eventually([&] { return sched.sleeping_workers() == 4; }));
+  std::atomic<int> count{0};
+  parallel_for_each_index(sched, 0, 500, 5,
+                          [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(SchedulerClassic, NoYieldsNoSleeps) {
+  Scheduler sched(make_config(SchedMode::kClassic, 2));
+  sched.run([&] { (void)parallel_fib(sched, 12); });
+  const auto stats = sched.stats();
+  EXPECT_EQ(stats.totals.yields, 0u);
+  EXPECT_EQ(stats.totals.sleeps, 0u);
+  EXPECT_EQ(stats.coordinator_ticks, 0u);  // no coordinator at all
+}
+
+TEST(SchedulerAbp, YieldsButNeverSleeps) {
+  Scheduler sched(make_config(SchedMode::kAbp, 4));
+  sched.run([&] { (void)parallel_fib(sched, 14); });
+  const auto stats = sched.stats();
+  EXPECT_EQ(stats.totals.sleeps, 0u);
+}
+
+TEST(SchedulerStats, CountsTasksExactly) {
+  Scheduler sched(make_config(SchedMode::kDws, 4));
+  constexpr int kTasks = 300;
+  std::atomic<int> count{0};
+  sched.run([&] {
+    TaskGroup g;
+    for (int i = 0; i < kTasks; ++i) {
+      sched.spawn(g, [&] { count.fetch_add(1); });
+    }
+    sched.wait(g);
+  });
+  EXPECT_EQ(count.load(), kTasks);
+  // kTasks spawned + 1 root.
+  EXPECT_EQ(sched.stats().totals.tasks_executed,
+            static_cast<std::uint64_t>(kTasks) + 1);
+}
+
+TEST(SchedulerLifecycle, ImmediateDestructionIsClean) {
+  for (SchedMode mode : {SchedMode::kClassic, SchedMode::kAbp, SchedMode::kEp,
+                         SchedMode::kDws, SchedMode::kDwsNc}) {
+    Scheduler sched(make_config(mode, 4, 2));
+    // No work at all; destructor must join everything without hanging.
+  }
+  SUCCEED();
+}
+
+TEST(SchedulerLifecycle, TableFullyReleasedAfterDestruction) {
+  CoreTableLocal shared(4, 2);
+  {
+    Scheduler sched(make_config(SchedMode::kDws, 4, 2), &shared.table());
+    sched.run([] {});
+  }
+  EXPECT_EQ(shared.table().count_free(), 4u);
+}
+
+}  // namespace
+}  // namespace dws::rt

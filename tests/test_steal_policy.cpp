@@ -1,0 +1,131 @@
+// Unit + property tests for the Algorithm-1 steal policy state machine.
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "core/steal_policy.hpp"
+
+namespace dws {
+namespace {
+
+TEST(StealPolicy, ClassicNeverYieldsOrSleeps) {
+  StealPolicy p(SchedMode::kClassic, 4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(p.on_steal_failed(), StealOutcome::kRetry);
+  }
+}
+
+TEST(StealPolicy, AbpAlwaysYields) {
+  StealPolicy p(SchedMode::kAbp, 4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(p.on_steal_failed(), StealOutcome::kYield);
+  }
+}
+
+TEST(StealPolicy, EpAlwaysYields) {
+  StealPolicy p(SchedMode::kEp, 4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(p.on_steal_failed(), StealOutcome::kYield);
+  }
+}
+
+TEST(StealPolicy, BwsAlwaysYields) {
+  StealPolicy p(SchedMode::kBws, 4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(p.on_steal_failed(), StealOutcome::kYield);
+  }
+}
+
+TEST(StealPolicy, DwsSleepsAfterExactlyTSleepPlusOneFailures) {
+  // Algorithm 1 line 14: sleep when failed_steals > T_SLEEP, i.e. the
+  // (T_SLEEP+1)-th consecutive failure triggers sleep.
+  constexpr int kTSleep = 16;
+  StealPolicy p(SchedMode::kDws, kTSleep);
+  for (int i = 0; i < kTSleep; ++i) {
+    EXPECT_EQ(p.on_steal_failed(), StealOutcome::kYield) << "failure " << i;
+  }
+  EXPECT_EQ(p.on_steal_failed(), StealOutcome::kSleep);
+}
+
+TEST(StealPolicy, TaskAcquisitionResetsTheCounter) {
+  constexpr int kTSleep = 4;
+  StealPolicy p(SchedMode::kDws, kTSleep);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < kTSleep; ++i) {
+      EXPECT_EQ(p.on_steal_failed(), StealOutcome::kYield);
+    }
+    p.on_task_acquired();  // success resets; never reaches sleep
+    EXPECT_EQ(p.failed_steals(), 0);
+  }
+}
+
+TEST(StealPolicy, SleepResetsTheCounter) {
+  StealPolicy p(SchedMode::kDwsNc, 2);
+  EXPECT_EQ(p.on_steal_failed(), StealOutcome::kYield);
+  EXPECT_EQ(p.on_steal_failed(), StealOutcome::kYield);
+  EXPECT_EQ(p.on_steal_failed(), StealOutcome::kSleep);
+  p.on_sleep();
+  // A woken worker gets a fresh budget.
+  EXPECT_EQ(p.on_steal_failed(), StealOutcome::kYield);
+}
+
+TEST(StealPolicy, TSleepZeroSleepsOnFirstFailure) {
+  StealPolicy p(SchedMode::kDws, 0);
+  EXPECT_EQ(p.on_steal_failed(), StealOutcome::kSleep);
+}
+
+TEST(ConfigTSleep, DefaultsToMachineWidth) {
+  Config cfg;
+  cfg.t_sleep = -1;
+  EXPECT_EQ(cfg.effective_t_sleep(16), 16);
+  EXPECT_EQ(cfg.effective_t_sleep(4), 4);
+  cfg.t_sleep = 32;
+  EXPECT_EQ(cfg.effective_t_sleep(16), 32);
+  cfg.t_sleep = 0;
+  EXPECT_EQ(cfg.effective_t_sleep(16), 0);
+}
+
+TEST(SchedModeNames, RoundTrip) {
+  for (SchedMode m : {SchedMode::kClassic, SchedMode::kAbp, SchedMode::kEp,
+                      SchedMode::kDws, SchedMode::kDwsNc, SchedMode::kBws}) {
+    SchedMode parsed{};
+    ASSERT_TRUE(parse_mode(to_string(m), parsed)) << to_string(m);
+    EXPECT_EQ(parsed, m);
+  }
+  SchedMode out{};
+  EXPECT_FALSE(parse_mode("bogus", out));
+}
+
+TEST(SchedModeTraits, SleepAndSpaceShareFlags) {
+  EXPECT_FALSE(mode_sleeps(SchedMode::kClassic));
+  EXPECT_FALSE(mode_sleeps(SchedMode::kAbp));
+  EXPECT_FALSE(mode_sleeps(SchedMode::kEp));
+  EXPECT_TRUE(mode_sleeps(SchedMode::kDws));
+  EXPECT_TRUE(mode_sleeps(SchedMode::kDwsNc));
+
+  EXPECT_FALSE(mode_space_shares(SchedMode::kClassic));
+  EXPECT_FALSE(mode_space_shares(SchedMode::kAbp));
+  EXPECT_TRUE(mode_space_shares(SchedMode::kEp));
+  EXPECT_TRUE(mode_space_shares(SchedMode::kDws));
+  EXPECT_FALSE(mode_space_shares(SchedMode::kDwsNc));
+}
+
+// Property sweep: for every T_SLEEP the policy yields exactly T_SLEEP
+// times before sleeping, for both sleeping modes.
+class StealPolicySweep
+    : public ::testing::TestWithParam<std::tuple<SchedMode, int>> {};
+
+TEST_P(StealPolicySweep, SleepTriggersAtThresholdExactly) {
+  const auto [mode, t_sleep] = GetParam();
+  StealPolicy p(mode, t_sleep);
+  int yields = 0;
+  while (p.on_steal_failed() == StealOutcome::kYield) ++yields;
+  EXPECT_EQ(yields, t_sleep);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllThresholds, StealPolicySweep,
+    ::testing::Combine(::testing::Values(SchedMode::kDws, SchedMode::kDwsNc),
+                       ::testing::Values(0, 1, 2, 4, 8, 16, 32, 64, 128)));
+
+}  // namespace
+}  // namespace dws

@@ -1,0 +1,141 @@
+// Tests for the simulator event trace: completeness (every task leaves a
+// start/finish pair), ordering, sleep/wake pairing, claim/reclaim
+// attribution, capacity truncation, and the JSONL writer.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "sim/workload.hpp"
+
+namespace dws::sim {
+namespace {
+
+SimResult traced_run(SchedMode mode, unsigned programs = 2,
+                     std::size_t capacity = 1u << 20) {
+  static const TaskDag dag =
+      make_fork_join_tree(5, 2, 100.0, 1.0, 1.0, 0.2);
+  SimParams params;
+  params.num_cores = 4;
+  params.num_sockets = 1;
+  params.collect_trace = true;
+  params.trace_capacity = capacity;
+  std::vector<SimProgramSpec> specs;
+  for (unsigned i = 0; i < programs; ++i) {
+    SimProgramSpec s;
+    s.name = "p" + std::to_string(i);
+    s.mode = mode;
+    s.dag = &dag;
+    s.target_runs = 2;
+    specs.push_back(s);
+  }
+  SimEngine engine(params, specs);
+  return engine.run();
+}
+
+TEST(Trace, DisabledByDefault) {
+  const TaskDag dag = make_serial_chain(3, 10.0, 0.0);
+  SimParams p;
+  p.num_cores = 2;
+  p.num_sockets = 1;
+  SimProgramSpec s;
+  s.name = "x";
+  s.mode = SchedMode::kAbp;
+  s.dag = &dag;
+  const SimResult r = simulate_solo(p, s);
+  EXPECT_TRUE(r.trace.empty());
+  EXPECT_FALSE(r.trace_truncated);
+}
+
+TEST(Trace, EveryTaskHasStartAndFinish) {
+  const SimResult r = traced_run(SchedMode::kDws);
+  std::map<unsigned, std::uint64_t> starts, finishes;
+  for (const TraceEvent& e : r.trace) {
+    if (e.kind == TraceKind::kTaskStart) ++starts[e.prog];
+    if (e.kind == TraceKind::kTaskFinish) ++finishes[e.prog];
+  }
+  for (const auto& p : r.programs) {
+    const unsigned idx = &p - r.programs.data();
+    EXPECT_EQ(starts[idx], p.tasks_executed) << p.name;
+    EXPECT_EQ(finishes[idx], p.tasks_executed) << p.name;
+  }
+}
+
+TEST(Trace, TimestampsAreMonotone) {
+  const SimResult r = traced_run(SchedMode::kDws);
+  ASSERT_FALSE(r.trace.empty());
+  double prev = -1.0;
+  for (const TraceEvent& e : r.trace) {
+    EXPECT_GE(e.t_us, prev);
+    prev = e.t_us;
+  }
+}
+
+TEST(Trace, SleepWakeAndClaimCountsMatchStats) {
+  const SimResult r = traced_run(SchedMode::kDws);
+  std::map<unsigned, std::uint64_t> sleeps, evicts, wakes, claims, reclaims;
+  for (const TraceEvent& e : r.trace) {
+    switch (e.kind) {
+      case TraceKind::kSleep: ++sleeps[e.prog]; break;
+      case TraceKind::kEvicted: ++evicts[e.prog]; break;
+      case TraceKind::kWake: ++wakes[e.prog]; break;
+      case TraceKind::kClaim: ++claims[e.prog]; break;
+      case TraceKind::kReclaim: ++reclaims[e.prog]; break;
+      default: break;
+    }
+  }
+  for (std::size_t i = 0; i < r.programs.size(); ++i) {
+    const auto& p = r.programs[i];
+    EXPECT_EQ(sleeps[i] + evicts[i], p.sleeps) << p.name;
+    EXPECT_EQ(wakes[i], p.wakes) << p.name;
+    EXPECT_EQ(claims[i], p.cores_claimed) << p.name;
+    EXPECT_EQ(reclaims[i], p.cores_reclaimed) << p.name;
+  }
+}
+
+TEST(Trace, RunMarkersMatchRepetitions) {
+  const SimResult r = traced_run(SchedMode::kAbp);
+  std::map<unsigned, unsigned> finishes;
+  for (const TraceEvent& e : r.trace) {
+    if (e.kind == TraceKind::kRunFinish) ++finishes[e.prog];
+  }
+  for (std::size_t i = 0; i < r.programs.size(); ++i) {
+    EXPECT_EQ(finishes[i], r.programs[i].run_times_us.size())
+        << r.programs[i].name;
+  }
+}
+
+TEST(Trace, CapacityTruncates) {
+  const SimResult r = traced_run(SchedMode::kDws, 2, /*capacity=*/50);
+  EXPECT_EQ(r.trace.size(), 50u);
+  EXPECT_TRUE(r.trace_truncated);
+}
+
+TEST(Trace, JsonlWriterEmitsOneObjectPerLine) {
+  const SimResult r = traced_run(SchedMode::kDws);
+  std::ostringstream os;
+  write_trace_jsonl(os, r.trace);
+  const std::string out = os.str();
+  std::size_t lines = 0;
+  for (char ch : out) lines += (ch == '\n');
+  EXPECT_EQ(lines, r.trace.size());
+  // Spot-check shape of the first line.
+  const std::string first = out.substr(0, out.find('\n'));
+  EXPECT_EQ(first.front(), '{');
+  EXPECT_EQ(first.back(), '}');
+  EXPECT_NE(first.find("\"kind\":\""), std::string::npos);
+  EXPECT_NE(first.find("\"t_us\":"), std::string::npos);
+}
+
+TEST(Trace, KindNamesAreStable) {
+  EXPECT_STREQ(to_string(TraceKind::kTaskStart), "task_start");
+  EXPECT_STREQ(to_string(TraceKind::kSteal), "steal");
+  EXPECT_STREQ(to_string(TraceKind::kEvicted), "evicted");
+  EXPECT_STREQ(to_string(TraceKind::kReclaim), "reclaim");
+  EXPECT_STREQ(to_string(TraceKind::kRunFinish), "run_finish");
+}
+
+}  // namespace
+}  // namespace dws::sim

@@ -1,0 +1,100 @@
+// Additional generator property tests: the chain builders, curve decay,
+// and cross-generator invariants that the profile calibration relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/workload.hpp"
+
+namespace dws::sim {
+namespace {
+
+TEST(Chains, SingleChainIsSerial) {
+  TaskDag dag;
+  const DagSpan span = emit_parallel_chains(dag, 1, 10, 5.0, 0.2);
+  dag.set_root(span.entry);
+  EXPECT_EQ(dag.validate(), "");
+  EXPECT_EQ(dag.size(), 10u);
+  EXPECT_DOUBLE_EQ(dag.critical_path(), 50.0);  // fully serial
+}
+
+TEST(Chains, WidthGivesParallelism) {
+  TaskDag dag;
+  const DagSpan span = emit_parallel_chains(dag, 8, 10, 5.0, 0.2, 0.5);
+  dag.set_root(span.entry);
+  EXPECT_EQ(dag.validate(), "");
+  // 8 chains of 10 tasks + 7 split/join pairs.
+  EXPECT_EQ(dag.size(), 8u * 10u + 2u * 7u);
+  const double par = dag.total_work() / dag.critical_path();
+  EXPECT_GT(par, 5.0);
+  EXPECT_LE(par, 8.5);
+}
+
+TEST(Chains, ChainLengthOneDegeneratesToParallelFor) {
+  TaskDag chains, pfor;
+  const DagSpan a = emit_parallel_chains(chains, 6, 1, 7.0, 0.1, 0.5);
+  const DagSpan b = emit_parallel_for(pfor, 6, 7.0, 0.1, 0.5);
+  chains.set_root(a.entry);
+  pfor.set_root(b.entry);
+  EXPECT_EQ(chains.validate(), "");
+  EXPECT_EQ(chains.size(), pfor.size());
+  EXPECT_DOUBLE_EQ(chains.total_work(), pfor.total_work());
+}
+
+TEST(DecreasingChains, LinearCurveMatchesLegacyWidths) {
+  const TaskDag linear = make_decreasing_chains(8, 8, 1, 2, 10.0, 0.3, 1.0);
+  EXPECT_EQ(linear.validate(), "");
+  // Widths 8,7,6,5,4,3,2,1 => 36 chains of 2 tasks = 72 task nodes plus
+  // split/join overhead.
+  double task_work = 0.0;
+  (void)task_work;
+  EXPECT_GT(linear.size(), 72u);
+}
+
+TEST(DecreasingChains, QuadraticCurveHasLongerNarrowTail) {
+  // With curve=2 more phases sit at the minimum width than with curve=1;
+  // total work is therefore smaller for the same endpoint widths.
+  const TaskDag lin = make_decreasing_chains(32, 16, 1, 2, 10.0, 0.3, 1.0);
+  const TaskDag quad = make_decreasing_chains(32, 16, 1, 2, 10.0, 0.3, 2.0);
+  EXPECT_EQ(quad.validate(), "");
+  EXPECT_LT(quad.total_work(), lin.total_work());
+  // Same phase count and chain length; the quadratic variant's phases
+  // are narrower on average, so its splitter trees are shallower and the
+  // critical path can only be shorter or equal.
+  EXPECT_LE(quad.critical_path(), lin.critical_path() + 1e-9);
+  EXPECT_GT(quad.critical_path(), 0.8 * lin.critical_path());
+}
+
+TEST(DecreasingChains, FinalWidthIsAFloor) {
+  const TaskDag dag = make_decreasing_chains(10, 12, 4, 1, 10.0, 0.3, 3.0);
+  EXPECT_EQ(dag.validate(), "");
+  // Every phase has at least final_width=4 leaves; 10 phases of >=4
+  // tasks => at least 40 task nodes.
+  EXPECT_GE(dag.total_work(), 40 * 10.0);
+}
+
+TEST(Generators, MemIntensityPropagatesToNodes) {
+  const TaskDag dag = make_iterative_phases(2, 4, 10.0, 0.77, 1.0);
+  for (NodeId n = 0; n < dag.size(); ++n) {
+    EXPECT_DOUBLE_EQ(dag.node(n).mem_intensity, 0.77) << "node " << n;
+  }
+}
+
+TEST(Generators, AllShapesSurviveExtremeArguments) {
+  EXPECT_EQ(make_fork_join_tree(0, 2, 5.0, 1.0, 1.0, 0.1).validate(), "");
+  EXPECT_EQ(make_fork_join_tree(1, 1, 5.0, 1.0, 1.0, 0.1).validate(), "");
+  EXPECT_EQ(make_iterative_phases(1, 1, 5.0, 0.1).validate(), "");
+  EXPECT_EQ(make_decreasing_parallelism(1, 1, 1, 5.0, 0.1).validate(), "");
+  EXPECT_EQ(make_decreasing_chains(1, 1, 1, 1, 5.0, 0.1).validate(), "");
+  EXPECT_EQ(make_serial_chain(1, 5.0, 0.1).validate(), "");
+  EXPECT_EQ(make_irregular_tree(1, 1, 1, 1.0, 2.0, 0.1).validate(), "");
+}
+
+TEST(Generators, TotalWorkIsAdditiveUnderScaling) {
+  const TaskDag base = make_iterative_phases(4, 8, 100.0, 0.5, 2.0);
+  const TaskDag doubled = make_iterative_phases(4, 8, 200.0, 0.5, 4.0);
+  EXPECT_NEAR(doubled.total_work(), 2.0 * base.total_work(), 1e-9);
+}
+
+}  // namespace
+}  // namespace dws::sim
