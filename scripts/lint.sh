@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the first-party sources using the profile in
+# .clang-tidy. Needs a compile database: configure with
+#   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+# Exits 0 with a notice when clang-tidy is not installed (it is not part
+# of the pinned toolchain image), so `scripts/lint.sh` is safe to call
+# unconditionally from CI and pre-commit hooks.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "lint: clang-tidy not found; skipping (install clang-tidy to lint)"
+  exit 0
+fi
+
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  echo "lint: ${BUILD_DIR}/compile_commands.json missing; configuring..."
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+# First-party translation units only (the compile database also covers
+# vendored/test-framework TUs we do not want to lint).
+mapfile -t FILES < <(git ls-files 'src/**/*.cpp' 'tests/*.cpp' \
+  'bench/*.cpp' 'examples/*.cpp')
+
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "lint: no source files found"
+  exit 0
+fi
+
+echo "lint: clang-tidy over ${#FILES[@]} files (${JOBS} jobs)"
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -p "${BUILD_DIR}" -j "${JOBS}" -quiet "${FILES[@]}"
+else
+  printf '%s\n' "${FILES[@]}" \
+    | xargs -P "${JOBS}" -n 1 clang-tidy -p "${BUILD_DIR}" --quiet
+fi
+echo "lint: clean"

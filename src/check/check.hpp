@@ -1,0 +1,43 @@
+// Umbrella header for the dws::check model-checking harness, plus the
+// atomics policies that plug the instrumented primitives into the
+// policy-templated production structures (ChaseLevDeque, CoreOps).
+//
+//   #include "check/check.hpp"
+//   using CheckedDeque = dws::rt::ChaseLevDeque<int, dws::check::CheckAtomicsPolicy>;
+//   auto r = dws::check::explore(opts, [](dws::check::Sim& sim) { ... });
+//
+// See docs/CHECKING.md for the model, how to write a check, and how to
+// replay a failing interleaving.
+#pragma once
+
+#include "check/atomic.hpp"
+#include "check/scheduler.hpp"
+#include "check/vector_clock.hpp"
+
+namespace dws::check {
+
+/// Atomics policy routing every operation through the model checker.
+struct CheckAtomicsPolicy {
+  template <typename T>
+  using atomic = check::atomic<T>;
+
+  static void fence(std::memory_order mo) { check::fence(mo); }
+};
+
+/// Fault-injection policy adapter: downgrades every seq_cst fence to
+/// acq_rel (erasing the store-load ordering the Chase-Lev take/steal
+/// protocol depends on) while leaving all other orders intact. Used to
+/// prove the checker actually catches the class of bug it exists for —
+/// see ChaseLevDequeCheck.WeakenedFenceIsCaught.
+template <typename Base = CheckAtomicsPolicy>
+struct WeakenSeqCstFences {
+  template <typename T>
+  using atomic = typename Base::template atomic<T>;
+
+  static void fence(std::memory_order mo) {
+    Base::fence(mo == std::memory_order_seq_cst ? std::memory_order_acq_rel
+                                                : mo);
+  }
+};
+
+}  // namespace dws::check

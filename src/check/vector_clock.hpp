@@ -1,0 +1,33 @@
+// Vector clocks for the model checker's happens-before tracking.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dws::check {
+
+/// Maximum number of *model* threads per exploration (ids 1..kMaxThreads).
+/// Id 0 is the controller (the thread calling explore(), which runs the
+/// setup and post-condition code while the model threads are quiescent).
+inline constexpr int kMaxThreads = 8;
+
+struct VectorClock {
+  std::array<std::uint32_t, kMaxThreads + 1> c{};
+
+  void join(const VectorClock& o) noexcept {
+    for (int i = 0; i <= kMaxThreads; ++i) {
+      if (o.c[i] > c[i]) c[i] = o.c[i];
+    }
+  }
+
+  /// True if every component of *this is <= the corresponding one of `o`
+  /// (i.e. the event stamped *this happens-before or equals the point `o`).
+  [[nodiscard]] bool leq(const VectorClock& o) const noexcept {
+    for (int i = 0; i <= kMaxThreads; ++i) {
+      if (c[i] > o.c[i]) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace dws::check

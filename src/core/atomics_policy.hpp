@@ -1,0 +1,25 @@
+// Atomics policy: the single template knob through which the lock-free
+// structures (ChaseLevDeque, CoreOps) name their atomic primitives.
+//
+// Production code instantiates with StdAtomicsPolicy (the default
+// everywhere) and compiles to plain std::atomic / std::atomic_thread_fence
+// with zero overhead. The model-checking harness in src/check substitutes
+// dws::check::CheckAtomicsPolicy, whose atomics route every operation
+// through a controlled scheduler that explores thread interleavings and
+// weak-memory read choices (see docs/CHECKING.md).
+#pragma once
+
+#include <atomic>
+
+namespace dws {
+
+struct StdAtomicsPolicy {
+  template <typename T>
+  using atomic = std::atomic<T>;
+
+  static void fence(std::memory_order mo) noexcept {
+    std::atomic_thread_fence(mo);
+  }
+};
+
+}  // namespace dws

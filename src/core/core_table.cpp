@@ -4,10 +4,15 @@
 #include <cstring>
 #include <new>
 
+#include "core/core_ops.hpp"
+
 namespace dws {
 
 namespace {
 constexpr std::size_t kHeaderBytes = 64;  // one cache line for the header
+// The CAS protocol lives in core_ops.hpp so the model checker can
+// instantiate the identical transitions over instrumented atomics.
+using Ops = CoreOps<StdAtomicsPolicy>;
 }
 
 std::size_t CoreTable::required_bytes(unsigned num_cores) noexcept {
@@ -75,41 +80,30 @@ void CoreTable::unregister_program(ProgramId pid) noexcept {
 
 ProgramId CoreTable::user_of(CoreId core) const noexcept {
   assert(core < num_cores());
-  return slots()[core].load(std::memory_order_acquire);
+  return Ops::user_of(slots(), core);
 }
 
 ProgramId CoreTable::home_of(CoreId core) const noexcept {
   assert(core < num_cores());
-  const auto k = static_cast<std::uint64_t>(num_cores());
-  const auto m = static_cast<std::uint64_t>(num_programs());
-  return static_cast<ProgramId>(core * m / k) + 1;
+  return core_home_of(core, num_cores(), num_programs());
 }
 
 bool CoreTable::try_claim(CoreId core, ProgramId pid) noexcept {
   assert(core < num_cores());
   assert(pid != kNoProgram);
-  std::uint32_t expected = kNoProgram;
-  return slots()[core].compare_exchange_strong(
-      expected, pid, std::memory_order_acq_rel, std::memory_order_acquire);
+  return Ops::try_claim(slots(), core, pid);
 }
 
 bool CoreTable::try_reclaim(CoreId core, ProgramId pid) noexcept {
   assert(core < num_cores());
   assert(pid != kNoProgram);
-  if (home_of(core) != pid) return false;
-  std::uint32_t current = slots()[core].load(std::memory_order_acquire);
-  if (current == kNoProgram || current == pid) return false;
-  return slots()[core].compare_exchange_strong(
-      current, pid, std::memory_order_acq_rel, std::memory_order_acquire);
+  return Ops::try_reclaim(slots(), num_cores(), num_programs(), core, pid);
 }
 
 bool CoreTable::release(CoreId core, ProgramId pid) noexcept {
   assert(core < num_cores());
   assert(pid != kNoProgram);
-  std::uint32_t expected = pid;
-  return slots()[core].compare_exchange_strong(
-      expected, kNoProgram, std::memory_order_acq_rel,
-      std::memory_order_acquire);
+  return Ops::release(slots(), core, pid);
 }
 
 std::vector<CoreId> CoreTable::claim_home_cores(ProgramId pid) noexcept {
@@ -121,28 +115,15 @@ std::vector<CoreId> CoreTable::claim_home_cores(ProgramId pid) noexcept {
 }
 
 unsigned CoreTable::count_free() const noexcept {
-  unsigned n = 0;
-  for (CoreId c = 0; c < num_cores(); ++c) {
-    if (user_of(c) == kNoProgram) ++n;
-  }
-  return n;
+  return Ops::count_free(slots(), num_cores());
 }
 
 unsigned CoreTable::count_borrowed_from(ProgramId pid) const noexcept {
-  unsigned n = 0;
-  for (CoreId c = 0; c < num_cores(); ++c) {
-    const ProgramId u = user_of(c);
-    if (home_of(c) == pid && u != kNoProgram && u != pid) ++n;
-  }
-  return n;
+  return Ops::count_borrowed_from(slots(), num_cores(), num_programs(), pid);
 }
 
 unsigned CoreTable::count_active(ProgramId pid) const noexcept {
-  unsigned n = 0;
-  for (CoreId c = 0; c < num_cores(); ++c) {
-    if (user_of(c) == pid) ++n;
-  }
-  return n;
+  return Ops::count_active(slots(), num_cores(), pid);
 }
 
 std::vector<CoreId> CoreTable::free_cores() const {

@@ -6,7 +6,15 @@
 // The buffer grows geometrically on overflow. Old buffers cannot be freed
 // while concurrent thieves might still be reading them, so they are parked
 // on a retire list owned by the deque and reclaimed in the destructor —
-// the total leaked-by-delay memory is bounded by 2x the high-water mark.
+// the total leaked-by-delay memory is bounded by 2x the high-water mark
+// (the retired capacities form a geometric series summing to less than the
+// live buffer's capacity; see retired_capacity_total()).
+//
+// The atomics are named through an injectable policy (core/atomics_policy.hpp)
+// so the model checker in src/check can compile the *same* algorithm over
+// instrumented atomics and exhaustively explore its interleavings and
+// weak-memory read choices. Production code uses the default
+// StdAtomicsPolicy and compiles exactly as before.
 #pragma once
 
 #include <atomic>
@@ -16,12 +24,38 @@
 #include <optional>
 #include <vector>
 
+#include "core/atomics_policy.hpp"
+
+// ThreadSanitizer does not model std::atomic_thread_fence, so the
+// fence-based release in push() is invisible to it and every owner->thief
+// task handoff would be reported as a race. Under TSan we strengthen the
+// bottom_ publication store from relaxed to release — a superset of the
+// fence ordering, so the algorithm is unchanged — purely to make the
+// synchronization visible to the tool. See docs/CHECKING.md.
+#if defined(__SANITIZE_THREAD__)
+#define DWS_DEQUE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DWS_DEQUE_TSAN 1
+#endif
+#endif
+
 namespace dws::rt {
 
 /// T must be trivially copyable (we store raw task pointers).
-template <typename T>
+template <typename T, typename Policy = StdAtomicsPolicy>
 class ChaseLevDeque {
   static_assert(std::is_trivially_copyable_v<T>);
+
+  template <typename U>
+  using Atomic = typename Policy::template atomic<U>;
+
+  static constexpr std::memory_order kPublishOrder =
+#ifdef DWS_DEQUE_TSAN
+      std::memory_order_release;
+#else
+      std::memory_order_relaxed;
+#endif
 
  public:
   explicit ChaseLevDeque(std::size_t initial_capacity = 64)
@@ -47,8 +81,8 @@ class ChaseLevDeque {
       buf = grow(buf, t, b);
     }
     buf->put(b, item);
-    std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    Policy::fence(std::memory_order_release);
+    bottom_.store(b + 1, kPublishOrder);
   }
 
   /// Owner only: pop from the bottom (LIFO — preserves locality).
@@ -56,7 +90,7 @@ class ChaseLevDeque {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
     bottom_.store(b, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    Policy::fence(std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_relaxed);
     if (t > b) {
       // Deque was already empty; restore bottom.
@@ -81,7 +115,7 @@ class ChaseLevDeque {
   /// in divide-and-conquer DAGs is the largest subtree).
   std::optional<T> steal() {
     std::int64_t t = top_.load(std::memory_order_acquire);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    Policy::fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return std::nullopt;  // observed empty
     Buffer* buf = buffer_.load(std::memory_order_consume);
@@ -106,19 +140,34 @@ class ChaseLevDeque {
     return buffer_.load(std::memory_order_relaxed)->capacity;
   }
 
+  /// Buffers parked by grow() awaiting destructor reclamation. Quiescent
+  /// use only (tests/diagnostics): the list is owner-mutated inside push().
+  [[nodiscard]] std::size_t retired_count() const noexcept {
+    return retired_.size();
+  }
+
+  /// Total element capacity of the retired buffers. The geometric growth
+  /// guarantees this stays below capacity(), i.e. retired + live memory
+  /// never exceeds 2x the live high-water mark.
+  [[nodiscard]] std::size_t retired_capacity_total() const noexcept {
+    std::size_t n = 0;
+    for (const Buffer* b : retired_) n += b->capacity;
+    return n;
+  }
+
  private:
   struct Buffer {
     explicit Buffer(std::size_t cap)
-        : capacity(cap), mask(cap - 1), data(new std::atomic<T>[cap]) {}
+        : capacity(cap), mask(cap - 1), data(new Atomic<T>[cap]) {}
     const std::size_t capacity;
     const std::size_t mask;
-    std::unique_ptr<std::atomic<T>[]> data;
+    std::unique_ptr<Atomic<T>[]> data;
 
-    void put(std::int64_t i, T v) noexcept {
+    void put(std::int64_t i, T v) {
       data[static_cast<std::size_t>(i) & mask].store(
           v, std::memory_order_relaxed);
     }
-    T get(std::int64_t i) const noexcept {
+    T get(std::int64_t i) const {
       return data[static_cast<std::size_t>(i) & mask].load(
           std::memory_order_relaxed);
     }
@@ -138,9 +187,9 @@ class ChaseLevDeque {
     return bigger;
   }
 
-  alignas(64) std::atomic<std::int64_t> top_;
-  alignas(64) std::atomic<std::int64_t> bottom_;
-  alignas(64) std::atomic<Buffer*> buffer_;
+  alignas(64) Atomic<std::int64_t> top_;
+  alignas(64) Atomic<std::int64_t> bottom_;
+  alignas(64) Atomic<Buffer*> buffer_;
   std::vector<Buffer*> retired_;  // owner-only mutation (inside push)
 };
 

@@ -119,6 +119,7 @@ void Scheduler::wait(TaskGroup& group) {
     while (!group.done()) {
       group.timed_block(std::chrono::milliseconds(1));
     }
+    group.quiesce();
     group.rethrow_if_exception();
     return;
   }
@@ -142,6 +143,9 @@ void Scheduler::wait(TaskGroup& group) {
       group.timed_block(std::chrono::microseconds(200));
     }
   }
+  // The final completer may still be inside the group's notify; do not
+  // let the caller destroy the group under it.
+  group.quiesce();
   group.rethrow_if_exception();
 }
 

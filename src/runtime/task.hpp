@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <exception>
 #include <mutex>
+#include <thread>
 #include <utility>
 
 namespace dws::rt {
@@ -74,10 +75,32 @@ class TaskGroup {
 
   /// Called exactly once per task (from run_and_destroy). Wakes blocked
   /// waiters when the group drains.
+  ///
+  /// The signalers_ gate makes destruction safe: a waiter that observed
+  /// done() may be about to destroy this group, but the completer that
+  /// performed the final decrement still has to touch m_/cv_ to wake
+  /// sleepers. Announcing in signalers_ *before* the decrement means any
+  /// thread that sees pending_ == 0 also sees our announcement (the
+  /// increment is sequenced before the decrement, and the waiter's
+  /// acquire load of pending_ synchronizes with the decrement chain), so
+  /// quiesce() cannot return while we are still inside the notify.
   void complete_one() noexcept {
+    signalers_.fetch_add(1, std::memory_order_relaxed);
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(m_);
       cv_.notify_all();
+    }
+    signalers_.fetch_sub(1, std::memory_order_release);
+  }
+
+  /// Wait for in-flight completers to finish touching this object. Must
+  /// be called after done() returns true and before the group is
+  /// destroyed or reused; Scheduler::wait does this. The window is the
+  /// few instructions between a completer's final decrement and its
+  /// notify, so this effectively never spins more than once.
+  void quiesce() const noexcept {
+    while (signalers_.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
     }
   }
 
@@ -110,6 +133,7 @@ class TaskGroup {
 
  private:
   std::atomic<std::int64_t> pending_{0};
+  std::atomic<std::int32_t> signalers_{0};  // completers touching m_/cv_
   std::atomic<bool> has_exception_{false};
   std::exception_ptr exception_;
   std::mutex m_;

@@ -20,19 +20,48 @@ namespace dws::rt {
 
 class Scheduler;
 
+/// Monotonic counter written by one owner thread and racily readable from
+/// others (relaxed atomics, so concurrent snapshots are well-defined but
+/// may lag). Copying takes a relaxed snapshot. Keeps plain-integer syntax
+/// so counting sites and reporting code read naturally.
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(const RelaxedCounter& o) noexcept : v_(o.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) noexcept {
+    v_.store(o.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator++() noexcept {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(std::uint64_t n) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+    return *this;
+  }
+  operator std::uint64_t() const noexcept { return load(); }  // NOLINT
+  [[nodiscard]] std::uint64_t load() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
 /// Owner-written execution counters. Reads from other threads (coordinator
-/// snapshots, post-quiescence test assertions) are racy-but-monotonic;
-/// exact values are only guaranteed after the worker thread joined or the
-/// scheduler quiesced.
+/// snapshots, live Scheduler::stats() calls, test assertions) see relaxed
+/// monotonic values; exact totals are only guaranteed after the worker
+/// thread joined or the scheduler quiesced.
 struct WorkerStats {
-  std::uint64_t tasks_executed = 0;
-  std::uint64_t steal_attempts = 0;
-  std::uint64_t steals = 0;
-  std::uint64_t failed_steals = 0;
-  std::uint64_t yields = 0;
-  std::uint64_t sleeps = 0;
-  std::uint64_t wakes = 0;
-  std::uint64_t evictions = 0;  ///< times this worker vacated a reclaimed core
+  RelaxedCounter tasks_executed;
+  RelaxedCounter steal_attempts;
+  RelaxedCounter steals;
+  RelaxedCounter failed_steals;
+  RelaxedCounter yields;
+  RelaxedCounter sleeps;
+  RelaxedCounter wakes;
+  RelaxedCounter evictions;  ///< times this worker vacated a reclaimed core
 };
 
 class Worker {

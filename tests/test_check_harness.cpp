@@ -1,0 +1,235 @@
+// Tests of the model checker itself (src/check): it must find classic
+// interleaving bugs and weak-memory bugs, stay silent on correct code, and
+// produce replayable failure schedules.
+//
+// Model threads record results into plain (uninstrumented) memory: the
+// scheduler serializes them on a real mutex, so that is race-free by
+// construction; only the memory the *checked algorithm* shares needs
+// check::atomic / check::var instrumentation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "check/check.hpp"
+
+namespace dws::check {
+namespace {
+
+Options exhaustive(int preemption_bound = 2) {
+  Options o;
+  o.mode = Options::Mode::kExhaustive;
+  o.preemption_bound = preemption_bound;
+  return o;
+}
+
+Options random_mode(long iterations, std::uint64_t seed = 1) {
+  Options o;
+  o.mode = Options::Mode::kRandom;
+  o.iterations = iterations;
+  o.seed = seed;
+  return o;
+}
+
+// Two threads incrementing via separate load/store: the schoolbook lost
+// update. An interleaving (not weak-memory) bug; DFS must find it.
+Result explore_lost_update(const Options& opts) {
+  return explore(opts, [](Sim& sim) {
+    auto c = std::make_shared<atomic<int>>(0);
+    auto body = [c] {
+      const int v = c->load(std::memory_order_relaxed);
+      c->store(v + 1, std::memory_order_relaxed);
+    };
+    sim.spawn(body);
+    sim.spawn(body);
+    sim.on_exit([c] {
+      expect(c->load(std::memory_order_relaxed) == 2, "increment lost");
+    });
+  });
+}
+
+TEST(CheckHarness, ExhaustiveFindsLostUpdate) {
+  const Result r = explore_lost_update(exhaustive());
+  EXPECT_TRUE(r.failed);
+  EXPECT_EQ(r.message, "increment lost");
+  EXPECT_FALSE(r.schedule.empty());
+  EXPECT_FALSE(r.trace.empty());
+}
+
+TEST(CheckHarness, RandomFindsLostUpdate) {
+  const Result r = explore_lost_update(random_mode(500, 7));
+  EXPECT_TRUE(r.failed);
+  EXPECT_FALSE(r.schedule.empty());
+}
+
+TEST(CheckHarness, ReplayReproducesFailure) {
+  const Result first = explore_lost_update(exhaustive());
+  ASSERT_TRUE(first.failed);
+
+  Options opts = exhaustive();
+  opts.replay = first.schedule;
+  const Result again = explore_lost_update(opts);
+  EXPECT_TRUE(again.failed);
+  EXPECT_EQ(again.message, first.message);
+  EXPECT_EQ(again.executions, 1);
+  EXPECT_EQ(again.trace, first.trace);
+}
+
+TEST(CheckHarness, AtomicIncrementIsClean) {
+  const Result r = explore(exhaustive(), [](Sim& sim) {
+    auto c = std::make_shared<atomic<int>>(0);
+    auto body = [c] { c->fetch_add(1, std::memory_order_relaxed); };
+    sim.spawn(body);
+    sim.spawn(body);
+    sim.on_exit([c] {
+      expect(c->load(std::memory_order_relaxed) == 2, "increment lost");
+    });
+  });
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+  EXPECT_FALSE(r.truncated);
+  EXPECT_GT(r.executions, 1);
+}
+
+// Weak memory: publishing through a relaxed flag lets the reader observe
+// the flag without the data — the checker's stale-read exploration must
+// surface it, and the release/acquire fix must silence it.
+Result explore_publish(std::memory_order store_mo, std::memory_order load_mo) {
+  return explore(exhaustive(), [=](Sim& sim) {
+    struct State {
+      atomic<int> data{0};
+      atomic<int> flag{0};
+    };
+    auto st = std::make_shared<State>();
+    sim.spawn([st, store_mo] {
+      st->data.store(1, std::memory_order_relaxed);
+      st->flag.store(1, store_mo);
+    });
+    sim.spawn([st, load_mo] {
+      if (st->flag.load(load_mo) == 1) {
+        expect(st->data.load(std::memory_order_relaxed) == 1,
+               "stale data read after flag observed");
+      }
+    });
+  });
+}
+
+TEST(CheckHarness, RelaxedPublishIsCaught) {
+  const Result r = explore_publish(std::memory_order_relaxed,
+                                   std::memory_order_relaxed);
+  EXPECT_TRUE(r.failed);
+  EXPECT_EQ(r.message, "stale data read after flag observed");
+}
+
+TEST(CheckHarness, ReleaseAcquirePublishIsClean) {
+  const Result r = explore_publish(std::memory_order_release,
+                                   std::memory_order_acquire);
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+  EXPECT_FALSE(r.truncated);
+}
+
+// Fence-based publication: relaxed store after a release fence must
+// synchronize exactly like a release store (this is the idiom push() uses).
+TEST(CheckHarness, ReleaseFencePublishIsClean) {
+  const Result r = explore(exhaustive(), [](Sim& sim) {
+    struct State {
+      atomic<int> data{0};
+      atomic<int> flag{0};
+    };
+    auto st = std::make_shared<State>();
+    sim.spawn([st] {
+      st->data.store(1, std::memory_order_relaxed);
+      fence(std::memory_order_release);
+      st->flag.store(1, std::memory_order_relaxed);
+    });
+    sim.spawn([st] {
+      if (st->flag.load(std::memory_order_acquire) == 1) {
+        expect(st->data.load(std::memory_order_relaxed) == 1,
+               "release fence did not publish");
+      }
+    });
+  });
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+}
+
+// Store buffering (Dekker): with seq_cst fences both threads cannot read 0.
+// Downgrading the fences must expose the weak behaviour.
+Result explore_store_buffering(std::memory_order fence_mo) {
+  return explore(exhaustive(), [=](Sim& sim) {
+    struct State {
+      atomic<int> x{0};
+      atomic<int> y{0};
+      int r1 = -1, r2 = -1;
+    };
+    auto st = std::make_shared<State>();
+    sim.spawn([st, fence_mo] {
+      st->x.store(1, std::memory_order_relaxed);
+      fence(fence_mo);
+      st->r1 = st->y.load(std::memory_order_relaxed);
+    });
+    sim.spawn([st, fence_mo] {
+      st->y.store(1, std::memory_order_relaxed);
+      fence(fence_mo);
+      st->r2 = st->x.load(std::memory_order_relaxed);
+    });
+    sim.on_exit([st] {
+      expect(st->r1 == 1 || st->r2 == 1, "both threads read 0 (SB)");
+    });
+  });
+}
+
+TEST(CheckHarness, SeqCstFencesForbidStoreBuffering) {
+  const Result r = explore_store_buffering(std::memory_order_seq_cst);
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST(CheckHarness, WeakFencesAllowStoreBuffering) {
+  const Result r = explore_store_buffering(std::memory_order_acq_rel);
+  EXPECT_TRUE(r.failed);
+  EXPECT_EQ(r.message, "both threads read 0 (SB)");
+}
+
+// check::var flags unsynchronized plain accesses as data races...
+TEST(CheckHarness, VarDataRaceDetected) {
+  const Result r = explore(exhaustive(), [](Sim& sim) {
+    auto v = std::make_shared<var<int>>(0);
+    sim.spawn([v] { v->write(1); });
+    sim.spawn([v] { v->write(2); });
+  });
+  EXPECT_TRUE(r.failed);
+  EXPECT_NE(r.message.find("data race"), std::string::npos) << r.message;
+}
+
+// ...but stays silent when the accesses are ordered by an acquire/release
+// handshake on an atomic.
+TEST(CheckHarness, VarHandoffIsClean) {
+  const Result r = explore(exhaustive(), [](Sim& sim) {
+    struct State {
+      var<int> data{0};
+      atomic<int> ready{0};
+    };
+    auto st = std::make_shared<State>();
+    sim.spawn([st] {
+      st->data.write(42);
+      st->ready.store(1, std::memory_order_release);
+    });
+    sim.spawn([st] {
+      if (st->ready.load(std::memory_order_acquire) == 1) {
+        expect(st->data.read() == 42, "handoff lost the value");
+      }
+    });
+  });
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+}
+
+TEST(CheckHarness, RandomFailureIsReplayableBySeed) {
+  const Result first = explore_lost_update(random_mode(500, 99));
+  ASSERT_TRUE(first.failed);
+  // Re-running just the failing derived seed for one iteration fails again.
+  Options opts = random_mode(1, first.failing_seed);
+  const Result again = explore_lost_update(opts);
+  EXPECT_TRUE(again.failed);
+  EXPECT_EQ(again.message, first.message);
+}
+
+}  // namespace
+}  // namespace dws::check

@@ -1,0 +1,138 @@
+// Seeded multi-thread stress test for ChaseLevDeque (companion to the
+// model checks in test_check_deque.cpp, which explore tiny scenarios
+// exhaustively — this one hammers the real std::atomic build with real
+// threads): one owner pushing and popping against N thieves, verifying
+// every pushed item is consumed exactly once, plus the grow() retirement
+// bound under concurrent steals from a tiny initial capacity.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runtime/deque.hpp"
+#include "util/rng.hpp"
+
+namespace dws {
+namespace {
+
+struct FuzzCase {
+  int thieves;
+  int items;
+  std::uint64_t seed;
+  std::size_t initial_capacity;
+};
+
+class DequeFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(DequeFuzz, EveryItemConsumedExactlyOnce) {
+  const auto [thieves, items, seed, initial_capacity] = GetParam();
+  rt::ChaseLevDeque<int> dq(initial_capacity);
+
+  // consumed[i] counts how often item i left the deque; exactly-once means
+  // every slot ends at 1. Overcounts (duplication) are detected as > 1.
+  std::vector<std::atomic<std::uint32_t>> consumed(
+      static_cast<std::size_t>(items));
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> ts;
+  ts.reserve(static_cast<std::size_t>(thieves));
+  for (int t = 0; t < thieves; ++t) {
+    ts.emplace_back([&dq, &consumed, &done] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (auto v = dq.steal()) {
+          consumed[static_cast<std::size_t>(*v)].fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      }
+      // Final drain: the owner may have left items behind at shutdown.
+      while (auto v = dq.steal()) {
+        consumed[static_cast<std::size_t>(*v)].fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Owner: random mix of pushes (in order) and pops, biased toward push so
+  // thieves see a mostly non-empty deque.
+  util::Xoshiro256 rng(seed);
+  int next = 0;
+  while (next < items) {
+    if (rng.next_below(4) != 0) {
+      dq.push(next++);
+    } else if (auto v = dq.pop()) {
+      consumed[static_cast<std::size_t>(*v)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
+  // Owner drains what it can before signalling; the rest goes to thieves.
+  while (auto v = dq.pop()) {
+    consumed[static_cast<std::size_t>(*v)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : ts) t.join();
+
+  for (int i = 0; i < items; ++i) {
+    ASSERT_EQ(consumed[static_cast<std::size_t>(i)].load(), 1u)
+        << "item " << i << " (seed " << seed << ", " << thieves
+        << " thieves)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DequeFuzz,
+    ::testing::Values(FuzzCase{1, 50000, 1, 64}, FuzzCase{2, 50000, 2, 64},
+                      FuzzCase{4, 100000, 3, 64}, FuzzCase{8, 100000, 4, 64},
+                      FuzzCase{3, 50000, 5, 2}, FuzzCase{4, 20000, 6, 2}),
+    [](const auto& info) {
+      return "t" + std::to_string(info.param.thieves) + "_n" +
+             std::to_string(info.param.items) + "_s" +
+             std::to_string(info.param.seed) + "_c" +
+             std::to_string(info.param.initial_capacity);
+    });
+
+// grow() under concurrent steals from a tiny initial capacity: the deque
+// must honour the documented retirement bound — old buffers are parked,
+// not freed, and their total capacity stays below the live buffer's
+// (retired + live <= 2x high-water mark). Checked quiescently after join.
+TEST(DequeGrow, RetiredBufferBoundUnderConcurrentSteals) {
+  constexpr int kItems = 1 << 16;
+  constexpr int kWarmup = 1 << 10;  // pushed before thieves start
+  constexpr int kThieves = 4;
+  rt::ChaseLevDeque<int> dq(2);
+
+  // Grow deterministically a few times first (2 -> 1024 is 9 retirements),
+  // then let thieves race the remaining pushes so later grows happen while
+  // old buffers are being read concurrently.
+  for (int i = 0; i < kWarmup; ++i) dq.push(i);
+  ASSERT_GE(dq.retired_count(), 1u);
+
+  std::atomic<std::int64_t> stolen{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThieves; ++t) {
+    ts.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (dq.steal()) stolen.fetch_add(1, std::memory_order_relaxed);
+      }
+      while (dq.steal()) stolen.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  for (int i = kWarmup; i < kItems; ++i) dq.push(i);
+  std::int64_t popped = 0;
+  while (dq.pop()) ++popped;
+  done.store(true, std::memory_order_release);
+  for (auto& t : ts) t.join();
+
+  EXPECT_EQ(popped + stolen.load(), kItems);
+  // Every grow parks its predecessor; the geometric doubling keeps the
+  // parked total strictly below the live buffer's capacity.
+  EXPECT_GE(dq.retired_count(), 1u);
+  EXPECT_LT(dq.retired_capacity_total(), dq.capacity());
+}
+
+}  // namespace
+}  // namespace dws
