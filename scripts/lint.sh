@@ -12,6 +12,20 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 
+# Crash-safety lint (no toolchain needed, always runs): raw ::kill() is
+# sanctioned in exactly two places — the liveness probe that confirms a
+# stale co-runner is dead (core/coordinator_policy.cpp) and the
+# fault-injection harness (harness/faults.cpp). Anywhere else it is test
+# scaffolding leaking into production code.
+BAD_KILL=$(git ls-files 'src/**/*.cpp' 'src/**/*.hpp' \
+  | grep -v -e 'core/coordinator_policy.cpp' -e 'harness/faults.cpp' \
+  | xargs grep -l '::kill(' 2>/dev/null || true)
+if [ -n "${BAD_KILL}" ]; then
+  echo "lint: ::kill() outside its sanctioned call sites:"
+  echo "${BAD_KILL}"
+  exit 1
+fi
+
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "lint: clang-tidy not found; skipping (install clang-tidy to lint)"
   exit 0

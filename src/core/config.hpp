@@ -48,6 +48,14 @@ struct Config {
   /// load-balancing models).
   bool work_sharing = false;
 
+  /// Crash tolerance: a co-runner whose liveness epoch has not advanced
+  /// for this many consecutive coordinator periods (~K·T of wall time) is
+  /// probed with kill(pid, 0) and, if the OS confirms the process is
+  /// gone, its cores are force-released back to the free pool. 0 disables
+  /// the stale sweep (heartbeats are still published so *other* programs
+  /// can track us).
+  unsigned stale_after_periods = 5;
+
   /// §6 extension: adapt T_SLEEP online. A worker woken sooner than
   /// adaptive_short_sleep_ms after going to sleep doubles the program's
   /// threshold (capped at 64x base); the coordinator decays it back each

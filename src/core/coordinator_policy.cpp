@@ -1,6 +1,10 @@
 #include "core/coordinator_policy.hpp"
 
+#include <signal.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 
 namespace dws {
 
@@ -16,7 +20,13 @@ WakeDecision CoordinatorPolicy::decide(const DemandSnapshot& s) const noexcept {
                                  static_cast<double>(s.active_workers)
                            : static_cast<double>(s.queued_tasks);
   if (backlog_per_worker < wake_threshold_) return d;
-  auto n_w = static_cast<unsigned>(backlog_per_worker);
+  // Round to the nearest worker. Truncation here silently turned any
+  // sub-1 demand that passed a wake_threshold < 1 into "wake zero", which
+  // made such thresholds inert; rounding keeps Eq. 1's intent, and a
+  // demand that still rounds to zero genuinely wakes no one.
+  const auto n_w_rounded = std::llround(backlog_per_worker);
+  if (n_w_rounded <= 0) return d;
+  auto n_w = static_cast<unsigned>(n_w_rounded);
 
   // We cannot usefully wake more workers than are asleep.
   n_w = std::min(n_w, s.sleeping_workers);
@@ -83,6 +93,68 @@ AcquireResult CoordinatorDriver::acquire(const WakeDecision& decision) {
     }
   }
   return won;
+}
+
+namespace {
+bool default_alive_probe(std::uint32_t os_pid) {
+  // kill(pid, 0) delivers nothing but performs the existence check.
+  // EPERM means "exists but not ours" — still alive. Only ESRCH (or any
+  // other failure, conservatively treated as alive) clears the probe.
+  if (::kill(static_cast<pid_t>(os_pid), 0) == 0) return true;
+  return errno != ESRCH;
+}
+}  // namespace
+
+StaleSweeper::StaleSweeper(CoreTable& table, ProgramId self,
+                           unsigned stale_periods)
+    : StaleSweeper(table, self, stale_periods, &default_alive_probe) {}
+
+StaleSweeper::StaleSweeper(CoreTable& table, ProgramId self,
+                           unsigned stale_periods, AliveProbe probe)
+    : table_(&table),
+      self_(self),
+      stale_periods_(stale_periods),
+      alive_(std::move(probe)) {}
+
+StaleSweepResult StaleSweeper::sweep() {
+  StaleSweepResult result;
+  if (stale_periods_ == 0) return result;  // sweeping disabled
+  const unsigned last = std::min(table_->registered_programs(),
+                                 CoreTable::kLivenessSlots);
+  if (seen_.size() < static_cast<std::size_t>(last) + 1) {
+    seen_.resize(static_cast<std::size_t>(last) + 1);
+  }
+  for (ProgramId p = 1; p <= last; ++p) {
+    if (p == self_) continue;
+    const std::uint32_t os_pid = table_->liveness_os_pid(p);
+    if (os_pid == 0) {
+      // No liveness evidence: unbound, cleanly exited, or already swept.
+      seen_[p] = Observation{};
+      continue;
+    }
+    const std::uint64_t epoch = table_->liveness_epoch(p);
+    Observation& obs = seen_[p];
+    if (epoch != obs.epoch) {  // heartbeat advanced: healthy
+      obs.epoch = epoch;
+      obs.stalled = 0;
+      continue;
+    }
+    if (++obs.stalled < stale_periods_) continue;
+    if (alive_(os_pid)) {
+      // Stalled but the process exists (wedged, descheduled, or simply a
+      // mode without a coordinator). Never sweep a live program — restart
+      // the stall clock and keep watching.
+      obs.stalled = 0;
+      continue;
+    }
+    // Confirmed dead. Race other survivors for the record; the CAS winner
+    // is the unique recoverer, so cores are counted exactly once.
+    if (!table_->retire_liveness(p, os_pid)) continue;
+    result.declared_dead.push_back(p);
+    std::vector<CoreId> freed = table_->force_release_all(p);
+    result.freed.insert(result.freed.end(), freed.begin(), freed.end());
+  }
+  return result;
 }
 
 }  // namespace dws

@@ -11,6 +11,8 @@
 // concrete cores to claim/reclaim) lives in CoordinatorDriver.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/core_table.hpp"
@@ -86,6 +88,66 @@ class CoordinatorDriver {
   CoreTable* table_;
   ProgramId pid_;
   util::Xoshiro256 rng_;
+};
+
+// ---- Crash tolerance: stale-owner sweeping ----
+
+/// What one StaleSweeper::sweep call recovered.
+struct StaleSweepResult {
+  std::vector<ProgramId> declared_dead;  ///< programs this call retired
+  std::vector<CoreId> freed;             ///< their cores returned to free
+
+  [[nodiscard]] bool empty() const noexcept {
+    return declared_dead.empty() && freed.empty();
+  }
+};
+
+/// Detects co-runners that died without releasing their cores and returns
+/// those cores to the free pool, where every survivor's demand-aware wake
+/// path absorbs them (the §3.3 machinery playing out under failure).
+///
+/// Protocol: each program's coordinator bumps its liveness epoch in the
+/// shared table every period T (CoreTable::heartbeat). A sweeper calls
+/// sweep() once per period; a co-runner whose epoch has not advanced for
+/// `stale_periods` consecutive calls (i.e. ~K·T of wall time) is probed
+/// with kill(pid, 0). Only if the OS confirms the process is gone does the
+/// sweeper race retire_liveness — the winner of that CAS (exactly one
+/// among concurrent survivors) force-releases the ghost's slots.
+///
+/// Safety invariants:
+///  * A slow-but-alive program is never swept: the kill(pid, 0) probe is
+///    the authoritative confirm; the epoch stall is only a cheap filter.
+///  * Programs without liveness evidence (os_pid == 0: never bound,
+///    cleanly unregistered, or id beyond CoreTable::kLivenessSlots) are
+///    never swept.
+///  * One-active-worker-per-core holds through a forced release: the
+///    recovery CAS is the same pid -> free transition as a cooperative
+///    release, so it loses cleanly against any concurrent claim/reclaim.
+class StaleSweeper {
+ public:
+  /// Probe deciding whether an OS process still exists (default:
+  /// kill(pid, 0), counting EPERM as alive). Injectable for tests.
+  using AliveProbe = std::function<bool(std::uint32_t os_pid)>;
+
+  StaleSweeper(CoreTable& table, ProgramId self, unsigned stale_periods);
+  StaleSweeper(CoreTable& table, ProgramId self, unsigned stale_periods,
+               AliveProbe probe);
+
+  /// Run one sweep pass. Call at most once per coordinator period; each
+  /// call advances the stall clock by one period.
+  StaleSweepResult sweep();
+
+ private:
+  struct Observation {
+    std::uint64_t epoch = 0;
+    unsigned stalled = 0;
+  };
+
+  CoreTable* table_;
+  ProgramId self_;
+  unsigned stale_periods_;
+  AliveProbe alive_;
+  std::vector<Observation> seen_;  // indexed by ProgramId
 };
 
 }  // namespace dws

@@ -1,8 +1,10 @@
 #include "core/core_table.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <new>
+#include <thread>
 
 #include "core/core_ops.hpp"
 
@@ -16,15 +18,23 @@ using Ops = CoreOps<StdAtomicsPolicy>;
 }
 
 std::size_t CoreTable::required_bytes(unsigned num_cores) noexcept {
-  return kHeaderBytes + static_cast<std::size_t>(num_cores) * sizeof(Slot);
+  return kHeaderBytes + kLivenessSlots * sizeof(LivenessRecord) +
+         static_cast<std::size_t>(num_cores) * sizeof(Slot);
+}
+
+CoreTable::LivenessRecord* CoreTable::liveness() const noexcept {
+  return reinterpret_cast<LivenessRecord*>(static_cast<std::byte*>(mem_) +
+                                           kHeaderBytes);
 }
 
 CoreTable::Slot* CoreTable::slots() const noexcept {
-  return reinterpret_cast<Slot*>(static_cast<std::byte*>(mem_) + kHeaderBytes);
+  return reinterpret_cast<Slot*>(static_cast<std::byte*>(mem_) + kHeaderBytes +
+                                 kLivenessSlots * sizeof(LivenessRecord));
 }
 
 CoreTable::CoreTable(void* mem, unsigned num_cores, unsigned num_programs,
-                     bool initialize)
+                     bool initialize,
+                     std::chrono::milliseconds attach_timeout)
     : mem_(mem) {
   assert(mem != nullptr);
   assert(num_cores > 0);
@@ -32,11 +42,18 @@ CoreTable::CoreTable(void* mem, unsigned num_cores, unsigned num_programs,
   static_assert(sizeof(Header) <= kHeaderBytes);
   static_assert(std::atomic<std::uint32_t>::is_always_lock_free,
                 "shared-memory table requires lock-free 32-bit atomics");
+  static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+                "liveness epochs require lock-free 64-bit atomics");
   if (initialize) {
     Header* h = new (mem_) Header;
     h->num_cores = num_cores;
     h->num_programs = num_programs;
     h->registered.store(0, std::memory_order_relaxed);
+    LivenessRecord* lr = liveness();
+    for (unsigned i = 0; i < kLivenessSlots; ++i) {
+      new (&lr[i].os_pid) std::atomic<std::uint32_t>(0);
+      new (&lr[i].epoch) std::atomic<std::uint64_t>(0);
+    }
     Slot* s = slots();
     for (unsigned i = 0; i < num_cores; ++i) {
       new (&s[i]) Slot(kNoProgram);
@@ -46,11 +63,33 @@ CoreTable::CoreTable(void* mem, unsigned num_cores, unsigned num_programs,
   } else {
     Header* h = header();
     // The creator publishes magic with release ordering; acquire pairs it.
-    while (h->magic.load(std::memory_order_acquire) != kMagic) {
-      // Attach raced with creation; the window is a few stores long.
+    // The creation window is normally a few stores long, but a creator
+    // that dies mid-format leaves the magic unpublished forever — so the
+    // wait is bounded: spin briefly, then back off exponentially up to
+    // `attach_timeout` before giving up with a typed error.
+    if (h->magic.load(std::memory_order_acquire) != kMagic) {
+      const auto deadline = std::chrono::steady_clock::now() + attach_timeout;
+      auto backoff = std::chrono::microseconds(50);
+      for (;;) {
+        if (h->magic.load(std::memory_order_acquire) == kMagic) break;
+        if (std::chrono::steady_clock::now() >= deadline) {
+          mem_ = nullptr;  // adopted nothing; leave the block untouched
+          throw TableAttachError(
+              std::errc::timed_out,
+              "core table attach: creator never published the magic word "
+              "(did it die mid-initialization?)");
+        }
+        std::this_thread::sleep_for(backoff);
+        backoff = std::min(backoff * 2, std::chrono::microseconds(10000));
+      }
     }
-    assert(h->num_cores == num_cores);
-    assert(h->num_programs == num_programs);
+    if (h->num_cores != num_cores || h->num_programs != num_programs) {
+      mem_ = nullptr;
+      throw TableAttachError(
+          std::errc::invalid_argument,
+          "core table attach: header (num_cores, num_programs) does not "
+          "match this program's configuration");
+    }
   }
 }
 
@@ -75,7 +114,59 @@ ProgramId CoreTable::register_program() noexcept {
 }
 
 void CoreTable::unregister_program(ProgramId pid) noexcept {
+  // Retire the liveness record *first*: a sweeper that reads os_pid == 0
+  // skips us, so it cannot race the releases below into a double recovery.
+  if (pid >= 1 && pid <= kLivenessSlots) {
+    liveness()[pid - 1].os_pid.store(0, std::memory_order_release);
+  }
   for (CoreId c = 0; c < num_cores(); ++c) release(c, pid);
+}
+
+unsigned CoreTable::registered_programs() const noexcept {
+  return header()->registered.load(std::memory_order_acquire);
+}
+
+bool CoreTable::bind_liveness(ProgramId pid, std::uint32_t os_pid) noexcept {
+  if (pid < 1 || pid > kLivenessSlots || os_pid == 0) return false;
+  LivenessRecord& r = liveness()[pid - 1];
+  r.epoch.store(1, std::memory_order_release);
+  r.os_pid.store(os_pid, std::memory_order_release);
+  return true;
+}
+
+void CoreTable::heartbeat(ProgramId pid) noexcept {
+  if (pid < 1 || pid > kLivenessSlots) return;
+  liveness()[pid - 1].epoch.fetch_add(1, std::memory_order_release);
+}
+
+std::uint64_t CoreTable::liveness_epoch(ProgramId pid) const noexcept {
+  if (pid < 1 || pid > kLivenessSlots) return 0;
+  return liveness()[pid - 1].epoch.load(std::memory_order_acquire);
+}
+
+std::uint32_t CoreTable::liveness_os_pid(ProgramId pid) const noexcept {
+  if (pid < 1 || pid > kLivenessSlots) return 0;
+  return liveness()[pid - 1].os_pid.load(std::memory_order_acquire);
+}
+
+bool CoreTable::retire_liveness(ProgramId pid,
+                                std::uint32_t expected_os_pid) noexcept {
+  if (pid < 1 || pid > kLivenessSlots || expected_os_pid == 0) return false;
+  std::uint32_t expected = expected_os_pid;
+  return liveness()[pid - 1].os_pid.compare_exchange_strong(
+      expected, 0, std::memory_order_acq_rel, std::memory_order_acquire);
+}
+
+std::vector<CoreId> CoreTable::force_release_all(ProgramId pid) noexcept {
+  std::vector<CoreId> freed;
+  if (pid == kNoProgram) return freed;
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    // Same CAS as the cooperative release path: pid -> free. If the dead
+    // program's worker managed a release before dying, or another program
+    // already claimed the slot through free, the CAS fails harmlessly.
+    if (release(c, pid)) freed.push_back(c);
+  }
+  return freed;
 }
 
 ProgramId CoreTable::user_of(CoreId core) const noexcept {

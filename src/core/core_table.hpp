@@ -19,21 +19,45 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <system_error>
 #include <vector>
 
 #include "core/types.hpp"
 
 namespace dws {
 
+/// Thrown when adopting an existing table block fails: the creator never
+/// published the magic word within the attach timeout (it likely died
+/// mid-initialization), or the adopted header disagrees with the
+/// (num_cores, num_programs) this program was configured with. Derives
+/// from std::system_error so existing catch sites keep working; the code
+/// is std::errc::timed_out or std::errc::invalid_argument respectively.
+class TableAttachError : public std::system_error {
+ public:
+  TableAttachError(std::errc errc, const std::string& what)
+      : std::system_error(std::make_error_code(errc), what) {}
+};
+
 /// Non-owning view over a core-allocation-table memory block. All mutating
 /// operations are lock-free and safe for concurrent use from any number of
 /// threads or processes mapping the same block.
 class CoreTable {
  public:
-  /// Bytes a table for `num_cores` cores occupies (header + slots).
+  /// Programs whose liveness can be tracked (records are statically sized
+  /// so required_bytes stays a function of num_cores alone). Programs
+  /// registered beyond this bound still work but are never stale-swept —
+  /// with no liveness evidence the sweep conservatively leaves them alone.
+  static constexpr unsigned kLivenessSlots = 64;
+
+  /// Attach spin bound used when no explicit timeout is given.
+  static constexpr std::chrono::milliseconds kDefaultAttachTimeout{5000};
+
+  /// Bytes a table for `num_cores` cores occupies (header + liveness
+  /// records + slots).
   [[nodiscard]] static std::size_t required_bytes(unsigned num_cores) noexcept;
 
   /// Wrap `mem` (which must be at least required_bytes(num_cores) and
@@ -41,8 +65,15 @@ class CoreTable {
   /// true the block is formatted (all cores free, zero programs
   /// registered); otherwise the existing contents are adopted and
   /// (num_cores, num_programs) must match what the creator wrote.
+  ///
+  /// Adopting waits (bounded retry + exponential backoff, at most
+  /// `attach_timeout`) for the creator to publish the magic word; a
+  /// creator that died mid-format surfaces as TableAttachError instead of
+  /// the historical unbounded spin. A header mismatch also throws
+  /// TableAttachError. Formatting never throws.
   CoreTable(void* mem, unsigned num_cores, unsigned num_programs,
-            bool initialize);
+            bool initialize,
+            std::chrono::milliseconds attach_timeout = kDefaultAttachTimeout);
 
   CoreTable(const CoreTable&) = delete;
   CoreTable& operator=(const CoreTable&) = delete;
@@ -58,8 +89,48 @@ class CoreTable {
   /// legal but own no home cores (they can only use free cores).
   [[nodiscard]] ProgramId register_program() noexcept;
 
-  /// Release every core currently used by `pid`.
+  /// Release every core currently used by `pid` and retire its liveness
+  /// record (clean-exit path; co-runners stop tracking it immediately).
   void unregister_program(ProgramId pid) noexcept;
+
+  /// Program ids handed out so far (sweepers iterate [1, this]).
+  [[nodiscard]] unsigned registered_programs() const noexcept;
+
+  // ---- Liveness records (crash tolerance) ----
+  //
+  // Each program binds its OS pid once after registering and then bumps a
+  // monotonically increasing heartbeat epoch every coordinator period. A
+  // co-runner whose epoch stalls and whose OS pid no longer exists is
+  // declared dead by a surviving sweeper (see StaleSweeper), which then
+  // force-releases every core the ghost still owns. os_pid == 0 means
+  // "no liveness evidence": unbound, cleanly exited, or already swept —
+  // such programs are never swept.
+
+  /// Publish `os_pid` (must be nonzero) as the live process behind `pid`
+  /// and start its epoch at 1. Returns false for ids beyond kLivenessSlots
+  /// (those programs simply opt out of crash tracking).
+  bool bind_liveness(ProgramId pid, std::uint32_t os_pid) noexcept;
+
+  /// Bump `pid`'s heartbeat epoch. Called by the owner's coordinator every
+  /// period; no-op for unbound/out-of-range ids.
+  void heartbeat(ProgramId pid) noexcept;
+
+  /// Current heartbeat epoch of `pid` (0 = never bound / out of range).
+  [[nodiscard]] std::uint64_t liveness_epoch(ProgramId pid) const noexcept;
+
+  /// OS pid bound to `pid`, or 0 when there is no liveness evidence.
+  [[nodiscard]] std::uint32_t liveness_os_pid(ProgramId pid) const noexcept;
+
+  /// CAS `pid`'s liveness record from `expected_os_pid` to 0. The winning
+  /// caller is the unique agent allowed to recover the program's cores —
+  /// this is what keeps concurrent sweepers from double-recovering.
+  bool retire_liveness(ProgramId pid, std::uint32_t expected_os_pid) noexcept;
+
+  /// Force-release every core still owned by `pid` (CAS pid -> free per
+  /// slot; racing transitions lose or win per-slot, never corrupt).
+  /// Returns the cores actually freed by this call. Only call after
+  /// winning retire_liveness for a confirmed-dead program.
+  std::vector<CoreId> force_release_all(ProgramId pid) noexcept;
 
   /// Current active program on `core`, or kNoProgram if free.
   [[nodiscard]] ProgramId user_of(CoreId core) const noexcept;
@@ -105,6 +176,12 @@ class CoreTable {
     std::uint32_t num_programs;
     std::atomic<std::uint32_t> registered;
   };
+  /// One per program id in [1, kLivenessSlots]; lives between the header
+  /// and the slot array.
+  struct LivenessRecord {
+    std::atomic<std::uint32_t> os_pid;  ///< 0 = unbound / exited / swept
+    std::atomic<std::uint64_t> epoch;   ///< heartbeat counter, 0 = unbound
+  };
   using Slot = std::atomic<std::uint32_t>;
 
   static constexpr std::uint32_t kMagic = 0xD1575AB1u;
@@ -112,6 +189,7 @@ class CoreTable {
   [[nodiscard]] Header* header() const noexcept {
     return static_cast<Header*>(mem_);
   }
+  [[nodiscard]] LivenessRecord* liveness() const noexcept;
   [[nodiscard]] Slot* slots() const noexcept;
 
   void* mem_ = nullptr;

@@ -5,8 +5,10 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <system_error>
+#include <thread>
 
 namespace dws {
 
@@ -18,6 +20,10 @@ namespace {
 
 CoreTableShm::CoreTableShm(const std::string& name, unsigned num_cores,
                            unsigned num_programs)
+    : CoreTableShm(name, num_cores, num_programs, Options()) {}
+
+CoreTableShm::CoreTableShm(const std::string& name, unsigned num_cores,
+                           unsigned num_programs, Options options)
     : name_(name), bytes_(CoreTable::required_bytes(num_cores)) {
   // Try to create exclusively first: the winner formats the segment.
   int fd = ::shm_open(name_.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
@@ -39,16 +45,33 @@ CoreTableShm::CoreTableShm(const std::string& name, unsigned num_cores,
   }
   if (!creator_) {
     // The creator may still be between shm_open and ftruncate; wait until
-    // the segment has its final size before mapping.
-    struct stat st{};
-    do {
+    // the segment has its final size before mapping. A creator that died
+    // inside that window leaves a permanently zero-sized segment, so the
+    // wait is bounded: retry with exponential backoff up to the attach
+    // timeout, then fail with a typed error (the caller can clear the
+    // residue with remove() and retry as the new creator).
+    const auto deadline =
+        std::chrono::steady_clock::now() + options.attach_timeout;
+    auto backoff = std::chrono::microseconds(50);
+    for (;;) {
+      struct stat st{};
       if (::fstat(fd, &st) != 0) {
         const int saved = errno;
         ::close(fd);
         errno = saved;
         throw_errno("fstat");
       }
-    } while (static_cast<std::size_t>(st.st_size) < bytes_);
+      if (static_cast<std::size_t>(st.st_size) >= bytes_) break;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        ::close(fd);
+        throw TableAttachError(
+            std::errc::timed_out,
+            "shm core table attach: segment never reached its formatted "
+            "size (creator died between shm_open and ftruncate?)");
+      }
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, std::chrono::microseconds(10000));
+    }
   }
 
   mapping_ = ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
@@ -61,10 +84,20 @@ CoreTableShm::CoreTableShm(const std::string& name, unsigned num_cores,
     throw_errno("mmap");
   }
 
-  // CoreTable's constructor handles the format/adopt handshake (attachers
-  // spin on the magic word until the creator publishes it).
-  table_ = std::make_unique<CoreTable>(mapping_, num_cores, num_programs,
-                                       /*initialize=*/creator_);
+  // CoreTable's constructor handles the format/adopt handshake; attachers
+  // wait (bounded) on the magic word until the creator publishes it. If
+  // that times out — creator died after ftruncate but before formatting —
+  // unwind the mapping so nothing leaks with the exception.
+  try {
+    table_ = std::make_unique<CoreTable>(mapping_, num_cores, num_programs,
+                                         /*initialize=*/creator_,
+                                         options.attach_timeout);
+  } catch (...) {
+    ::munmap(mapping_, bytes_);
+    mapping_ = nullptr;
+    if (creator_) ::shm_unlink(name_.c_str());
+    throw;
+  }
 }
 
 CoreTableShm::~CoreTableShm() {

@@ -5,10 +5,14 @@
 // allocation table".
 //
 // We use shm_open() + mmap() with a create-or-attach protocol: O_CREAT
-// without O_EXCL, then an atomic magic word distinguishes "I created the
-// segment and must format it" from "someone else already formatted it".
+// with O_EXCL distinguishes "I created the segment and must format it"
+// from "someone else already formatted it"; attachers then wait on the
+// segment size and the table's atomic magic word before trusting the
+// contents. Both waits are *bounded* (a creator can die at any point of
+// its init sequence) and surface as TableAttachError on expiry.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <string>
 
@@ -21,10 +25,23 @@ namespace dws {
 /// formats the segment.
 class CoreTableShm {
  public:
+  struct Options {
+    /// Upper bound on how long an attacher waits for the creator to
+    /// ftruncate the segment and publish the table magic word (each wait
+    /// is bounded by this independently; both use exponential backoff).
+    std::chrono::milliseconds attach_timeout{CoreTable::kDefaultAttachTimeout};
+  };
+
   /// `name` must start with '/' per POSIX (it is passed to shm_open).
-  /// Throws std::system_error on shm_open/ftruncate/mmap failure.
+  /// Throws std::system_error on shm_open/ftruncate/mmap failure and
+  /// TableAttachError (a std::system_error subclass) when the creator
+  /// died mid-initialization and the attach handshake timed out. No fd,
+  /// mapping, or (for the creator) segment name is leaked on any throw
+  /// path.
   CoreTableShm(const std::string& name, unsigned num_cores,
                unsigned num_programs);
+  CoreTableShm(const std::string& name, unsigned num_cores,
+               unsigned num_programs, Options options);
 
   CoreTableShm(const CoreTableShm&) = delete;
   CoreTableShm& operator=(const CoreTableShm&) = delete;
@@ -38,7 +55,9 @@ class CoreTableShm {
   [[nodiscard]] bool is_creator() const noexcept { return creator_; }
 
   /// Remove the named segment from the system (idempotent). Call after all
-  /// co-running programs have exited, e.g. from the launcher.
+  /// co-running programs have exited, e.g. from the launcher — or to clear
+  /// the residue of a creator that crashed mid-init (a TableAttachError
+  /// from the constructor signals exactly that).
   static void remove(const std::string& name) noexcept;
 
  private:

@@ -21,7 +21,7 @@ enum class StealOutcome : int {
   /// pre-threshold behaviour of every sleeping mode).
   kYield = 1,
   /// Release the core and sleep until the coordinator wakes us
-  /// (DWS / DWS-NC once failed_steals exceeds T_SLEEP).
+  /// (DWS / DWS-NC once failed_steals reaches T_SLEEP).
   kSleep = 2,
 };
 
@@ -48,8 +48,12 @@ class StealPolicy {
         return StealOutcome::kYield;
       case SchedMode::kDws:
       case SchedMode::kDwsNc:
-        return failed_steals_ > t_sleep_ ? StealOutcome::kSleep
-                                         : StealOutcome::kYield;
+        // Algorithm 1 line 14: sleep once T_SLEEP consecutive steals have
+        // failed — i.e. on the T_SLEEP-th failure, not the (T_SLEEP+1)-th
+        // (a historical off-by-one; `>` made every threshold behave one
+        // larger than configured).
+        return failed_steals_ >= t_sleep_ ? StealOutcome::kSleep
+                                          : StealOutcome::kYield;
     }
     return StealOutcome::kRetry;
   }

@@ -1,0 +1,100 @@
+#include "harness/faults.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <system_error>
+#include <thread>
+
+namespace dws::harness {
+
+pid_t spawn_process(const std::function<int()>& body) {
+  const pid_t child = ::fork();
+  if (child < 0) {
+    throw std::system_error(errno, std::generic_category(), "fork");
+  }
+  if (child == 0) {
+    int status = 255;
+    try {
+      status = body();
+    } catch (...) {
+      status = 254;
+    }
+    ::_exit(status);
+  }
+  return child;
+}
+
+void kill_process(pid_t pid) noexcept { ::kill(pid, SIGKILL); }
+
+int wait_process(pid_t pid) {
+  int wstatus = 0;
+  if (::waitpid(pid, &wstatus, 0) != pid) {
+    throw std::system_error(errno, std::generic_category(), "waitpid");
+  }
+  if (WIFEXITED(wstatus)) return WEXITSTATUS(wstatus);
+  if (WIFSIGNALED(wstatus)) return 128 + WTERMSIG(wstatus);
+  return -1;
+}
+
+bool process_alive(pid_t pid) noexcept {
+  if (::kill(pid, 0) == 0) return true;
+  return errno != ESRCH;
+}
+
+bool shm_segment_exists(const std::string& name) {
+  const int fd = ::shm_open(name.c_str(), O_RDONLY, 0);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+namespace {
+using Flag = std::atomic<unsigned>;
+static_assert(Flag::is_always_lock_free,
+              "sync flags must be lock-free to be fork-safe");
+constexpr std::size_t kBytes = SyncFlags::kFlags * sizeof(Flag);
+}  // namespace
+
+SyncFlags::SyncFlags() {
+  mem_ = ::mmap(nullptr, kBytes, PROT_READ | PROT_WRITE,
+                MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mem_ == MAP_FAILED) {
+    mem_ = nullptr;
+    throw std::system_error(errno, std::generic_category(), "mmap(SyncFlags)");
+  }
+  auto* flags = static_cast<Flag*>(mem_);
+  for (std::size_t i = 0; i < kFlags; ++i) {
+    new (&flags[i]) Flag(0);
+  }
+}
+
+SyncFlags::~SyncFlags() {
+  if (mem_ != nullptr) ::munmap(mem_, kBytes);
+}
+
+void SyncFlags::raise(std::size_t i) noexcept {
+  static_cast<Flag*>(mem_)[i].store(1, std::memory_order_release);
+}
+
+bool SyncFlags::is_raised(std::size_t i) const noexcept {
+  return static_cast<const Flag*>(mem_)[i].load(std::memory_order_acquire) !=
+         0;
+}
+
+bool SyncFlags::wait_for(std::size_t i,
+                         std::chrono::milliseconds timeout) const noexcept {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!is_raised(i)) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  return true;
+}
+
+}  // namespace dws::harness

@@ -1,0 +1,77 @@
+// Fault-injection helpers for multi-process crash tests: fork real
+// co-running processes over the shared core allocation table, SIGKILL
+// them at chosen points, and synchronise parent/child through lock-free
+// flags in anonymous shared memory (no pipes, no signals-as-messages —
+// a SIGKILLed child must not be able to corrupt the sync channel).
+//
+// These live in the harness (not the runtime) because they are test
+// scaffolding: production code never SIGKILLs a co-runner; it only
+// recovers from one (coordinator stale sweep, §3.4 deployment note).
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace dws::harness {
+
+/// fork() and run `body` in the child; the child terminates via _exit with
+/// the returned status (never runs atexit handlers or unwinds into the
+/// parent's state). Returns the child pid to the parent. Throws
+/// std::system_error if fork fails.
+///
+/// Children must not touch gtest assertions: report failures through the
+/// exit status (bit flags) and let the parent assert on them.
+[[nodiscard]] pid_t spawn_process(const std::function<int()>& body);
+
+/// SIGKILL `pid`. The process dies without any chance to clean up —
+/// exactly the crash the liveness protocol must tolerate.
+void kill_process(pid_t pid) noexcept;
+
+/// waitpid(pid): returns the exit status for a normal exit, or
+/// 128 + signal number if the child died to a signal (so a SIGKILLed
+/// child reports 137, mirroring shell convention).
+int wait_process(pid_t pid);
+
+/// True while the OS process exists (kill(pid, 0); EPERM counts as
+/// alive). A zombie still counts as existing until reaped.
+[[nodiscard]] bool process_alive(pid_t pid) noexcept;
+
+/// True if a POSIX shm segment with this name currently exists. Used by
+/// crash tests to prove that recovery paths leak no segments.
+[[nodiscard]] bool shm_segment_exists(const std::string& name);
+
+/// A small array of atomic flags in anonymous MAP_SHARED memory, usable
+/// across fork() for deterministic crash choreography: the child raises a
+/// flag right before the parent kills it, so the kill lands at a known
+/// point in the child's execution.
+class SyncFlags {
+ public:
+  static constexpr std::size_t kFlags = 8;
+
+  SyncFlags();
+  SyncFlags(const SyncFlags&) = delete;
+  SyncFlags& operator=(const SyncFlags&) = delete;
+  ~SyncFlags();
+
+  /// Raise flag `i` (release order).
+  void raise(std::size_t i) noexcept;
+
+  /// True if flag `i` has been raised (acquire order).
+  [[nodiscard]] bool is_raised(std::size_t i) const noexcept;
+
+  /// Block (sleeping in 100µs steps) until flag `i` is raised or the
+  /// timeout expires; returns whether the flag was seen.
+  [[nodiscard]] bool wait_for(
+      std::size_t i,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(5000))
+      const noexcept;
+
+ private:
+  void* mem_ = nullptr;
+};
+
+}  // namespace dws::harness

@@ -12,6 +12,10 @@ Coordinator::Coordinator(Scheduler& sched, double period_ms,
   if (mode_space_shares(sched_.mode())) {
     driver_ = std::make_unique<CoordinatorDriver>(*sched_.table(),
                                                   sched_.pid(), seed);
+    if (sched_.config().stale_after_periods > 0) {
+      sweeper_ = std::make_unique<StaleSweeper>(
+          *sched_.table(), sched_.pid(), sched_.config().stale_after_periods);
+    }
   }
 }
 
@@ -53,6 +57,23 @@ void Coordinator::nudge() noexcept {
 void Coordinator::tick() {
   ticks_.fetch_add(1, std::memory_order_relaxed);
   if (sched_.config().adaptive_t_sleep) sched_.decay_t_sleep();
+
+  if (driver_ != nullptr) {
+    // Liveness: tell co-runners we are alive, then recover from any that
+    // no longer are. Sweeping before the snapshot means cores freed from
+    // a dead co-runner count toward N_f in *this* tick's decision — the
+    // survivor's demand-aware wake path absorbs them immediately.
+    sched_.table()->heartbeat(sched_.pid());
+    if (sweeper_ != nullptr) {
+      const StaleSweepResult swept = sweeper_->sweep();
+      if (!swept.empty()) {
+        stale_programs_swept_.fetch_add(swept.declared_dead.size(),
+                                        std::memory_order_relaxed);
+        cores_recovered_.fetch_add(swept.freed.size(),
+                                   std::memory_order_relaxed);
+      }
+    }
+  }
 
   DemandSnapshot s;
   s.queued_tasks = sched_.queued_tasks();          // N_b

@@ -54,6 +54,14 @@ class Coordinator {
   [[nodiscard]] std::uint64_t cores_reclaimed() const noexcept {
     return cores_reclaimed_.load(std::memory_order_relaxed);
   }
+  /// Co-running programs this coordinator has declared dead and swept.
+  [[nodiscard]] std::uint64_t stale_programs_swept() const noexcept {
+    return stale_programs_swept_.load(std::memory_order_relaxed);
+  }
+  /// Cores recovered from dead co-runners by the stale sweep.
+  [[nodiscard]] std::uint64_t cores_recovered() const noexcept {
+    return cores_recovered_.load(std::memory_order_relaxed);
+  }
 
  private:
   void thread_main();
@@ -62,6 +70,7 @@ class Coordinator {
   const double period_ms_;
   CoordinatorPolicy policy_;
   std::unique_ptr<CoordinatorDriver> driver_;  // only for table-using modes
+  std::unique_ptr<StaleSweeper> sweeper_;      // crash tolerance (optional)
 
   std::thread thread_;
   std::mutex m_;
@@ -72,6 +81,8 @@ class Coordinator {
   std::atomic<std::uint64_t> wakes_{0};
   std::atomic<std::uint64_t> cores_claimed_{0};
   std::atomic<std::uint64_t> cores_reclaimed_{0};
+  std::atomic<std::uint64_t> stale_programs_swept_{0};
+  std::atomic<std::uint64_t> cores_recovered_{0};
 };
 
 }  // namespace dws::rt

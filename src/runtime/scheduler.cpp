@@ -1,5 +1,7 @@
 #include "runtime/scheduler.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -23,6 +25,10 @@ Scheduler::Scheduler(const Config& cfg, CoreTable* shared_table) : cfg_(cfg) {
       table_ = &owned_table_->table();
     }
     pid_ = table_->register_program();
+    // Crash tolerance: publish our OS pid + heartbeat epoch *before*
+    // claiming any core, so every core we ever hold is covered by
+    // liveness evidence and recoverable if this process dies.
+    table_->bind_liveness(pid_, static_cast<std::uint32_t>(::getpid()));
     // Realize the initial equipartition (§3.1): grab whatever home cores
     // are free right now. Workers on unowned cores park themselves.
     table_->claim_home_cores(pid_);
@@ -212,6 +218,8 @@ SchedulerStats Scheduler::stats() const {
     s.coordinator_wakes = coordinator_->wakes();
     s.cores_claimed = coordinator_->cores_claimed();
     s.cores_reclaimed = coordinator_->cores_reclaimed();
+    s.stale_programs_swept = coordinator_->stale_programs_swept();
+    s.cores_recovered = coordinator_->cores_recovered();
   }
   return s;
 }

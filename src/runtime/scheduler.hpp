@@ -35,6 +35,8 @@ struct SchedulerStats {
   std::uint64_t coordinator_wakes = 0;
   std::uint64_t cores_claimed = 0;
   std::uint64_t cores_reclaimed = 0;
+  std::uint64_t stale_programs_swept = 0;  ///< dead co-runners recovered from
+  std::uint64_t cores_recovered = 0;       ///< their cores returned to free
 };
 
 class Scheduler {

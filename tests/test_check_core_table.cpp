@@ -210,5 +210,70 @@ TEST(CoreTableCheck, AccountingHelpersQuiescent) {
   EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
 }
 
+// Stale-sweep recovery race: program 2 crashed while holding core 0, but
+// its worker had *just* issued the cooperative release(0, 2) before dying.
+// A surviving sweeper, having confirmed program 2 dead, force-releases the
+// same slot with the identical release(0, 2) CAS, while the survivor
+// (program 1) concurrently claims freed cores. Invariants: exactly one of
+// the two releases wins (freed cores are never double-counted), and the
+// slot never ends the execution owned by the dead program.
+TEST(CoreTableCheck, StaleSweepVsCooperativeRelease) {
+  const Result r = check::explore(exhaustive(), [](Sim& sim) {
+    struct State {
+      State() : t(2) { t.slots[0].store(2, std::memory_order_relaxed); }
+      Table t;
+      bool coop = false;    // dying owner's in-flight release
+      bool forced = false;  // sweeper's force-release
+      bool claimed = false;  // survivor snapping up the freed core
+    };
+    auto st = std::make_shared<State>();
+    sim.spawn([st] { st->coop = Ops::release(st->t.slots.get(), 0, 2); });
+    sim.spawn([st] { st->forced = Ops::release(st->t.slots.get(), 0, 2); });
+    sim.spawn([st] { st->claimed = Ops::try_claim(st->t.slots.get(), 0, 1); });
+    sim.on_exit([st] {
+      check::expect(st->coop != st->forced,
+                    "exactly one release must win (no double-free count)");
+      const ProgramId user = Ops::user_of(st->t.slots.get(), 0);
+      check::expect(user != 2u, "dead program must not end up owning a core");
+      check::expect(user == (st->claimed ? 1u : kNoProgram),
+                    "slot must end free or owned by the survivor");
+    });
+  });
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+  EXPECT_FALSE(r.truncated);
+  EXPECT_GT(r.executions, 1);
+}
+
+// Stale sweep vs the home owner's reclaim. Core 0 homes program 1 but is
+// held by crashed program 2. The sweeper force-releases (2 -> free) while
+// program 1 reclaims its home core (2 -> 1) — both target the same slot
+// value, so CAS arbitration must hand it to exactly one path and the core
+// must never be lost or duplicated.
+TEST(CoreTableCheck, StaleSweepVsHomeReclaim) {
+  const Result r = check::explore(exhaustive(), [](Sim& sim) {
+    struct State {
+      State() : t(2) { t.slots[0].store(2, std::memory_order_relaxed); }
+      Table t;
+      bool forced = false;
+      bool reclaimed = false;
+    };
+    auto st = std::make_shared<State>();
+    sim.spawn([st] { st->forced = Ops::release(st->t.slots.get(), 0, 2); });
+    sim.spawn([st] {
+      st->reclaimed = Ops::try_reclaim(st->t.slots.get(), 2, 2, 0, 1);
+    });
+    sim.on_exit([st] {
+      check::expect(st->forced != st->reclaimed,
+                    "force-release and reclaim must arbitrate via CAS");
+      const ProgramId user = Ops::user_of(st->t.slots.get(), 0);
+      check::expect(user == (st->reclaimed ? 1u : kNoProgram),
+                    "core lost or duplicated in sweep-vs-reclaim race");
+      check::expect(user != 2u, "dead program must not keep the core");
+    });
+  });
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+  EXPECT_FALSE(r.truncated);
+}
+
 }  // namespace
 }  // namespace dws

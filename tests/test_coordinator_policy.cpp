@@ -94,6 +94,36 @@ TEST(CoordinatorPolicy, HigherThresholdSuppressesMarginalWakes) {
   EXPECT_EQ(strict.decide(snap(16, 4, 8, 0, 8)).total(), 4u);  // 4 >= 4
 }
 
+TEST(CoordinatorPolicy, SubUnityThresholdWakesOnFractionalDemand) {
+  // Regression: Eq. 1 demand was truncated with static_cast<unsigned>, so
+  // a wake_threshold < 1 was inert — a backlog per worker in
+  // (threshold, 1) passed the guard but then truncated to zero wakes.
+  // Demand now rounds to the nearest worker.
+  CoordinatorPolicy eager(0.5);
+  // N_w = 3/4 = 0.75: above the 0.5 threshold, rounds to 1 worker.
+  const WakeDecision d = eager.decide(snap(3, 4, 8, 0, 8));
+  EXPECT_EQ(d.total(), 1u);
+  EXPECT_EQ(d.wake_on_free, 1u);
+}
+
+TEST(CoordinatorPolicy, DemandRoundingIsNearest) {
+  CoordinatorPolicy p;
+  // 10/4 = 2.5 rounds (half away from zero) to 3, not truncates to 2.
+  EXPECT_EQ(p.decide(snap(10, 4, 8, 0, 8)).total(), 3u);
+  // 9/4 = 2.25 rounds down to 2.
+  EXPECT_EQ(p.decide(snap(9, 4, 8, 0, 8)).total(), 2u);
+}
+
+TEST(CoordinatorPolicy, DemandRoundingToZeroWakesNoOne) {
+  // With a very low threshold a demand that rounds to zero workers must
+  // early-return an empty decision, not underflow or wake anyone.
+  CoordinatorPolicy eager(0.1);
+  const WakeDecision d = eager.decide(snap(1, 5, 8, 4, 8));  // N_w = 0.2
+  EXPECT_EQ(d.total(), 0u);
+  EXPECT_EQ(d.wake_on_free, 0u);
+  EXPECT_EQ(d.wake_on_reclaim, 0u);
+}
+
 // Property sweep over a grid of snapshots: the three paper constraints
 // must hold for every input.
 class CoordinatorPolicyProperty
@@ -215,6 +245,166 @@ TEST(CoordinatorDriver, TwoDriversNeverDoubleClaim) {
   for (CoreId c : w1.claimed) all.insert(c);
   for (CoreId c : w2.claimed) all.insert(c);
   EXPECT_EQ(all.size(), 16u);  // disjoint
+}
+
+// ---------------------------------------------------------------------------
+// StaleSweeper: liveness-epoch stall detection + stale-core recovery.
+// All tests inject an AliveProbe so no real kill(2) is involved.
+
+class StaleSweeperTest : public ::testing::Test {
+ protected:
+  StaleSweeperTest() : local_(8, 2), table_(local_.table()) {
+    me_ = table_.register_program();      // id 1, homes cores 0-3
+    victim_ = table_.register_program();  // id 2, homes cores 4-7
+    table_.bind_liveness(me_, 100);
+    table_.bind_liveness(victim_, 200);
+    table_.claim_home_cores(me_);
+    table_.claim_home_cores(victim_);
+  }
+
+  CoreTableLocal local_;
+  CoreTable& table_;
+  ProgramId me_ = 0;
+  ProgramId victim_ = 0;
+};
+
+TEST_F(StaleSweeperTest, HeartbeatingProgramIsNeverSwept) {
+  StaleSweeper sweeper(table_, me_, 2,
+                       [](std::uint32_t) { return false; });  // all "dead"
+  for (int period = 0; period < 10; ++period) {
+    table_.heartbeat(victim_);  // victim keeps beating
+    EXPECT_TRUE(sweeper.sweep().empty()) << "period " << period;
+  }
+  EXPECT_EQ(table_.count_active(victim_), 4u);
+}
+
+TEST_F(StaleSweeperTest, DeadProgramIsSweptAfterExactlyStalePeriods) {
+  constexpr unsigned kStale = 3;
+  StaleSweeper sweeper(table_, me_, kStale,
+                       [](std::uint32_t) { return false; });
+  // The victim stops heartbeating (crashed). The first sweep records the
+  // baseline epoch; the stall clock then needs kStale stalled periods, so
+  // the sweep fires on pass kStale + 1 — i.e. after observing the epoch
+  // unchanged across kStale full periods.
+  for (unsigned period = 0; period < kStale; ++period) {
+    EXPECT_TRUE(sweeper.sweep().empty()) << "period " << period;
+  }
+  const StaleSweepResult r = sweeper.sweep();
+  ASSERT_EQ(r.declared_dead.size(), 1u);
+  EXPECT_EQ(r.declared_dead[0], victim_);
+  EXPECT_EQ(r.freed.size(), 4u);
+  EXPECT_EQ(table_.count_active(victim_), 0u);
+  EXPECT_EQ(table_.liveness_os_pid(victim_), 0u);  // record retired
+  // My own cores were never touched.
+  EXPECT_EQ(table_.count_active(me_), 4u);
+}
+
+TEST_F(StaleSweeperTest, KillProbeVetoesStalledButAliveProgram) {
+  // A program can stall its epoch while alive (e.g. an EP co-runner with
+  // no coordinator thread, or one wedged in a long syscall). The kill(2)
+  // probe is authoritative: alive means never swept.
+  StaleSweeper sweeper(table_, me_, 2, [](std::uint32_t) { return true; });
+  for (int period = 0; period < 10; ++period) {
+    EXPECT_TRUE(sweeper.sweep().empty());
+  }
+  EXPECT_EQ(table_.count_active(victim_), 4u);
+}
+
+TEST_F(StaleSweeperTest, AliveVerdictResetsTheStallClock) {
+  // Probe says alive for a while, then the process really dies: the stall
+  // clock must restart from the alive verdict, not fire immediately.
+  int alive_calls = 2;
+  StaleSweeper sweeper(table_, me_, 2, [&alive_calls](std::uint32_t) {
+    return alive_calls-- > 0;
+  });
+  int sweeps_until_dead = 0;
+  while (sweeper.sweep().empty()) {
+    ASSERT_LT(++sweeps_until_dead, 20) << "sweeper never fired";
+  }
+  // Two alive verdicts each bought the victim stale_periods more sweeps.
+  EXPECT_GE(sweeps_until_dead, 4);
+}
+
+TEST_F(StaleSweeperTest, UnboundProgramIsNeverSwept) {
+  // os_pid == 0 means no liveness evidence was ever published (e.g. a
+  // co-runner predating the protocol). Without evidence there is no
+  // verdict: those cores are never force-released.
+  CoreTableLocal fresh(8, 2);
+  CoreTable& t = fresh.table();
+  const ProgramId a = t.register_program();
+  const ProgramId b = t.register_program();
+  t.bind_liveness(a, 100);
+  t.claim_home_cores(a);
+  t.claim_home_cores(b);  // b never binds liveness
+  StaleSweeper sweeper(t, a, 1, [](std::uint32_t) { return false; });
+  for (int period = 0; period < 5; ++period) {
+    EXPECT_TRUE(sweeper.sweep().empty());
+  }
+  EXPECT_EQ(t.count_active(b), 4u);
+}
+
+TEST_F(StaleSweeperTest, SweeperSkipsItself) {
+  // I never heartbeat in this test, and the probe says dead — but a
+  // sweeper must not declare its own program stale.
+  StaleSweeper sweeper(table_, me_, 1, [](std::uint32_t) { return false; });
+  table_.heartbeat(victim_);
+  table_.heartbeat(victim_);
+  const StaleSweepResult first = sweeper.sweep();
+  EXPECT_TRUE(first.empty());
+  table_.heartbeat(victim_);
+  EXPECT_TRUE(sweeper.sweep().empty());
+  EXPECT_EQ(table_.count_active(me_), 4u);
+}
+
+TEST_F(StaleSweeperTest, ZeroStalePeriodsDisablesTheSweep) {
+  StaleSweeper sweeper(table_, me_, 0, [](std::uint32_t) { return false; });
+  for (int period = 0; period < 5; ++period) {
+    EXPECT_TRUE(sweeper.sweep().empty());
+  }
+  EXPECT_EQ(table_.count_active(victim_), 4u);
+}
+
+TEST_F(StaleSweeperTest, TwoSweepersElectExactlyOneRecoverer) {
+  // Both survivors notice the same dead program; the retire_liveness CAS
+  // guarantees exactly one wins and frees the cores (no double-count).
+  CoreTableLocal fresh(12, 3);
+  CoreTable& t = fresh.table();
+  const ProgramId a = t.register_program();
+  const ProgramId b = t.register_program();
+  const ProgramId dead = t.register_program();
+  t.bind_liveness(a, 100);
+  t.bind_liveness(b, 101);
+  t.bind_liveness(dead, 102);
+  t.claim_home_cores(dead);  // 4 cores
+  auto dead_probe = [](std::uint32_t) { return false; };
+  StaleSweeper sa(t, a, 1, dead_probe);
+  StaleSweeper sb(t, b, 1, dead_probe);
+  // Keep a and b beating so they never sweep each other.
+  auto beat = [&] {
+    t.heartbeat(a);
+    t.heartbeat(b);
+  };
+  beat();
+  EXPECT_TRUE(sa.sweep().empty());  // baseline pass
+  EXPECT_TRUE(sb.sweep().empty());
+  beat();
+  StaleSweepResult ra = sa.sweep();
+  StaleSweepResult rb = sb.sweep();
+  int winners = 0;
+  std::size_t freed = 0;
+  for (const StaleSweepResult* r : {&ra, &rb}) {
+    if (!r->declared_dead.empty()) {
+      ++winners;
+      freed += r->freed.size();
+    }
+  }
+  EXPECT_EQ(winners, 1);
+  EXPECT_EQ(freed, 4u);
+  EXPECT_EQ(t.count_active(dead), 0u);
+  // Later sweeps stay quiet: the record is retired.
+  beat();
+  EXPECT_TRUE(sa.sweep().empty());
+  EXPECT_TRUE(sb.sweep().empty());
 }
 
 }  // namespace

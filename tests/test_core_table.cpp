@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -179,6 +180,89 @@ TEST(CoreTable, MoreProgramsThanCoresStillPartitions) {
 
 // Concurrency: claims on the same core from many threads must hand the
 // core to exactly one claimer.
+TEST(CoreTableLiveness, BindPublishesPidAndStartsEpochAtOne) {
+  CoreTableLocal local(8, 2);
+  CoreTable& t = local.table();
+  const ProgramId p = t.register_program();
+  EXPECT_EQ(t.liveness_os_pid(p), 0u);
+  EXPECT_EQ(t.liveness_epoch(p), 0u);
+  EXPECT_TRUE(t.bind_liveness(p, 4242));
+  EXPECT_EQ(t.liveness_os_pid(p), 4242u);
+  EXPECT_EQ(t.liveness_epoch(p), 1u);
+}
+
+TEST(CoreTableLiveness, HeartbeatAdvancesEpochMonotonically) {
+  CoreTableLocal local(8, 2);
+  CoreTable& t = local.table();
+  const ProgramId p = t.register_program();
+  ASSERT_TRUE(t.bind_liveness(p, 100));
+  for (std::uint64_t e = 1; e <= 10; ++e) {
+    EXPECT_EQ(t.liveness_epoch(p), e);
+    t.heartbeat(p);
+  }
+  EXPECT_EQ(t.liveness_epoch(p), 11u);
+}
+
+TEST(CoreTableLiveness, OutOfRangeIdsAreUntracked) {
+  CoreTableLocal local(4, 2);
+  CoreTable& t = local.table();
+  EXPECT_FALSE(t.bind_liveness(0, 1));  // kNoProgram is never tracked
+  EXPECT_FALSE(t.bind_liveness(CoreTable::kLivenessSlots + 1, 1));
+  EXPECT_EQ(t.liveness_epoch(CoreTable::kLivenessSlots + 1), 0u);
+  EXPECT_EQ(t.liveness_os_pid(CoreTable::kLivenessSlots + 1), 0u);
+  t.heartbeat(CoreTable::kLivenessSlots + 1);  // must not crash
+}
+
+TEST(CoreTableLiveness, RetireRequiresMatchingOsPid) {
+  CoreTableLocal local(8, 2);
+  CoreTable& t = local.table();
+  const ProgramId p = t.register_program();
+  ASSERT_TRUE(t.bind_liveness(p, 777));
+  // Wrong expected pid: the CAS loses (protects against retiring a slot
+  // that a recycled program id has since re-bound).
+  EXPECT_FALSE(t.retire_liveness(p, 778));
+  EXPECT_EQ(t.liveness_os_pid(p), 777u);
+  // Matching pid wins exactly once — a second retire finds 0 and loses.
+  EXPECT_TRUE(t.retire_liveness(p, 777));
+  EXPECT_EQ(t.liveness_os_pid(p), 0u);
+  EXPECT_FALSE(t.retire_liveness(p, 777));
+}
+
+TEST(CoreTableLiveness, UnregisterRetiresTheLivenessRecord) {
+  CoreTableLocal local(8, 2);
+  CoreTable& t = local.table();
+  const ProgramId p = t.register_program();
+  ASSERT_TRUE(t.bind_liveness(p, 555));
+  t.unregister_program(p);
+  // A clean exit leaves no liveness evidence, so no sweeper will ever
+  // consider this id stale.
+  EXPECT_EQ(t.liveness_os_pid(p), 0u);
+}
+
+TEST(CoreTableLiveness, RegisteredProgramsTracksRegistrations) {
+  CoreTableLocal local(8, 4);
+  CoreTable& t = local.table();
+  EXPECT_EQ(t.registered_programs(), 0u);
+  t.register_program();
+  t.register_program();
+  EXPECT_EQ(t.registered_programs(), 2u);
+}
+
+TEST(CoreTableLiveness, ForceReleaseAllFreesExactlyTheVictimsCores) {
+  CoreTableLocal local(8, 2);
+  CoreTable& t = local.table();
+  const ProgramId p = t.register_program();
+  const ProgramId q = t.register_program();
+  t.claim_home_cores(p);  // cores 0-3
+  t.claim_home_cores(q);  // cores 4-7
+  const std::vector<CoreId> freed = t.force_release_all(q);
+  EXPECT_EQ(freed.size(), 4u);
+  EXPECT_EQ(t.count_active(q), 0u);
+  EXPECT_EQ(t.count_active(p), 4u);  // survivor untouched
+  EXPECT_EQ(t.count_free(), 4u);
+  for (CoreId c : freed) EXPECT_EQ(t.user_of(c), kNoProgram);
+}
+
 TEST(CoreTableConcurrency, ExactlyOneClaimWinsPerCore) {
   constexpr unsigned kCores = 16;
   constexpr unsigned kThreads = 8;

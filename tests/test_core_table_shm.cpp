@@ -3,11 +3,15 @@
 // deployment (§3.4).
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "core/core_table_shm.hpp"
@@ -198,6 +202,94 @@ TEST(CoreTableShm, MultiProcessClaimReleaseChurn) {
     EXPECT_EQ(WEXITSTATUS(wstatus), 0);
   }
   EXPECT_EQ(parent.table().count_free(), kCores);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded attach handshake: a creator that died mid-initialization must
+// surface as a typed TableAttachError after the timeout, never as an
+// unbounded spin. The two crash windows are (a) after shm_open, before
+// ftruncate (segment stuck at size 0) and (b) after ftruncate, before the
+// table magic word is published.
+
+CoreTableShm::Options short_timeout() {
+  CoreTableShm::Options opt;
+  opt.attach_timeout = std::chrono::milliseconds(100);
+  return opt;
+}
+
+TEST(CoreTableShmAttach, TimesOutWhenSegmentNeverReachesSize) {
+  // Simulate a creator dead between shm_open and ftruncate: the segment
+  // exists but stays zero-sized forever.
+  ShmGuard guard(unique_name("deadsize"));
+  const int fd =
+      ::shm_open(guard.name().c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(CoreTableShm(guard.name(), 8, 2, short_timeout()),
+               TableAttachError);
+  const auto waited = std::chrono::steady_clock::now() - start;
+  // Bounded: expired near the configured timeout, not the 5 s default.
+  EXPECT_LT(waited, std::chrono::seconds(2));
+}
+
+TEST(CoreTableShmAttach, TimesOutWhenMagicIsNeverPublished) {
+  // Simulate a creator dead between ftruncate and the table format: the
+  // segment has its full size but all-zero contents (no magic word).
+  ShmGuard guard(unique_name("deadmagic"));
+  const int fd =
+      ::shm_open(guard.name().c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::ftruncate(
+                fd, static_cast<off_t>(CoreTable::required_bytes(8))),
+            0);
+  ::close(fd);
+
+  EXPECT_THROW(CoreTableShm(guard.name(), 8, 2, short_timeout()),
+               TableAttachError);
+}
+
+TEST(CoreTableShmAttach, ErrorCarriesTimedOutCode) {
+  ShmGuard guard(unique_name("errcode"));
+  const int fd =
+      ::shm_open(guard.name().c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+  try {
+    CoreTableShm t(guard.name(), 8, 2, short_timeout());
+    FAIL() << "attach to a zero-sized segment must not succeed";
+  } catch (const TableAttachError& e) {
+    EXPECT_EQ(e.code(), std::make_error_code(std::errc::timed_out));
+  }
+}
+
+TEST(CoreTableShmAttach, RemoveThenRetryRecoversFromDeadCreator) {
+  // The documented recovery path: a TableAttachError means the creator is
+  // gone; remove() clears the residue and the next construction formats a
+  // fresh segment as the new creator.
+  ShmGuard guard(unique_name("recover"));
+  const int fd =
+      ::shm_open(guard.name().c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+
+  EXPECT_THROW(CoreTableShm(guard.name(), 8, 2, short_timeout()),
+               TableAttachError);
+  CoreTableShm::remove(guard.name());
+  CoreTableShm fresh(guard.name(), 8, 2, short_timeout());
+  EXPECT_TRUE(fresh.is_creator());
+  EXPECT_EQ(fresh.table().count_free(), 8u);
+}
+
+TEST(CoreTableShmAttach, AttachWithinTimeoutStillSucceeds) {
+  // The bounded wait must not break the healthy path: an attacher that
+  // races a live creator by a few milliseconds still succeeds.
+  ShmGuard guard(unique_name("healthy"));
+  CoreTableShm creator(guard.name(), 8, 2, short_timeout());
+  CoreTableShm attacher(guard.name(), 8, 2, short_timeout());
+  EXPECT_FALSE(attacher.is_creator());
+  EXPECT_EQ(attacher.table().num_cores(), 8u);
 }
 
 }  // namespace

@@ -65,10 +65,15 @@ TEST_F(Reproduction, Fig4DwsMatchesOrBeatsEpOnEveryMixTotal) {
 
 TEST_F(Reproduction, Fig4DwsWinsBigOnDemandAsymmetricMix) {
   // The headline: on (1, 8) — scalable FFT + unscalable Mergesort — DWS
-  // must beat EP by a double-digit margin (paper: up to 37.1%).
+  // must clearly beat EP (paper: up to 37.1% on real hardware; at this
+  // reduced scale the margin is a few percent). The margin tightened from
+  // 5% to 3% when the Algorithm-1 off-by-one was fixed (StealPolicy now
+  // sleeps on the T_SLEEP-th failed sweep, not the (T_SLEEP+1)-th), which
+  // costs DWS slightly on this mix at T_SLEEP = k; the DWS < EP ordering
+  // — the paper's actual claim — is unchanged.
   const double ep = mix_sum({1, 8}, SchedMode::kEp);
   const double dws = mix_sum({1, 8}, SchedMode::kDws);
-  EXPECT_LT(dws, ep * 0.95) << "no demand-asymmetry gain on (1,8)";
+  EXPECT_LT(dws, ep * 0.97) << "no demand-asymmetry gain on (1,8)";
 }
 
 TEST_F(Reproduction, Fig4DwsBalancesCoRunners) {

@@ -1,6 +1,8 @@
 // Unit + property tests for the Algorithm-1 steal policy state machine.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/config.hpp"
 #include "core/steal_policy.hpp"
 
@@ -35,12 +37,13 @@ TEST(StealPolicy, BwsAlwaysYields) {
   }
 }
 
-TEST(StealPolicy, DwsSleepsAfterExactlyTSleepPlusOneFailures) {
-  // Algorithm 1 line 14: sleep when failed_steals > T_SLEEP, i.e. the
-  // (T_SLEEP+1)-th consecutive failure triggers sleep.
+TEST(StealPolicy, DwsSleepsOnExactlyTheTSleepthFailure) {
+  // Algorithm 1 line 14: sleep once T_SLEEP consecutive steals have
+  // failed — the T_SLEEP-th failure triggers sleep. (Regression test for
+  // the historical `>` off-by-one that slept on the (T_SLEEP+1)-th.)
   constexpr int kTSleep = 16;
   StealPolicy p(SchedMode::kDws, kTSleep);
-  for (int i = 0; i < kTSleep; ++i) {
+  for (int i = 0; i < kTSleep - 1; ++i) {
     EXPECT_EQ(p.on_steal_failed(), StealOutcome::kYield) << "failure " << i;
   }
   EXPECT_EQ(p.on_steal_failed(), StealOutcome::kSleep);
@@ -50,7 +53,7 @@ TEST(StealPolicy, TaskAcquisitionResetsTheCounter) {
   constexpr int kTSleep = 4;
   StealPolicy p(SchedMode::kDws, kTSleep);
   for (int round = 0; round < 10; ++round) {
-    for (int i = 0; i < kTSleep; ++i) {
+    for (int i = 0; i < kTSleep - 1; ++i) {
       EXPECT_EQ(p.on_steal_failed(), StealOutcome::kYield);
     }
     p.on_task_acquired();  // success resets; never reaches sleep
@@ -59,7 +62,7 @@ TEST(StealPolicy, TaskAcquisitionResetsTheCounter) {
 }
 
 TEST(StealPolicy, SleepResetsTheCounter) {
-  StealPolicy p(SchedMode::kDwsNc, 2);
+  StealPolicy p(SchedMode::kDwsNc, 3);
   EXPECT_EQ(p.on_steal_failed(), StealOutcome::kYield);
   EXPECT_EQ(p.on_steal_failed(), StealOutcome::kYield);
   EXPECT_EQ(p.on_steal_failed(), StealOutcome::kSleep);
@@ -70,6 +73,13 @@ TEST(StealPolicy, SleepResetsTheCounter) {
 
 TEST(StealPolicy, TSleepZeroSleepsOnFirstFailure) {
   StealPolicy p(SchedMode::kDws, 0);
+  EXPECT_EQ(p.on_steal_failed(), StealOutcome::kSleep);
+}
+
+TEST(StealPolicy, TSleepOneAlsoSleepsOnFirstFailure) {
+  // T_SLEEP = 1 means "sleep after one failed steal": with the corrected
+  // comparison the first failure already meets the threshold.
+  StealPolicy p(SchedMode::kDws, 1);
   EXPECT_EQ(p.on_steal_failed(), StealOutcome::kSleep);
 }
 
@@ -109,8 +119,9 @@ TEST(SchedModeTraits, SleepAndSpaceShareFlags) {
   EXPECT_FALSE(mode_space_shares(SchedMode::kDwsNc));
 }
 
-// Property sweep: for every T_SLEEP the policy yields exactly T_SLEEP
-// times before sleeping, for both sleeping modes.
+// Property sweep: for every T_SLEEP the policy yields exactly
+// max(T_SLEEP - 1, 0) times before the T_SLEEP-th failure sleeps, for
+// both sleeping modes (Algorithm 1: sleep *after* T_SLEEP failures).
 class StealPolicySweep
     : public ::testing::TestWithParam<std::tuple<SchedMode, int>> {};
 
@@ -119,7 +130,8 @@ TEST_P(StealPolicySweep, SleepTriggersAtThresholdExactly) {
   StealPolicy p(mode, t_sleep);
   int yields = 0;
   while (p.on_steal_failed() == StealOutcome::kYield) ++yields;
-  EXPECT_EQ(yields, t_sleep);
+  EXPECT_EQ(yields, std::max(t_sleep - 1, 0));
+  EXPECT_EQ(p.failed_steals(), std::max(t_sleep, 1));
 }
 
 INSTANTIATE_TEST_SUITE_P(
