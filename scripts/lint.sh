@@ -26,6 +26,38 @@ if [ -n "${BAD_KILL}" ]; then
   exit 1
 fi
 
+# Thread-creation lint: spawning OS threads is the scheduler's job. Raw
+# std::thread / pthread_create is sanctioned only under src/runtime/ (the
+# worker pool), src/harness/ (co-runner processes) and src/check/ (the
+# model-checking harness's controlled threads). Kernels and policy code
+# that start their own threads bypass the work-stealing model — and the
+# race detector's serial replay cannot see them.
+# (std::thread::hardware_concurrency is a core count query, not a spawn.)
+BAD_THREADS=$(git ls-files 'src/**/*.cpp' 'src/**/*.hpp' \
+  | grep -v -e '^src/runtime/' -e '^src/harness/' -e '^src/check/' \
+  | xargs grep -n -E 'std::thread|pthread_create' 2>/dev/null \
+  | grep -v 'std::thread::hardware_concurrency' || true)
+if [ -n "${BAD_THREADS}" ]; then
+  echo "lint: raw thread creation outside src/runtime|harness|check:"
+  echo "${BAD_THREADS}"
+  exit 1
+fi
+
+# Strictness lint, static half (the runtime half lives in
+# runtime/strict.hpp): a heap- or static-storage TaskGroup out-lives its
+# creating scope, which breaks the fully-strict join model the scheduler
+# assumes. Tests are exempt — they construct escaping groups on purpose
+# to exercise the runtime validator.
+BAD_GROUPS=$(git ls-files 'src/**/*.cpp' 'src/**/*.hpp' \
+  'examples/*.cpp' 'bench/*.cpp' \
+  | xargs grep -n -E 'new[[:space:]]+[A-Za-z:_<>, ]*TaskGroup|static[[:space:]]+[A-Za-z:_<>, ]*TaskGroup' \
+  2>/dev/null || true)
+if [ -n "${BAD_GROUPS}" ]; then
+  echo "lint: TaskGroup with non-automatic storage (escapes its scope):"
+  echo "${BAD_GROUPS}"
+  exit 1
+fi
+
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "lint: clang-tidy not found; skipping (install clang-tidy to lint)"
   exit 0

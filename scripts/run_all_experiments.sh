@@ -15,6 +15,57 @@ if [ ! -d "$BUILD/bench" ]; then
   exit 1
 fi
 
+BENCHES=(
+  bench_table2_baselines bench_fig4_mixes bench_fig5_nc bench_fig6_tsleep
+  bench_ablation_coordinator_period bench_ablation_ingredients
+  bench_single_program_overhead bench_scalability_multiprog
+  bench_bws_comparison bench_asymmetric bench_worksharing bench_cache_model
+  bench_machine_width bench_fig4_confidence bench_adaptive_tsleep
+  bench_blocked_linalg bench_timeline bench_deque bench_spawn
+)
+
+# Fail fast, before any figure is regenerated, if a bench binary is
+# missing or predates a first-party source — a stale build silently
+# produces tables that do not match the checked-out code. Rebuild, or
+# set DWS_SKIP_CHECKS=1 to run anyway (e.g. sources touched only by
+# formatting).
+if [ "${DWS_SKIP_CHECKS:-0}" != "1" ]; then
+  missing=()
+  stale=()
+  for name in "${BENCHES[@]}"; do
+    bin="$BUILD/bench/$name"
+    if [ ! -x "$bin" ]; then
+      missing+=("$name")
+    elif [ -n "$(find src bench \( -name '*.cpp' -o -name '*.hpp' \) \
+                   -newer "$bin" -print -quit 2>/dev/null)" ]; then
+      stale+=("$name")
+    fi
+  done
+  if [ "${#missing[@]}" -gt 0 ] || [ "${#stale[@]}" -gt 0 ]; then
+    [ "${#missing[@]}" -gt 0 ] && echo "missing bench binaries: ${missing[*]}" >&2
+    [ "${#stale[@]}" -gt 0 ] && echo "stale bench binaries (older than sources): ${stale[*]}" >&2
+    echo "rebuild first: cmake --build $BUILD -j  (or DWS_SKIP_CHECKS=1 to override)" >&2
+    exit 1
+  fi
+
+  # Preflight the correctness suites so every regenerated figure is
+  # backed by a passing check/crash/race run; record which labels the
+  # build actually provides (race is absent under -DDWS_RACE=OFF).
+  LABELS_RUN=()
+  LABELS_EMPTY=()
+  for label in check crash race; do
+    n=$(ctest --test-dir "$BUILD" -N -L "$label" 2>/dev/null \
+          | sed -n 's/^Total Tests: //p')
+    if [ "${n:-0}" -gt 0 ]; then
+      echo "== ctest -L $label ($n tests)"
+      ctest --test-dir "$BUILD" -L "$label" --output-on-failure
+      LABELS_RUN+=("$label")
+    else
+      LABELS_EMPTY+=("$label")
+    fi
+  done
+fi
+
 run() {
   local name="$1"; shift
   echo "== $name"
@@ -43,3 +94,8 @@ run bench_deque --benchmark_min_time=0.1
 run bench_spawn --benchmark_min_time=0.1
 
 echo "all experiment outputs written to $OUT/"
+if [ "${DWS_SKIP_CHECKS:-0}" != "1" ]; then
+  echo "ctest labels exercised: ${LABELS_RUN[*]:-none}"
+  [ "${#LABELS_EMPTY[@]}" -gt 0 ] \
+    && echo "ctest labels with no tests in this build: ${LABELS_EMPTY[*]}"
+fi

@@ -39,6 +39,11 @@ constexpr std::size_t kParallelCutoff = 256;
 void fft_parallel(rt::Scheduler& sched, const Cplx* data, std::size_t n,
                   std::size_t stride, Cplx* out, Cplx* scratch) {
   if (n <= kParallelCutoff) {
+    // Footprint of the serial subtree: reads the strided input segment,
+    // fills out[0..n) using scratch[0..n) as working space.
+    race::read(data, n, static_cast<std::ptrdiff_t>(stride));
+    race::write(out, n);
+    race::write(scratch, n);
     fft_serial(data, n, stride, out, scratch);
     return;
   }
@@ -53,6 +58,12 @@ void fft_parallel(rt::Scheduler& sched, const Cplx* data, std::size_t n,
   // Parallel butterfly combine.
   rt::parallel_for(sched, 0, static_cast<std::int64_t>(half), 512,
                    [&](std::int64_t b, std::int64_t e) {
+                     race::read(scratch + b, static_cast<std::size_t>(e - b));
+                     race::read(scratch + half + b,
+                                static_cast<std::size_t>(e - b));
+                     race::write(out + b, static_cast<std::size_t>(e - b));
+                     race::write(out + half + b,
+                                 static_cast<std::size_t>(e - b));
                      for (std::int64_t i = b; i < e; ++i) {
                        const double angle =
                            -2.0 * std::numbers::pi * static_cast<double>(i) /
@@ -78,6 +89,7 @@ FftApp::FftApp(std::size_t n, std::uint64_t seed) : n_(n) {
 }
 
 void FftApp::run(rt::Scheduler& sched) {
+  race::region race_scope("FFT");
   std::vector<Cplx> scratch(n_);
   output_.assign(n_, Cplx{});
   fft_parallel(sched, input_.data(), n_, 1, output_.data(), scratch.data());

@@ -48,6 +48,7 @@ CholeskyApp::CholeskyApp(std::size_t n, std::uint64_t seed) : n_(n) {
 }
 
 void CholeskyApp::run(rt::Scheduler& sched) {
+  race::region race_scope("Cholesky");
   l_ = a_;
   const std::size_t n = n_;
   double* l = l_.data();
@@ -59,6 +60,9 @@ void CholeskyApp::run(rt::Scheduler& sched) {
     rt::parallel_for(sched, static_cast<std::int64_t>(k) + 1,
                      static_cast<std::int64_t>(n), 16,
                      [l, n, k, dk](std::int64_t b, std::int64_t e) {
+                       // Strided column-k write: rows b..e of column k.
+                       race::write(l + b * n + k, static_cast<std::size_t>(e - b),
+                                   static_cast<std::ptrdiff_t>(n));
                        for (std::int64_t i = b; i < e; ++i) {
                          l[i * n + k] /= dk;
                        }
@@ -68,6 +72,11 @@ void CholeskyApp::run(rt::Scheduler& sched) {
         8, [l, n, k](std::int64_t rb, std::int64_t re) {
           for (std::int64_t i = rb; i < re; ++i) {
             const double lik = l[i * n + k];
+            // Reads column k rows k+1..i (strided), updates row i
+            // columns k+1..i in place.
+            race::read(l + (k + 1) * n + k, static_cast<std::size_t>(i - k),
+                       static_cast<std::ptrdiff_t>(n));
+            race::write(l + i * n + k + 1, static_cast<std::size_t>(i - k));
             for (std::int64_t j = k + 1; j <= i; ++j) {
               l[i * n + j] -= lik * l[j * n + k];
             }
@@ -129,6 +138,7 @@ LuApp::LuApp(std::size_t n, std::uint64_t seed) : n_(n) {
 }
 
 void LuApp::run(rt::Scheduler& sched) {
+  race::region race_scope("LU");
   lu_ = a_;
   const std::size_t n = n_;
   double* lu = lu_.data();
@@ -137,7 +147,10 @@ void LuApp::run(rt::Scheduler& sched) {
     rt::parallel_for(
         sched, static_cast<std::int64_t>(k) + 1, static_cast<std::int64_t>(n),
         8, [lu, n, k, pivot](std::int64_t rb, std::int64_t re) {
+          // Each row i: reads pivot row k, rewrites row i from column k.
+          race::read(lu + k * n + k, n - k);
           for (std::int64_t i = rb; i < re; ++i) {
+            race::write(lu + i * n + k, n - k);
             const double mult = lu[i * n + k] / pivot;
             lu[i * n + k] = mult;
             for (std::size_t j = k + 1; j < n; ++j) {
@@ -204,6 +217,7 @@ GeApp::GeApp(std::size_t n, std::uint64_t seed) : n_(n) {
 }
 
 void GeApp::run(rt::Scheduler& sched) {
+  race::region race_scope("GE");
   std::vector<double> a = a_;
   std::vector<double> b = b_;
   const std::size_t n = n_;
@@ -215,7 +229,13 @@ void GeApp::run(rt::Scheduler& sched) {
     rt::parallel_for(
         sched, static_cast<std::int64_t>(k) + 1, static_cast<std::int64_t>(n),
         8, [ap, bp, n, k, pivot](std::int64_t rb, std::int64_t re) {
+          // Each row i: reads pivot row k and b[k], rewrites row i from
+          // column k and b[i].
+          race::read(ap + k * n + k, n - k);
+          race::read(bp + k);
           for (std::int64_t i = rb; i < re; ++i) {
+            race::write(ap + i * n + k, n - k);
+            race::write(bp + i);
             const double mult = ap[i * n + k] / pivot;
             ap[i * n + k] = 0.0;
             for (std::size_t j = k + 1; j < n; ++j) {

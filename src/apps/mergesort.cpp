@@ -33,6 +33,7 @@ void msort_serial(std::int64_t* data, std::size_t lo, std::size_t hi,
 void msort_parallel(rt::Scheduler& sched, std::int64_t* data, std::size_t lo,
                     std::size_t hi, std::int64_t* buf) {
   if (hi - lo <= kSerialCutoff) {
+    race::write(data + lo, hi - lo);  // in-place sort of the leaf range
     std::sort(data + lo, data + hi);
     return;
   }
@@ -40,6 +41,9 @@ void msort_parallel(rt::Scheduler& sched, std::int64_t* data, std::size_t lo,
   rt::parallel_invoke(
       sched, [&] { msort_parallel(sched, data, lo, mid, buf); },
       [&] { msort_parallel(sched, data, mid, hi, buf); });
+  // The merge reads and rewrites data[lo..hi) through buf[lo..hi).
+  race::write(data + lo, hi - lo);
+  race::write(buf + lo, hi - lo);
   merge_halves(data, lo, mid, hi, buf);  // serial merge (paper's version)
 }
 
@@ -55,6 +59,7 @@ MergesortApp::MergesortApp(std::size_t n, std::uint64_t seed) {
 }
 
 void MergesortApp::run(rt::Scheduler& sched) {
+  race::region race_scope("Mergesort");
   data_ = original_;
   std::vector<std::int64_t> buf(data_.size());
   msort_parallel(sched, data_.data(), 0, data_.size(), buf.data());

@@ -58,6 +58,15 @@ double PnnApp::train(rt::Scheduler* sched) {
       double loss = 0.0;
     };
     auto map = [&](std::int64_t b, std::int64_t e) {
+      // Footprint: reads the feature rows, targets and current weights
+      // for this sample block; the gradient accumulator is task-local
+      // and the final combine is lock-protected (locks are outside the
+      // SP-bags model, so it stays unannotated — see docs/CHECKING.md).
+      race::read(&features_[static_cast<std::size_t>(b) * n_features_],
+                 static_cast<std::size_t>(e - b) * n_features_);
+      race::read(&targets_[static_cast<std::size_t>(b)],
+                 static_cast<std::size_t>(e - b));
+      race::read(weights_.data(), n_features_);
       Partial p;
       p.grad.assign(n_features_, 0.0);
       for (std::int64_t s = b; s < e; ++s) {

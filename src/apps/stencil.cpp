@@ -48,6 +48,7 @@ void HeatApp::init_grid(std::vector<double>& g) const {
 }
 
 void HeatApp::run(rt::Scheduler& sched) {
+  race::region race_scope("Heat");
   std::vector<double> cur, next;
   init_grid(cur);
   next = cur;
@@ -60,6 +61,10 @@ void HeatApp::run(rt::Scheduler& sched) {
             const double* mid = &cur[r * cols_];
             const double* down = &cur[(r + 1) * cols_];
             double* out = &next[r * cols_];
+            // Footprint: reads rows r-1..r+1 of cur, writes the interior
+            // of row r of next.
+            race::read(up, 3 * cols_);
+            race::write(out + 1, cols_ - 2);
             for (std::size_t c = 1; c + 1 < cols_; ++c) {
               out[c] = 0.25 * (up[c] + down[c] + mid[c - 1] + mid[c + 1]);
             }
@@ -119,7 +124,21 @@ void SorApp::sweep_color(rt::Scheduler* sched, std::vector<double>& g,
   auto row_body = [&g, this, color](std::int64_t rb, std::int64_t re) {
     for (std::int64_t r = rb; r < re; ++r) {
       // Red cells: (r+c) even; black: odd. Start column per row parity.
-      std::size_t c = 1 + ((static_cast<std::size_t>(r) + 1 + color) % 2);
+      const std::size_t c0 =
+          1 + ((static_cast<std::size_t>(r) + 1 + color) % 2);
+      // Footprint, strided so red and black cells stay distinct: this
+      // sweep writes the current color's cells of row r and reads the
+      // opposite color's cells in rows r-1..r+1 (the four neighbours of
+      // a cell are always the other color).
+      if (c0 + 1 < cols_) {
+        const std::size_t nc = (cols_ - 1 - c0 + 1) / 2;
+        race::write(&g[r * cols_ + c0], nc, 2);
+        race::read(&g[(r - 1) * cols_ + c0], nc, 2);
+        race::read(&g[(r + 1) * cols_ + c0], nc, 2);
+        race::read(&g[r * cols_ + c0 - 1], nc, 2);
+        race::read(&g[r * cols_ + c0 + 1], nc, 2);
+      }
+      std::size_t c = c0;
       for (; c + 1 < cols_; c += 2) {
         const std::size_t i = r * cols_ + c;
         const double neighbors = g[i - cols_] + g[i + cols_] + g[i - 1] +
@@ -137,6 +156,7 @@ void SorApp::sweep_color(rt::Scheduler* sched, std::vector<double>& g,
 }
 
 void SorApp::run(rt::Scheduler& sched) {
+  race::region race_scope("SOR");
   std::vector<double> g;
   init_grid(g);
   for (unsigned it = 0; it < iterations_; ++it) {

@@ -1,0 +1,212 @@
+#include "race/spbags.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "runtime/task.hpp"
+
+namespace dws::race {
+
+namespace {
+
+constexpr unsigned kGranuleShift = 3;  // 8-byte shadow granules
+
+}  // namespace
+
+const char* access_name(Access a) noexcept {
+  return a == Access::kWrite ? "write" : "read";
+}
+
+std::string RaceReport::to_string() const {
+  std::ostringstream os;
+  os << "determinacy race on address 0x" << std::hex << addr << std::dec
+     << ": prior " << access_name(prior) << " is logically parallel with "
+     << access_name(current) << "\n  prior access:   ";
+  for (std::size_t i = 0; i < prior_chain.size(); ++i) {
+    if (i != 0) os << " > ";
+    os << prior_chain[i];
+  }
+  os << "\n  current access: ";
+  for (std::size_t i = 0; i < current_chain.size(); ++i) {
+    if (i != 0) os << " > ";
+    os << current_chain[i];
+  }
+  return os.str();
+}
+
+SpBags::SpBags() {
+  // Element 0: the root task (the thread driving the replay), in its own
+  // S-bag. Everything it did before any spawn is a serial predecessor of
+  // all tasks.
+  cur_task_ = new_elem(-1, "root", /*is_finish=*/false, /*is_p=*/false);
+}
+
+std::int32_t SpBags::new_elem(std::int32_t parent, std::string label,
+                              bool is_finish, bool is_p) {
+  const auto id = static_cast<std::int32_t>(elems_.size());
+  elems_.push_back(Elem{parent, std::move(label), is_finish});
+  uf_parent_.push_back(id);
+  uf_rank_.push_back(0);
+  is_p_.push_back(is_p ? 1 : 0);
+  return id;
+}
+
+std::int32_t SpBags::find(std::int32_t x) noexcept {
+  std::int32_t root = x;
+  while (uf_parent_[root] != root) root = uf_parent_[root];
+  while (uf_parent_[x] != root) {  // path compression
+    const std::int32_t next = uf_parent_[x];
+    uf_parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+void SpBags::merge(std::int32_t a, std::int32_t b,
+                   bool result_is_p) noexcept {
+  std::int32_t ra = find(a);
+  std::int32_t rb = find(b);
+  if (ra != rb) {
+    if (uf_rank_[ra] < uf_rank_[rb]) std::swap(ra, rb);
+    uf_parent_[rb] = ra;
+    if (uf_rank_[ra] == uf_rank_[rb]) ++uf_rank_[ra];
+  }
+  is_p_[ra] = result_is_p ? 1 : 0;
+}
+
+bool SpBags::in_p_bag(std::int32_t task) noexcept {
+  return is_p_[find(task)] != 0;
+}
+
+void SpBags::on_spawn(rt::Scheduler& /*sched*/, rt::TaskGroup& group,
+                      rt::TaskBase* task) {
+  // Label: global spawn ordinal plus the innermost active region, so a
+  // provenance chain reads "root > spawn#2 'Heat' > spawn#7 'Heat'".
+  std::string label = "spawn#" + std::to_string(next_ordinal_++);
+  if (!regions_.empty()) {
+    label += " '";
+    label += regions_.back();
+    label += "'";
+  }
+
+  const std::int32_t parent = cur_task_;
+  const std::int32_t child =
+      new_elem(parent, std::move(label), /*is_finish=*/false, /*is_p=*/false);
+
+  std::int32_t fin;
+  if (auto it = live_finishes_.find(&group); it != live_finishes_.end()) {
+    fin = it->second;
+  } else {
+    fin = new_elem(parent, std::string(), /*is_finish=*/true, /*is_p=*/true);
+    live_finishes_.emplace(&group, fin);
+  }
+
+  // Serial elision: the child runs here, now, to completion (including
+  // everything it transitively spawns — on_spawn re-enters for those).
+  cur_task_ = child;
+  task->run_and_destroy();  // completes the group; captures exceptions
+  cur_task_ = parent;
+
+  // The child (with every serial descendant its bag accumulated) is
+  // logically parallel with all work until the group's wait.
+  merge(fin, child, /*result_is_p=*/true);
+}
+
+void SpBags::on_wait(rt::Scheduler& /*sched*/, rt::TaskGroup& group) {
+  const auto it = live_finishes_.find(&group);
+  if (it == live_finishes_.end()) return;  // nothing was spawned into it
+  // End-finish: everything the group joined is now a serial predecessor
+  // of the waiting task. Drop the address mapping — TaskGroups are
+  // routinely stack-allocated, so a later group at the same address must
+  // get a fresh finish anchor.
+  merge(cur_task_, it->second, /*result_is_p=*/false);
+  live_finishes_.erase(it);
+}
+
+void SpBags::record(std::uintptr_t addr, std::int32_t prior_task,
+                    Access prior, Access current) {
+  ++races_found_;
+  const auto key = std::make_tuple(
+      prior_task, cur_task_,
+      static_cast<std::uint8_t>((static_cast<unsigned>(prior) << 1) |
+                                static_cast<unsigned>(current)));
+  if (races_.size() >= kMaxReports || !reported_.insert(key).second) return;
+  RaceReport r;
+  r.addr = addr;
+  r.prior = prior;
+  r.current = current;
+  r.prior_chain = chain_of(prior_task);
+  r.current_chain = chain_of(cur_task_);
+  races_.push_back(std::move(r));
+}
+
+std::vector<std::string> SpBags::chain_of(std::int32_t task) const {
+  std::vector<std::string> chain;
+  for (std::int32_t t = task; t >= 0; t = elems_[t].parent_task) {
+    chain.push_back(elems_[t].label);
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+void SpBags::check_granule(std::uintptr_t granule, bool is_write) {
+  ++granules_checked_;
+  Shadow& sh = shadow_[granule];
+  const std::uintptr_t byte_addr = granule << kGranuleShift;
+  if (is_write) {
+    if (sh.writer >= 0 && in_p_bag(sh.writer)) {
+      record(byte_addr, sh.writer, Access::kWrite, Access::kWrite);
+    }
+    if (sh.reader >= 0 && in_p_bag(sh.reader)) {
+      record(byte_addr, sh.reader, Access::kRead, Access::kWrite);
+    }
+    sh.writer = cur_task_;
+  } else {
+    if (sh.writer >= 0 && in_p_bag(sh.writer)) {
+      record(byte_addr, sh.writer, Access::kWrite, Access::kRead);
+    }
+    // Keep the "deepest" reader: replace only a serial one. A parallel
+    // prior reader is stronger evidence against any future writer.
+    if (sh.reader < 0 || !in_p_bag(sh.reader)) sh.reader = cur_task_;
+  }
+}
+
+void SpBags::on_access(const void* addr, std::size_t size, std::size_t count,
+                       std::ptrdiff_t stride_bytes, bool is_write) {
+  if (size == 0) return;
+  auto base = reinterpret_cast<std::uintptr_t>(addr);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uintptr_t lo = base >> kGranuleShift;
+    const std::uintptr_t hi = (base + size - 1) >> kGranuleShift;
+    for (std::uintptr_t g = lo; g <= hi; ++g) check_granule(g, is_write);
+    base += static_cast<std::uintptr_t>(stride_bytes);
+  }
+}
+
+void SpBags::on_region_enter(const char* name) { regions_.push_back(name); }
+
+void SpBags::on_region_exit() {
+  if (!regions_.empty()) regions_.pop_back();
+}
+
+Replay::Replay(rt::Scheduler& sched)
+    : sched_(sched), det_(std::make_unique<SpBags>()) {
+  prev_sink_ = detail::tl_sink();
+  detail::tl_sink() = det_.get();
+  sched_.set_exec_hook(det_.get());
+  attached_ = true;
+}
+
+const std::vector<RaceReport>& Replay::finish() {
+  if (attached_) {
+    sched_.set_exec_hook(nullptr);
+    detail::tl_sink() = prev_sink_;
+    attached_ = false;
+  }
+  return det_->races();
+}
+
+Replay::~Replay() { finish(); }
+
+}  // namespace dws::race

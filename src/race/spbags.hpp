@@ -1,0 +1,180 @@
+// SP-bags determinacy-race detection for the task layer.
+//
+// Feng & Leiserson's Nondeterminator algorithm, in the async-finish
+// adaptation (ESP-bags) that matches this runtime's TaskGroup model:
+// spawn(group, f) is an async into the finish scope `group`, wait(group)
+// is the end-finish. The program is executed once, serially, in
+// depth-first (Cilk serial-elision) order; a disjoint-set forest over
+// "bags" of tasks maintains, at every point of that execution, whether a
+// previously-executed task is a *serial* predecessor (S-bag) of the
+// currently executing task or *logically parallel* (P-bag) with it:
+//
+//   - each task starts as the singleton S-bag of itself;
+//   - when a task spawned into finish F completes, its bag is merged
+//     into F's P-bag (it is parallel with everything up to the wait);
+//   - at wait(F), F's P-bag merges into the S-bag of the waiting task
+//     (everything F joined is now a serial predecessor).
+//
+// Shadow memory over the *annotated* addresses (dws::race::read/write
+// in runtime/api.hpp) keeps, per 8-byte granule, the last writer and one
+// representative reader; every annotated access checks that prior
+// accessors in a P-bag do not conflict. A conflict is a determinacy
+// race: some parallel schedule of the same DAG orders the two accesses
+// the other way. Reports carry spawn-tree provenance — the chain of
+// spawn sites (with active race::region labels) from the root to each
+// conflicting task.
+//
+// Known limitations (by design; see docs/CHECKING.md): only annotated
+// addresses are checked, locks are not modeled (annotated accesses that
+// are mutex-protected will be reported), and one serial execution checks
+// one DAG — input-dependent spawn trees need one replay per input.
+#pragma once
+
+#ifdef DWS_RACE_DISABLED
+#error "src/race requires a build without DWS_RACE_DISABLED (-DDWS_RACE=ON)"
+#endif
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/race_hook.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace dws::race {
+
+enum class Access : std::uint8_t { kRead = 0, kWrite = 1 };
+
+[[nodiscard]] const char* access_name(Access a) noexcept;
+
+/// One detected determinacy race between two logically parallel tasks.
+struct RaceReport {
+  std::uintptr_t addr = 0;  ///< first conflicting granule (byte address)
+  Access prior = Access::kRead;
+  Access current = Access::kRead;
+  /// Spawn-site chains, root first, for the earlier and the currently
+  /// executing access ("root > spawn#3 'FFT' > spawn#9").
+  std::vector<std::string> prior_chain;
+  std::vector<std::string> current_chain;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The detector: installed as both the scheduler's ExecHook (serial
+/// depth-first replay + SP-relation maintenance) and the thread's
+/// MemorySink (annotated-access checking). Use via Replay below.
+class SpBags final : public ExecHook, public MemorySink {
+ public:
+  SpBags();
+
+  // ExecHook
+  void on_spawn(rt::Scheduler& sched, rt::TaskGroup& group,
+                rt::TaskBase* task) override;
+  void on_wait(rt::Scheduler& sched, rt::TaskGroup& group) override;
+
+  // MemorySink
+  void on_access(const void* addr, std::size_t size, std::size_t count,
+                 std::ptrdiff_t stride_bytes, bool is_write) override;
+  void on_region_enter(const char* name) override;
+  void on_region_exit() override;
+
+  [[nodiscard]] const std::vector<RaceReport>& races() const noexcept {
+    return races_;
+  }
+  /// Total conflicting pairs observed, including those deduplicated or
+  /// dropped past the report cap.
+  [[nodiscard]] std::uint64_t races_found() const noexcept {
+    return races_found_;
+  }
+  [[nodiscard]] std::uint64_t tasks_executed() const noexcept {
+    return next_ordinal_;
+  }
+  [[nodiscard]] std::uint64_t granules_checked() const noexcept {
+    return granules_checked_;
+  }
+
+  /// Spawn-site chain (root first) of a task id from a report.
+  [[nodiscard]] std::vector<std::string> chain_of(std::int32_t task) const;
+
+  /// At most this many distinct reports are materialized.
+  static constexpr std::size_t kMaxReports = 64;
+
+ private:
+  struct Elem {
+    std::int32_t parent_task;  ///< -1 for the root
+    std::string label;         ///< empty for finish anchors
+    bool is_finish;
+  };
+  struct Shadow {
+    std::int32_t writer = -1;
+    std::int32_t reader = -1;
+  };
+
+  std::int32_t new_elem(std::int32_t parent, std::string label,
+                        bool is_finish, bool is_p);
+  [[nodiscard]] std::int32_t find(std::int32_t x) noexcept;
+  /// Union the sets of `a` and `b`; the merged root's kind becomes
+  /// `result_is_p`.
+  void merge(std::int32_t a, std::int32_t b, bool result_is_p) noexcept;
+  [[nodiscard]] bool in_p_bag(std::int32_t task) noexcept;
+  void record(std::uintptr_t addr, std::int32_t prior_task, Access prior,
+              Access current);
+  void check_granule(std::uintptr_t granule, bool is_write);
+
+  // Disjoint-set forest; element index space is shared by tasks and
+  // finish anchors.
+  std::vector<std::int32_t> uf_parent_;
+  std::vector<std::int32_t> uf_rank_;
+  std::vector<std::uint8_t> is_p_;  // meaningful at roots only
+  std::vector<Elem> elems_;
+
+  std::unordered_map<std::uintptr_t, Shadow> shadow_;  // granule -> state
+  std::unordered_map<const rt::TaskGroup*, std::int32_t> live_finishes_;
+
+  std::int32_t cur_task_ = 0;
+  std::uint64_t next_ordinal_ = 0;  // spawn counter for labels
+  std::vector<const char*> regions_;
+
+  std::vector<RaceReport> races_;
+  std::set<std::tuple<std::int32_t, std::int32_t, std::uint8_t>> reported_;
+  std::uint64_t races_found_ = 0;
+  std::uint64_t granules_checked_ = 0;
+};
+
+/// RAII serial-replay session: while alive, everything submitted to
+/// `sched` (from the constructing thread) executes serially depth-first
+/// and annotated accesses are race-checked.
+///
+///   race::Replay replay(sched);
+///   app.run(sched);                  // one full run, serial order
+///   for (auto& r : replay.finish()) std::cerr << r.to_string() << "\n";
+///
+/// The scheduler must be quiescent when the session starts and when it
+/// ends; submit work only from the constructing thread while it is
+/// active.
+class Replay {
+ public:
+  explicit Replay(rt::Scheduler& sched);
+  Replay(const Replay&) = delete;
+  Replay& operator=(const Replay&) = delete;
+  ~Replay();
+
+  /// Detach from the scheduler and return the reports. Idempotent; the
+  /// detector (and the returned reference) stays valid until the Replay
+  /// object is destroyed.
+  const std::vector<RaceReport>& finish();
+
+  [[nodiscard]] const SpBags& detector() const noexcept { return *det_; }
+
+ private:
+  rt::Scheduler& sched_;
+  std::unique_ptr<SpBags> det_;
+  MemorySink* prev_sink_ = nullptr;
+  bool attached_ = false;
+};
+
+}  // namespace dws::race

@@ -21,6 +21,77 @@
 
 #include "runtime/scheduler.hpp"
 
+namespace dws::race {
+
+// ---- Determinacy-race annotation API (see docs/CHECKING.md) ----
+//
+// Kernels annotate the shared-memory footprint of their parallel leaf
+// bodies; the SP-bags detector (src/race/) checks every pair of
+// annotated accesses from logically parallel tasks during a serial
+// replay. With no active detector on the thread each call is one
+// thread-local load and a predicted branch; with DWS_RACE_DISABLED
+// (cmake -DDWS_RACE=OFF) the calls compile to nothing.
+
+#ifndef DWS_RACE_DISABLED
+
+/// `count` elements of T read starting at `p`, consecutive elements
+/// `stride` (in elements, default contiguous) apart.
+template <typename T>
+inline void read(const T* p, std::size_t count = 1,
+                 std::ptrdiff_t stride = 1) {
+  if (MemorySink* s = detail::tl_sink(); s != nullptr) {
+    s->on_access(p, sizeof(T), count,
+                 stride * static_cast<std::ptrdiff_t>(sizeof(T)), false);
+  }
+}
+
+/// Same shape as read(); also covers read-modify-write of the range
+/// (a write conflicts with every other access, so in-place updates need
+/// only the write annotation).
+template <typename T>
+inline void write(T* p, std::size_t count = 1, std::ptrdiff_t stride = 1) {
+  if (MemorySink* s = detail::tl_sink(); s != nullptr) {
+    s->on_access(p, sizeof(T), count,
+                 stride * static_cast<std::ptrdiff_t>(sizeof(T)), true);
+  }
+}
+
+/// RAII provenance label: tasks spawned while a region is active carry
+/// its name in their spawn-tree chain in race reports.
+class region {
+ public:
+  explicit region(const char* name) noexcept : sink_(detail::tl_sink()) {
+    if (sink_ != nullptr) sink_->on_region_enter(name);
+  }
+  region(const region&) = delete;
+  region& operator=(const region&) = delete;
+  ~region() {
+    // Paired with the sink captured at entry: a detector attached or
+    // detached inside the region cannot unbalance the label stack.
+    if (sink_ != nullptr) sink_->on_region_exit();
+  }
+
+ private:
+  MemorySink* sink_;
+};
+
+#else  // DWS_RACE_DISABLED
+
+template <typename T>
+inline void read(const T*, std::size_t = 1, std::ptrdiff_t = 1) {}
+template <typename T>
+inline void write(T*, std::size_t = 1, std::ptrdiff_t = 1) {}
+class region {
+ public:
+  explicit region(const char*) noexcept {}
+  region(const region&) = delete;
+  region& operator=(const region&) = delete;
+};
+
+#endif  // DWS_RACE_DISABLED
+
+}  // namespace dws::race
+
 namespace dws::rt {
 
 namespace detail {

@@ -1,0 +1,74 @@
+// Interfaces through which the determinacy-race detector (src/race/)
+// drives the runtime without the runtime depending on it:
+//
+//  - race::ExecHook commandeers Scheduler::spawn/wait. While installed,
+//    every spawned task executes *inline, depth-first, at its spawn site*
+//    (Cilk's serial elision order) on the installing thread, and every
+//    wait() is an end-finish event. This serial replay executes one legal
+//    schedule of the task DAG while the detector maintains the
+//    series-parallel relation over it.
+//  - race::MemorySink receives the annotated memory accesses
+//    (dws::race::read/write/region in runtime/api.hpp). The sink is a
+//    thread-local: annotations are free (one load + branch) on threads
+//    with no active detector, and compile to nothing entirely when the
+//    build defines DWS_RACE_DISABLED (cmake -DDWS_RACE=OFF).
+#pragma once
+
+#include <cstddef>
+
+namespace dws::rt {
+class Scheduler;
+class TaskGroup;
+class TaskBase;
+}  // namespace dws::rt
+
+namespace dws::race {
+
+#ifndef DWS_RACE_DISABLED
+
+/// Spawn/wait interceptor. Install with Scheduler::set_exec_hook while
+/// the scheduler is quiescent (no submitted-but-unfinished work); all
+/// work submitted while installed runs serially on the submitting thread.
+class ExecHook {
+ public:
+  virtual ~ExecHook() = default;
+  /// `task` ownership transfers to the hook; it must be consumed with
+  /// run_and_destroy() (which completes the group and self-deletes).
+  /// The group's pending count has already been incremented.
+  virtual void on_spawn(rt::Scheduler& sched, rt::TaskGroup& group,
+                        rt::TaskBase* task) = 0;
+  /// End-finish: called at the top of Scheduler::wait, before the normal
+  /// drain loop (which is a no-op in pure replay — every task already ran
+  /// inline).
+  virtual void on_wait(rt::Scheduler& sched, rt::TaskGroup& group) = 0;
+};
+
+/// Consumer of annotated accesses on the current thread.
+class MemorySink {
+ public:
+  virtual ~MemorySink() = default;
+  /// `count` elements of `size` bytes starting at `addr`, consecutive
+  /// elements `stride_bytes` apart (strided annotations keep red-black
+  /// and column-walk access sets exact instead of over-approximated).
+  virtual void on_access(const void* addr, std::size_t size,
+                         std::size_t count, std::ptrdiff_t stride_bytes,
+                         bool is_write) = 0;
+  /// Provenance labels: spawns performed while a region is active carry
+  /// its name in their spawn-tree chain.
+  virtual void on_region_enter(const char* name) = 0;
+  virtual void on_region_exit() = 0;
+};
+
+namespace detail {
+/// The active sink for this thread (nullptr almost always). Set by the
+/// detector for the replay thread only; function-local so the header
+/// stays self-contained.
+inline MemorySink*& tl_sink() noexcept {
+  thread_local MemorySink* sink = nullptr;
+  return sink;
+}
+}  // namespace detail
+
+#endif  // DWS_RACE_DISABLED
+
+}  // namespace dws::race

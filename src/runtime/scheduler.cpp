@@ -117,6 +117,16 @@ TaskBase* Scheduler::try_pop_inbox() {
 }
 
 void Scheduler::wait(TaskGroup& group) {
+  group.strict_on_wait();
+#ifndef DWS_RACE_DISABLED
+  if (race::ExecHook* h = exec_hook_.load(std::memory_order_acquire);
+      h != nullptr) {
+    // End-finish for the replay's SP bookkeeping. Every task already ran
+    // inline at its spawn site, so the drain loops below fall straight
+    // through on done().
+    h->on_wait(*this, group);
+  }
+#endif
   Worker* w = current_worker();
   if (w == nullptr || &w->sched_ != this) {
     // External thread: block with a bounded poll (the group's condvar is
@@ -126,6 +136,7 @@ void Scheduler::wait(TaskGroup& group) {
       group.timed_block(std::chrono::milliseconds(1));
     }
     group.quiesce();
+    group.strict_on_wait_done();
     group.rethrow_if_exception();
     return;
   }
@@ -152,6 +163,7 @@ void Scheduler::wait(TaskGroup& group) {
   // The final completer may still be inside the group's notify; do not
   // let the caller destroy the group under it.
   group.quiesce();
+  group.strict_on_wait_done();
   group.rethrow_if_exception();
 }
 

@@ -22,6 +22,7 @@
 #include "core/core_table.hpp"
 #include "core/types.hpp"
 #include "runtime/coordinator.hpp"
+#include "runtime/race_hook.hpp"
 #include "runtime/task.hpp"
 #include "runtime/worker.hpp"
 
@@ -57,9 +58,21 @@ class Scheduler {
 
   /// Spawn `fn` into `group`. Callable from a worker of this scheduler
   /// (pushes to its own deque, Algorithm 1's common case) or from any
-  /// external thread (goes through the injection inbox).
+  /// external thread (goes through the injection inbox). Under an
+  /// installed race-replay hook the task instead executes inline,
+  /// depth-first, before this call returns.
   template <typename F>
   void spawn(TaskGroup& group, F&& fn) {
+    group.strict_on_spawn();
+#ifndef DWS_RACE_DISABLED
+    if (race::ExecHook* h = exec_hook_.load(std::memory_order_acquire);
+        h != nullptr) {
+      group.add_pending();
+      h->on_spawn(*this, group,
+                  new TaskImpl<std::decay_t<F>>(&group, std::forward<F>(fn)));
+      return;
+    }
+#endif
     group.add_pending();
     enqueue(new TaskImpl<std::decay_t<F>>(&group, std::forward<F>(fn)));
   }
@@ -107,6 +120,22 @@ class Scheduler {
     return coordinator_.get();
   }
 
+#ifndef DWS_RACE_DISABLED
+  // ---- Serial race-replay mode (src/race; see docs/CHECKING.md) ----
+
+  /// Install (or with nullptr remove) the replay hook. The scheduler
+  /// must be quiescent: every previously submitted group waited for.
+  /// While installed, all spawns execute inline on the spawning thread
+  /// in Cilk's serial depth-first order. Normally managed by
+  /// race::Replay's RAII, not called directly.
+  void set_exec_hook(race::ExecHook* h) noexcept {
+    exec_hook_.store(h, std::memory_order_release);
+  }
+  [[nodiscard]] race::ExecHook* exec_hook() const noexcept {
+    return exec_hook_.load(std::memory_order_acquire);
+  }
+#endif
+
   // ---- adaptive T_SLEEP (§6 extension; see Config::adaptive_t_sleep) ----
 
   /// The program's current threshold (== the configured one when the
@@ -152,6 +181,9 @@ class Scheduler {
 
   std::atomic<bool> shutdown_{false};
   std::atomic<int> cur_t_sleep_{0};  // resolved in the constructor
+#ifndef DWS_RACE_DISABLED
+  std::atomic<race::ExecHook*> exec_hook_{nullptr};
+#endif
 };
 
 }  // namespace dws::rt

@@ -1,0 +1,84 @@
+#include "runtime/strict.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dws::rt::strict {
+
+namespace {
+
+void default_handler(Violation v, const char* detail) {
+  std::fprintf(stderr, "dws strictness violation [%s]: %s\n",
+               violation_name(v), detail == nullptr ? "" : detail);
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<Handler> g_handler{&default_handler};
+std::atomic<std::uint64_t> g_count{0};
+
+// -1 = not yet resolved, 0 = off, 1 = on.
+std::atomic<int> g_enabled{-1};
+
+int resolve_default_enabled() noexcept {
+  if (const char* env = std::getenv("DWS_STRICT"); env != nullptr) {
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0) return 0;
+    if (env[0] != '\0') return 1;
+  }
+#ifdef NDEBUG
+  return 0;
+#else
+  return 1;
+#endif
+}
+
+}  // namespace
+
+const char* violation_name(Violation v) noexcept {
+  switch (v) {
+    case Violation::kEscapedGroup:
+      return "escaped-group";
+    case Violation::kForeignWait:
+      return "foreign-wait";
+    case Violation::kSpawnAfterCompletion:
+      return "spawn-after-completion";
+  }
+  return "unknown";
+}
+
+Handler set_handler(Handler h) noexcept {
+  return g_handler.exchange(h != nullptr ? h : &default_handler,
+                            std::memory_order_acq_rel);
+}
+
+bool enabled() noexcept {
+  int v = g_enabled.load(std::memory_order_acquire);
+  if (v < 0) {
+    // Several threads may race to resolve; they compute the same value.
+    v = resolve_default_enabled();
+    g_enabled.store(v, std::memory_order_release);
+  }
+  return v != 0;
+}
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on ? 1 : 0, std::memory_order_release);
+}
+
+std::uint64_t violation_count() noexcept {
+  return g_count.load(std::memory_order_acquire);
+}
+
+void report(Violation v, const char* detail) noexcept {
+  g_count.fetch_add(1, std::memory_order_acq_rel);
+  g_handler.load(std::memory_order_acquire)(v, detail);
+}
+
+std::uintptr_t thread_tag() noexcept {
+  thread_local char tag;
+  return reinterpret_cast<std::uintptr_t>(&tag);
+}
+
+}  // namespace dws::rt::strict

@@ -1,0 +1,66 @@
+// Strictness validator for TaskGroup usage.
+//
+// The scheduler's join model is only correct for *fully strict* usage:
+// a TaskGroup is created in some frame, spawned into by that frame and
+// its descendants, waited on by its creator, and destroyed after the
+// wait. task.hpp documents these invariants; this module enforces them
+// at runtime:
+//
+//   kEscapedGroup         a TaskGroup destroyed with tasks still pending
+//                         (the group out-lived or escaped its structured
+//                         scope; completers will write to freed memory)
+//   kForeignWait          wait() called from a thread other than the one
+//                         that created the group
+//   kSpawnAfterCompletion a spawn into a group whose wait() already
+//                         returned, from a thread other than the creator
+//                         (nobody is left to wait for the new task);
+//                         creator-thread respawn is the sanctioned reuse
+//                         pattern and reopens the group
+//
+// Cost model: each check is gated on the group's creator tag, which is 0
+// unless enforcement was enabled when the group was constructed — so a
+// release build with enforcement off pays one already-cached member load
+// per spawn/wait. Enforcement defaults to on in debug builds (!NDEBUG)
+// and can be forced either way with the DWS_STRICT environment variable
+// (1/on/0/off), which is how the sanitizer CI jobs opt in.
+#pragma once
+
+#include <cstdint>
+
+namespace dws::rt::strict {
+
+enum class Violation : int {
+  kEscapedGroup = 0,
+  kForeignWait = 1,
+  kSpawnAfterCompletion = 2,
+};
+
+[[nodiscard]] const char* violation_name(Violation v) noexcept;
+
+/// Violation callback. The default handler prints the violation and
+/// aborts (an invariant break means memory unsafety is imminent); tests
+/// install a recording handler instead.
+using Handler = void (*)(Violation v, const char* detail);
+
+/// Install `h` (nullptr restores the default print-and-abort handler).
+/// Returns the previous handler.
+Handler set_handler(Handler h) noexcept;
+
+/// Whether groups constructed *from now on* are validated. Initialized
+/// lazily: DWS_STRICT env var if set, else !NDEBUG.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Total violations reported since process start (any handler).
+[[nodiscard]] std::uint64_t violation_count() noexcept;
+
+/// Dispatch a violation to the current handler. Used by TaskGroup's
+/// inline hooks; callable from any thread.
+void report(Violation v, const char* detail) noexcept;
+
+/// A stable identity for the calling thread (address of a thread-local;
+/// never 0). Cheaper than std::this_thread::get_id and hashable for
+/// free.
+[[nodiscard]] std::uintptr_t thread_tag() noexcept;
+
+}  // namespace dws::rt::strict

@@ -12,6 +12,8 @@
 #include <thread>
 #include <utility>
 
+#include "runtime/strict.hpp"
+
 namespace dws::rt {
 
 class TaskGroup;
@@ -57,9 +59,24 @@ class TaskImpl final : public TaskBase {
 /// by any task in the group is captured and rethrown from wait().
 class TaskGroup {
  public:
-  TaskGroup() = default;
+  TaskGroup() {
+    // Strictness validation is armed per group at construction time: a
+    // creator tag of 0 (enforcement off) short-circuits every later hook
+    // to a single member load.
+    if (strict::enabled()) creator_tag_ = strict::thread_tag();
+  }
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
+
+  ~TaskGroup() {
+    if (creator_tag_ != 0 &&
+        pending_.load(std::memory_order_acquire) != 0) {
+      strict::report(strict::Violation::kEscapedGroup,
+                     "TaskGroup destroyed with tasks still pending — the "
+                     "group escaped its creating scope (completers will "
+                     "touch freed memory)");
+    }
+  }
 
   [[nodiscard]] bool done() const noexcept {
     return pending_.load(std::memory_order_acquire) == 0;
@@ -131,8 +148,46 @@ class TaskGroup {
     cv_.wait_for(lock, timeout, [this] { return done(); });
   }
 
+  // ---- Strictness hooks (called by the Scheduler; no-ops unless the
+  // group was constructed with enforcement enabled) ----
+
+  /// Before a spawn is accounted into this group.
+  void strict_on_spawn() noexcept {
+    if (creator_tag_ == 0) return;
+    if (waited_.load(std::memory_order_acquire)) {
+      if (strict::thread_tag() == creator_tag_) {
+        // Sanctioned reuse: the creator starts a new spawn/wait round.
+        waited_.store(false, std::memory_order_release);
+      } else {
+        strict::report(strict::Violation::kSpawnAfterCompletion,
+                       "spawn into a TaskGroup whose wait() already "
+                       "returned, from a thread that is not the group's "
+                       "creator — nothing will ever join this task");
+      }
+    }
+  }
+
+  /// At the top of Scheduler::wait on this group.
+  void strict_on_wait() noexcept {
+    if (creator_tag_ == 0) return;
+    if (strict::thread_tag() != creator_tag_) {
+      strict::report(strict::Violation::kForeignWait,
+                     "wait() on a TaskGroup the waiting thread did not "
+                     "create — joins must be fully strict (creator waits "
+                     "for its own children)");
+    }
+  }
+
+  /// After Scheduler::wait observed the group drained.
+  void strict_on_wait_done() noexcept {
+    if (creator_tag_ == 0) return;
+    waited_.store(true, std::memory_order_release);
+  }
+
  private:
   std::atomic<std::int64_t> pending_{0};
+  std::uintptr_t creator_tag_ = 0;  // 0 == strictness unarmed
+  std::atomic<bool> waited_{false};
   std::atomic<std::int32_t> signalers_{0};  // completers touching m_/cv_
   std::atomic<bool> has_exception_{false};
   std::exception_ptr exception_;

@@ -1,0 +1,417 @@
+// SP-bags determinacy-race detector tests (ctest label: race).
+//
+// Three layers:
+//  1. detector unit tests against hand-built spawn trees — the SP
+//     relation (siblings parallel, wait serializes), read/write rules,
+//     strided-disjointness, and provenance chains;
+//  2. clean certification — each Table-2 app replays serially with zero
+//     reports AND verifies (the replay executes the real kernel, so this
+//     also certifies the serial-elision schedule computes the right
+//     answer);
+//  3. seeded racy mutants — one deliberately broken kernel per app
+//     pattern, each of which must be flagged with a provenance chain
+//     naming the mutant's race::region.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "race/spbags.hpp"
+#include "runtime/api.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace dws {
+namespace {
+
+Config make_config(unsigned cores) {
+  Config cfg;
+  cfg.mode = SchedMode::kDws;
+  cfg.num_cores = cores;
+  cfg.pin_threads = false;
+  return cfg;
+}
+
+/// True if any report's provenance (either side) mentions `needle`.
+bool any_chain_mentions(const std::vector<race::RaceReport>& reports,
+                        const std::string& needle) {
+  for (const auto& r : reports) {
+    for (const auto& hop : r.prior_chain) {
+      if (hop.find(needle) != std::string::npos) return true;
+    }
+    for (const auto& hop : r.current_chain) {
+      if (hop.find(needle) != std::string::npos) return true;
+    }
+  }
+  return false;
+}
+
+std::string dump(const std::vector<race::RaceReport>& reports) {
+  std::string s;
+  for (const auto& r : reports) s += r.to_string() + "\n";
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// 1. Detector unit tests.
+// ---------------------------------------------------------------------
+
+TEST(SpBagsTest, SiblingWritesSameAddressRace) {
+  rt::Scheduler sched(make_config(2));
+  double x = 0.0;
+  {
+    race::Replay replay(sched);
+    rt::TaskGroup g;
+    sched.spawn(g, [&] {
+      race::write(&x);
+      x = 1.0;
+    });
+    sched.spawn(g, [&] {
+      race::write(&x);
+      x = 2.0;
+    });
+    sched.wait(g);
+    const auto& reports = replay.finish();
+    ASSERT_EQ(reports.size(), 1u) << dump(reports);
+    EXPECT_EQ(reports[0].prior, race::Access::kWrite);
+    EXPECT_EQ(reports[0].current, race::Access::kWrite);
+    EXPECT_EQ(reports[0].addr, reinterpret_cast<std::uintptr_t>(&x) &
+                                   ~std::uintptr_t{7});
+  }
+}
+
+TEST(SpBagsTest, WaitSerializesAccesses) {
+  rt::Scheduler sched(make_config(2));
+  double x = 0.0;
+  {
+    race::Replay replay(sched);
+    rt::TaskGroup g1;
+    sched.spawn(g1, [&] {
+      race::write(&x);
+      x = 1.0;
+    });
+    sched.wait(g1);
+    // After the wait the first task is a serial predecessor: no race.
+    rt::TaskGroup g2;
+    sched.spawn(g2, [&] {
+      race::write(&x);
+      x = 2.0;
+    });
+    sched.wait(g2);
+    EXPECT_TRUE(replay.finish().empty()) << dump(replay.finish());
+  }
+}
+
+TEST(SpBagsTest, ParallelReadsAreNotARace) {
+  rt::Scheduler sched(make_config(2));
+  const double x = 42.0;
+  {
+    race::Replay replay(sched);
+    rt::TaskGroup g;
+    for (int i = 0; i < 4; ++i) {
+      sched.spawn(g, [&] { race::read(&x); });
+    }
+    sched.wait(g);
+    EXPECT_TRUE(replay.finish().empty()) << dump(replay.finish());
+  }
+}
+
+TEST(SpBagsTest, ParallelReadAndWriteRace) {
+  rt::Scheduler sched(make_config(2));
+  double x = 0.0;
+  {
+    race::Replay replay(sched);
+    rt::TaskGroup g;
+    sched.spawn(g, [&] { race::read(&x); });
+    sched.spawn(g, [&] {
+      race::write(&x);
+      x = 1.0;
+    });
+    sched.wait(g);
+    const auto& reports = replay.finish();
+    ASSERT_EQ(reports.size(), 1u) << dump(reports);
+    EXPECT_EQ(reports[0].prior, race::Access::kRead);
+    EXPECT_EQ(reports[0].current, race::Access::kWrite);
+  }
+}
+
+TEST(SpBagsTest, ContinuationRacesWithSpawnedChild) {
+  rt::Scheduler sched(make_config(2));
+  double x = 0.0;
+  {
+    race::Replay replay(sched);
+    rt::TaskGroup g;
+    sched.spawn(g, [&] {
+      race::write(&x);
+      x = 1.0;
+    });
+    // The parent's continuation before wait() is parallel with the child.
+    race::read(&x);
+    sched.wait(g);
+    const auto& reports = replay.finish();
+    ASSERT_EQ(reports.size(), 1u) << dump(reports);
+    EXPECT_EQ(reports[0].prior, race::Access::kWrite);
+    EXPECT_EQ(reports[0].current, race::Access::kRead);
+  }
+}
+
+TEST(SpBagsTest, StridedAccessesWithDisjointParityDoNotRace) {
+  rt::Scheduler sched(make_config(2));
+  std::vector<double> v(64, 0.0);
+  {
+    race::Replay replay(sched);
+    rt::TaskGroup g;
+    // Even granules vs odd granules: interleaved but disjoint.
+    sched.spawn(g, [&] { race::write(v.data(), 32, 2); });
+    sched.spawn(g, [&] { race::write(v.data() + 1, 32, 2); });
+    sched.wait(g);
+    EXPECT_TRUE(replay.finish().empty()) << dump(replay.finish());
+  }
+}
+
+TEST(SpBagsTest, ReplayRunsInlineOnSubmittingThread) {
+  rt::Scheduler sched(make_config(2));
+  const auto main_id = std::this_thread::get_id();
+  int order = 0;
+  {
+    race::Replay replay(sched);
+    rt::TaskGroup g;
+    sched.spawn(g, [&] {
+      EXPECT_EQ(std::this_thread::get_id(), main_id);
+      EXPECT_EQ(order, 0);  // depth-first: runs at the spawn site
+      order = 1;
+    });
+    EXPECT_EQ(order, 1);
+    sched.spawn(g, [&] { order = 2; });
+    EXPECT_EQ(order, 2);
+    sched.wait(g);
+    EXPECT_EQ(replay.detector().tasks_executed(), 2u);
+  }
+}
+
+TEST(SpBagsTest, ProvenanceChainsAreRootFirstAndCarryRegions) {
+  rt::Scheduler sched(make_config(2));
+  double x = 0.0;
+  {
+    race::Replay replay(sched);
+    race::region scope("outer-kernel");
+    rt::TaskGroup g;
+    sched.spawn(g, [&] {
+      race::write(&x);
+      // Nested spawn: the inner task's chain goes root > outer > inner.
+      rt::TaskGroup inner;
+      sched.spawn(inner, [&] { race::write(&x); });
+      sched.wait(inner);
+    });
+    sched.spawn(g, [&] { race::write(&x); });
+    sched.wait(g);
+    const auto& reports = replay.finish();
+    ASSERT_FALSE(reports.empty());
+    for (const auto& r : reports) {
+      ASSERT_FALSE(r.prior_chain.empty());
+      ASSERT_FALSE(r.current_chain.empty());
+      EXPECT_EQ(r.prior_chain.front(), "root");
+      EXPECT_EQ(r.current_chain.front(), "root");
+    }
+    EXPECT_TRUE(any_chain_mentions(reports, "outer-kernel")) << dump(reports);
+  }
+}
+
+TEST(SpBagsTest, DuplicatePairsAreReportedOnce) {
+  rt::Scheduler sched(make_config(2));
+  std::vector<double> v(16, 0.0);
+  {
+    race::Replay replay(sched);
+    rt::TaskGroup g;
+    // Two tasks conflicting on 16 granules: one report, 16 found.
+    sched.spawn(g, [&] { race::write(v.data(), v.size()); });
+    sched.spawn(g, [&] { race::write(v.data(), v.size()); });
+    sched.wait(g);
+    const auto& reports = replay.finish();
+    EXPECT_EQ(reports.size(), 1u) << dump(reports);
+    EXPECT_EQ(replay.detector().races_found(), v.size());
+  }
+}
+
+TEST(SpBagsTest, ParallelForSubrangesDoNotRaceOnDisjointBlocks) {
+  rt::Scheduler sched(make_config(2));
+  std::vector<double> v(256, 0.0);
+  {
+    race::Replay replay(sched);
+    rt::parallel_for(sched, 0, 256, 16, [&](std::int64_t b, std::int64_t e) {
+      race::write(v.data() + b, static_cast<std::size_t>(e - b));
+      for (std::int64_t i = b; i < e; ++i) v[static_cast<std::size_t>(i)] = 1;
+    });
+    EXPECT_TRUE(replay.finish().empty()) << dump(replay.finish());
+    EXPECT_GT(replay.detector().tasks_executed(), 1u);
+  }
+}
+
+// ---------------------------------------------------------------------
+// 2. Clean certification: every Table-2 app replays race-free and
+//    verifies under the serial-elision schedule.
+// ---------------------------------------------------------------------
+
+class RaceCleanTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RaceCleanTest, AppReplaysWithoutRaces) {
+  auto app = apps::make_app(GetParam(), apps::Scale::kSmall);
+  ASSERT_NE(app, nullptr);
+  rt::Scheduler sched(make_config(2));
+  race::Replay replay(sched);
+  app->run(sched);
+  const auto& reports = replay.finish();
+  EXPECT_TRUE(reports.empty()) << dump(reports);
+  EXPECT_GT(replay.detector().granules_checked(), 0u)
+      << "app is not annotated — the clean result is vacuous";
+  EXPECT_EQ(app->verify(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, RaceCleanTest,
+                         ::testing::ValuesIn(apps::kAppNames));
+
+// ---------------------------------------------------------------------
+// 3. Seeded racy mutants: one representative broken kernel per app
+//    pattern. Each must be flagged, with provenance naming the mutant.
+// ---------------------------------------------------------------------
+
+/// Runs `kernel` under replay and checks it is flagged with provenance
+/// pointing at `region_name`.
+template <typename Kernel>
+void expect_mutant_flagged(const char* region_name, Kernel&& kernel) {
+  rt::Scheduler sched(make_config(2));
+  race::Replay replay(sched);
+  {
+    race::region scope(region_name);
+    kernel(sched);
+  }
+  const auto& reports = replay.finish();
+  ASSERT_FALSE(reports.empty()) << "mutant " << region_name << " not flagged";
+  EXPECT_TRUE(any_chain_mentions(reports, region_name)) << dump(reports);
+}
+
+TEST(RaceMutantTest, FftSharedScratchBetweenHalves) {
+  // Mutant: both recursive halves use the SAME scratch range instead of
+  // disjoint halves.
+  expect_mutant_flagged("FFT-mutant", [](rt::Scheduler& sched) {
+    std::vector<double> scratch(64, 0.0);
+    rt::parallel_invoke(
+        sched, [&] { race::write(scratch.data(), 64); },
+        [&] { race::write(scratch.data(), 64); });
+  });
+}
+
+TEST(RaceMutantTest, PnnSharedGradientWithoutReduction) {
+  // Mutant: map tasks accumulate into one shared gradient vector instead
+  // of task-local partials.
+  expect_mutant_flagged("PNN-mutant", [](rt::Scheduler& sched) {
+    std::vector<double> grad(32, 0.0);
+    rt::parallel_for(sched, 0, 64, 8, [&](std::int64_t, std::int64_t) {
+      race::read(grad.data(), grad.size());
+      race::write(grad.data(), grad.size());
+    });
+  });
+}
+
+TEST(RaceMutantTest, CholeskyFusedScaleAndUpdate) {
+  // Mutant: the column-k scale and the trailing update run in ONE
+  // parallel_for, so updates read column k while the scale rewrites it.
+  expect_mutant_flagged("Cholesky-mutant", [](rt::Scheduler& sched) {
+    const std::size_t n = 16, k = 0;
+    std::vector<double> l(n * n, 1.0);
+    double* lp = l.data();
+    rt::parallel_for(sched, 1, static_cast<std::int64_t>(n), 4,
+                     [lp, n, k](std::int64_t b, std::int64_t e) {
+                       race::write(lp + b * n + k,
+                                   static_cast<std::size_t>(e - b),
+                                   static_cast<std::ptrdiff_t>(n));
+                       race::read(lp + (k + 1) * n + k, n - k - 1,
+                                  static_cast<std::ptrdiff_t>(n));
+                     });
+  });
+}
+
+TEST(RaceMutantTest, LuEliminationRangeIncludesPivotRow) {
+  // Mutant: the update range starts at k instead of k+1 — the pivot row
+  // is rewritten while every other row reads it.
+  expect_mutant_flagged("LU-mutant", [](rt::Scheduler& sched) {
+    const std::size_t n = 16, k = 2;
+    std::vector<double> lu(n * n, 1.0);
+    double* p = lu.data();
+    rt::parallel_for(sched, static_cast<std::int64_t>(k),
+                     static_cast<std::int64_t>(n), 4,
+                     [p, n, k](std::int64_t rb, std::int64_t re) {
+                       race::read(p + k * n + k, n - k);
+                       for (std::int64_t i = rb; i < re; ++i) {
+                         race::write(p + i * n + k, n - k);
+                       }
+                     });
+  });
+}
+
+TEST(RaceMutantTest, GeEliminationClobbersPivotRhs) {
+  // Mutant: like LU but on the right-hand side — b[k] is read by every
+  // row update while the k-th task overwrites it.
+  expect_mutant_flagged("GE-mutant", [](rt::Scheduler& sched) {
+    const std::size_t n = 16, k = 1;
+    std::vector<double> b(n, 1.0);
+    double* bp = b.data();
+    rt::parallel_for(sched, static_cast<std::int64_t>(k),
+                     static_cast<std::int64_t>(n), 4,
+                     [bp, k](std::int64_t rb, std::int64_t re) {
+                       race::read(bp + k);
+                       for (std::int64_t i = rb; i < re; ++i) {
+                         race::write(bp + i);
+                       }
+                     });
+  });
+}
+
+TEST(RaceMutantTest, HeatInPlaceJacobi) {
+  // Mutant: Jacobi without the double buffer — rows are updated in place
+  // while neighbouring tasks read them.
+  expect_mutant_flagged("Heat-mutant", [](rt::Scheduler& sched) {
+    const std::size_t rows = 32, cols = 16;
+    std::vector<double> g(rows * cols, 0.0);
+    double* gp = g.data();
+    rt::parallel_for(sched, 1, static_cast<std::int64_t>(rows) - 1, 4,
+                     [gp, cols](std::int64_t rb, std::int64_t re) {
+                       for (std::int64_t r = rb; r < re; ++r) {
+                         race::read(gp + (r - 1) * cols, 3 * cols);
+                         race::write(gp + r * cols + 1, cols - 2);
+                       }
+                     });
+  });
+}
+
+TEST(RaceMutantTest, SorBothColorsInOneSweep) {
+  // Mutant: red and black cells updated in the same sweep — a row's
+  // writes hit cells its neighbours read in the same parallel region.
+  expect_mutant_flagged("SOR-mutant", [](rt::Scheduler& sched) {
+    const std::size_t rows = 32, cols = 16;
+    std::vector<double> g(rows * cols, 0.0);
+    double* gp = g.data();
+    rt::parallel_for(sched, 1, static_cast<std::int64_t>(rows) - 1, 4,
+                     [gp, cols](std::int64_t rb, std::int64_t re) {
+                       for (std::int64_t r = rb; r < re; ++r) {
+                         race::write(gp + r * cols + 1, cols - 2);
+                         race::read(gp + (r - 1) * cols, 3 * cols);
+                       }
+                     });
+  });
+}
+
+TEST(RaceMutantTest, MergesortOverlappingMergeBuffers) {
+  // Mutant: both halves merge through overlapping scratch ranges.
+  expect_mutant_flagged("Mergesort-mutant", [](rt::Scheduler& sched) {
+    std::vector<std::int64_t> buf(64, 0);
+    rt::parallel_invoke(
+        sched, [&] { race::write(buf.data(), 48); },
+        [&] { race::write(buf.data() + 16, 48); });
+  });
+}
+
+}  // namespace
+}  // namespace dws

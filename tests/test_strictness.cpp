@@ -1,0 +1,139 @@
+// Strictness-validator tests (ctest label: race): the runtime checks
+// that TaskGroup usage is fully strict — created, spawned into, waited
+// on, and destroyed under the creating scope. Each test installs a
+// recording handler (the default handler aborts, by design) and enables
+// enforcement explicitly so the suite behaves the same in release
+// builds, where enforcement is off by default.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "runtime/api.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/strict.hpp"
+
+namespace dws::rt {
+namespace {
+
+std::vector<strict::Violation>& recorded() {
+  static std::vector<strict::Violation> v;
+  return v;
+}
+
+void record_violation(strict::Violation v, const char* /*detail*/) {
+  recorded().push_back(v);
+}
+
+class StrictnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    recorded().clear();
+    was_enabled_ = strict::enabled();
+    strict::set_enabled(true);
+    prev_handler_ = strict::set_handler(&record_violation);
+  }
+  void TearDown() override {
+    strict::set_handler(prev_handler_);
+    strict::set_enabled(was_enabled_);
+  }
+
+  static Config make_config(unsigned cores) {
+    Config cfg;
+    cfg.mode = SchedMode::kDws;
+    cfg.num_cores = cores;
+    cfg.pin_threads = false;
+    return cfg;
+  }
+
+  bool was_enabled_ = false;
+  strict::Handler prev_handler_ = nullptr;
+};
+
+TEST_F(StrictnessTest, WellFormedUsageIsSilent) {
+  Scheduler sched(make_config(2));
+  TaskGroup g;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    sched.spawn(g, [&] { ran.fetch_add(1); });
+  }
+  sched.wait(g);
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_TRUE(recorded().empty());
+}
+
+TEST_F(StrictnessTest, CreatorReuseIsSanctioned) {
+  Scheduler sched(make_config(2));
+  TaskGroup g;
+  std::atomic<int> ran{0};
+  for (int round = 0; round < 3; ++round) {
+    sched.spawn(g, [&] { ran.fetch_add(1); });
+    sched.wait(g);
+  }
+  EXPECT_EQ(ran.load(), 3);
+  EXPECT_TRUE(recorded().empty());
+}
+
+TEST_F(StrictnessTest, ForeignWaitIsFlagged) {
+  Scheduler sched(make_config(2));
+  TaskGroup g;  // created on this thread
+  std::thread other([&] { sched.wait(g); });
+  other.join();
+  ASSERT_EQ(recorded().size(), 1u);
+  EXPECT_EQ(recorded()[0], strict::Violation::kForeignWait);
+}
+
+TEST_F(StrictnessTest, SpawnAfterCompletionFromForeignThreadIsFlagged) {
+  Scheduler sched(make_config(2));
+  TaskGroup g;
+  std::atomic<int> ran{0};
+  sched.spawn(g, [&] { ran.fetch_add(1); });
+  sched.wait(g);  // group completes its round
+  std::thread other([&] { sched.spawn(g, [&] { ran.fetch_add(1); }); });
+  other.join();
+  sched.wait(g);  // creator drains the stray task so teardown is clean
+  EXPECT_EQ(ran.load(), 2);
+  ASSERT_EQ(recorded().size(), 1u);
+  EXPECT_EQ(recorded()[0], strict::Violation::kSpawnAfterCompletion);
+}
+
+TEST_F(StrictnessTest, EscapedGroupIsFlaggedAtDestruction) {
+  auto* g = new TaskGroup;
+  g->add_pending();  // simulate an in-flight task that will never join
+  delete g;
+  ASSERT_EQ(recorded().size(), 1u);
+  EXPECT_EQ(recorded()[0], strict::Violation::kEscapedGroup);
+}
+
+TEST_F(StrictnessTest, DisarmedGroupsSkipChecks) {
+  // Groups constructed while enforcement is off carry no creator tag and
+  // are never validated, even if enforcement is turned on afterwards.
+  strict::set_enabled(false);
+  auto* g = new TaskGroup;
+  strict::set_enabled(true);
+  g->add_pending();
+  delete g;
+  EXPECT_TRUE(recorded().empty());
+}
+
+TEST_F(StrictnessTest, ViolationCountIsMonotonic) {
+  const std::uint64_t before = strict::violation_count();
+  auto* g = new TaskGroup;
+  g->add_pending();
+  delete g;
+  EXPECT_EQ(strict::violation_count(), before + 1);
+}
+
+TEST_F(StrictnessTest, ViolationNamesAreStable) {
+  EXPECT_STREQ(strict::violation_name(strict::Violation::kEscapedGroup),
+               "escaped-group");
+  EXPECT_STREQ(strict::violation_name(strict::Violation::kForeignWait),
+               "foreign-wait");
+  EXPECT_STREQ(
+      strict::violation_name(strict::Violation::kSpawnAfterCompletion),
+      "spawn-after-completion");
+}
+
+}  // namespace
+}  // namespace dws::rt
