@@ -43,6 +43,27 @@ if [ -n "${BAD_THREADS}" ]; then
   exit 1
 fi
 
+# Lock-annotation lint: the race detector models locks only through
+# race::lock_acquire/lock_release, so a raw std::mutex guard in kernel
+# or policy code is invisible to ALL-SETS — a locked critical section
+# would still be reported as a race (false positive) or, worse, the
+# author assumes the replay certificate covers it (it does not).
+# Sanctioned: src/runtime (race::scoped_lock itself and the worker
+# pool's internals), src/util, src/harness and src/check (not replayed
+# under the detector). Everywhere else, take locks through
+# dws::race::scoped_lock, which locks AND annotates.
+BAD_LOCKS=$(git ls-files 'src/**/*.cpp' 'src/**/*.hpp' \
+  | grep -v -e '^src/runtime/' -e '^src/util/' -e '^src/harness/' \
+            -e '^src/check/' \
+  | xargs grep -n -E 'std::(lock_guard|unique_lock|scoped_lock)[[:space:]]*<|\.lock\(\)|\.unlock\(\)' \
+  2>/dev/null | grep -v 'race::scoped_lock' || true)
+if [ -n "${BAD_LOCKS}" ]; then
+  echo "lint: raw mutex guard outside src/runtime|util|harness|check" \
+       "(use dws::race::scoped_lock so ALL-SETS sees the lock):"
+  echo "${BAD_LOCKS}"
+  exit 1
+fi
+
 # Strictness lint, static half (the runtime half lives in
 # runtime/strict.hpp): a heap- or static-storage TaskGroup out-lives its
 # creating scope, which breaks the fully-strict join model the scheduler

@@ -29,6 +29,21 @@ Range tile_range(std::size_t t, std::size_t n, std::size_t b) {
   return {t * b, std::min(n, (t + 1) * b)};
 }
 
+// Tile footprint annotations for the race detector: one contiguous
+// read/write per tile row keeps the shadow granules (8 bytes = one
+// double) exact, so the disjointness of the per-phase tile writes is
+// checked as written, not over-approximated.
+void note_tile_read(const double* m, std::size_t n, Range rows, Range cols) {
+  for (std::size_t r = rows.lo; r < rows.hi; ++r) {
+    race::read(&m[r * n + cols.lo], cols.hi - cols.lo);
+  }
+}
+void note_tile_write(double* m, std::size_t n, Range rows, Range cols) {
+  for (std::size_t r = rows.lo; r < rows.hi; ++r) {
+    race::write(&m[r * n + cols.lo], cols.hi - cols.lo);
+  }
+}
+
 }  // namespace
 
 // ---------------- Blocked Cholesky ----------------
@@ -60,6 +75,9 @@ void BlockedCholeskyApp::factorize(rt::Scheduler* sched) {
   // consuming the already-TRSM'd columns to its left implicitly because
   // the trailing updates have been applied by earlier steps.
   auto potrf = [l, n](Range d) {
+    // Reads and writes stay inside the diagonal tile (earlier steps
+    // already applied the trailing updates). write covers the RMW.
+    note_tile_write(l, n, d, d);
     for (std::size_t c = d.lo; c < d.hi; ++c) {
       l[c * n + c] = std::sqrt(l[c * n + c]);
       const double dc = l[c * n + c];
@@ -74,6 +92,10 @@ void BlockedCholeskyApp::factorize(rt::Scheduler* sched) {
   };
   // TRSM: rows of tile (I, K) against the factored diagonal tile (K, K).
   auto trsm = [l, n](Range rows, Range d) {
+    // Writes tile (I, K); reads the factored diagonal tile (K, K) and
+    // its own earlier columns (covered by the write annotation).
+    note_tile_write(l, n, rows, d);
+    note_tile_read(l, n, d, d);
     for (std::size_t r = rows.lo; r < rows.hi; ++r) {
       for (std::size_t c = d.lo; c < d.hi; ++c) {
         double s = l[r * n + c];
@@ -87,8 +109,15 @@ void BlockedCholeskyApp::factorize(rt::Scheduler* sched) {
   // SYRK/GEMM trailing update: tile (I, J) -= L(I, K) · L(J, K)ᵀ,
   // lower-triangular part only when I == J.
   auto update = [l, n](Range ri, Range rj, Range rk) {
+    // Reads the two already-TRSM'd column tiles (I, K) and (J, K);
+    // writes tile (I, J), restricted per row to the lower triangle
+    // (exactly the cells the loop touches) so the diagonal-tile updates
+    // stay precise.
+    note_tile_read(l, n, ri, rk);
+    note_tile_read(l, n, rj, rk);
     for (std::size_t r = ri.lo; r < ri.hi; ++r) {
       const std::size_t cmax = std::min(rj.hi, r + 1);
+      if (cmax > rj.lo) race::write(&l[r * n + rj.lo], cmax - rj.lo);
       for (std::size_t c = rj.lo; c < cmax; ++c) {
         double s = 0.0;
         for (std::size_t t = rk.lo; t < rk.hi; ++t) {
@@ -99,6 +128,7 @@ void BlockedCholeskyApp::factorize(rt::Scheduler* sched) {
     }
   };
 
+  race::region label("BlockedCholesky");
   for (std::size_t kk = 0; kk < nb; ++kk) {
     const Range dk = tile_range(kk, n, b);
     potrf(dk);
@@ -182,6 +212,8 @@ void BlockedLuApp::factorize(rt::Scheduler* sched) {
 
   // GETRF on the diagonal tile (unblocked Doolittle, unit-diagonal L).
   auto getrf = [lu, n](Range d) {
+    // In-tile Doolittle: footprint is the diagonal tile, RMW.
+    note_tile_write(lu, n, d, d);
     for (std::size_t c = d.lo; c < d.hi && c + 1 < d.hi; ++c) {
       const double pivot = lu[c * n + c];
       for (std::size_t r = c + 1; r < d.hi; ++r) {
@@ -195,6 +227,12 @@ void BlockedLuApp::factorize(rt::Scheduler* sched) {
   };
   // L-solve: tile (K, J) := L(K,K)⁻¹ · A(K, J) (unit lower triangular).
   auto trsm_l = [lu, n](Range d, Range cols) {
+    // Writes tile (K, J); reads L(K, K) and rows of (K, J) it already
+    // wrote (covered by the write annotation). Runs concurrently with
+    // trsm_u, whose writes stay in column-tile K below the diagonal —
+    // disjoint from row-tile K right of the diagonal.
+    note_tile_write(lu, n, d, cols);
+    note_tile_read(lu, n, d, d);
     for (std::size_t r = d.lo; r < d.hi; ++r) {
       for (std::size_t c = cols.lo; c < cols.hi; ++c) {
         double s = lu[r * n + c];
@@ -207,6 +245,9 @@ void BlockedLuApp::factorize(rt::Scheduler* sched) {
   };
   // U-solve: tile (I, K) := A(I, K) · U(K,K)⁻¹.
   auto trsm_u = [lu, n](Range rows, Range d) {
+    // Writes tile (I, K); reads U(K, K).
+    note_tile_write(lu, n, rows, d);
+    note_tile_read(lu, n, d, d);
     for (std::size_t r = rows.lo; r < rows.hi; ++r) {
       for (std::size_t c = d.lo; c < d.hi; ++c) {
         double s = lu[r * n + c];
@@ -219,6 +260,11 @@ void BlockedLuApp::factorize(rt::Scheduler* sched) {
   };
   // GEMM: tile (I, J) -= L(I, K) · U(K, J).
   auto gemm = [lu, n](Range ri, Range rj, Range rk) {
+    // Reads L(I, K) and U(K, J) from the (wait-separated) solve phase;
+    // writes tile (I, J) — per-(I, J) tasks are pairwise disjoint.
+    note_tile_read(lu, n, ri, rk);
+    note_tile_read(lu, n, rk, rj);
+    note_tile_write(lu, n, ri, rj);
     for (std::size_t r = ri.lo; r < ri.hi; ++r) {
       for (std::size_t c = rj.lo; c < rj.hi; ++c) {
         double s = 0.0;
@@ -230,6 +276,7 @@ void BlockedLuApp::factorize(rt::Scheduler* sched) {
     }
   };
 
+  race::region label("BlockedLU");
   for (std::size_t kk = 0; kk < nb; ++kk) {
     const Range dk = tile_range(kk, n, b);
     getrf(dk);

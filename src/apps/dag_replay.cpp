@@ -1,0 +1,144 @@
+#include "apps/dag_replay.hpp"
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "runtime/api.hpp"
+
+namespace dws::apps {
+
+namespace {
+
+using sim::kNoNode;
+using sim::NodeId;
+
+/// Streams one defect line; the destructor (end of the full expression)
+/// appends it to the stats. Usage: defect() << "node " << u << " ...".
+class DefectLine {
+ public:
+  explicit DefectLine(DagReplayStats& stats) : stats_(stats) {}
+  DefectLine(const DefectLine&) = delete;
+  DefectLine& operator=(const DefectLine&) = delete;
+  ~DefectLine() { stats_.defects.push_back(os_.str()); }
+
+  template <typename T>
+  DefectLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  DagReplayStats& stats_;
+  std::ostringstream os_;
+};
+
+class DagReplayer {
+ public:
+  DagReplayer(rt::Scheduler& sched, const sim::TaskDag& dag)
+      : sched_(sched),
+        dag_(dag),
+        preds_(dag.predecessors()),
+        fan_in_(dag.join_counts()),
+        exec_count_(dag.size(), 0),
+        cells_(dag.size(), 0.0) {}
+
+  DagReplayStats run() {
+    stats_.nodes = dag_.size();
+    if (dag_.empty() || dag_.root() == kNoNode ||
+        dag_.root() >= dag_.size()) {
+      defect() << "DAG has no (valid) root";
+      return std::move(stats_);
+    }
+    const NodeId tail = run_chain(dag_.root());
+    if (tail != kNoNode) {
+      defect() << "program ended with join " << tail
+               << " signaled but never executed";
+    }
+    for (NodeId u = 0; u < static_cast<NodeId>(dag_.size()); ++u) {
+      if (exec_count_[u] == 0) defect() << "node " << u << " never executed";
+    }
+    return std::move(stats_);
+  }
+
+ private:
+  DefectLine defect() { return DefectLine(stats_); }
+
+  void exec_node(NodeId u) {
+    if (++exec_count_[u] == 2) {
+      defect() << "node " << u << " executed more than once";
+    }
+    ++stats_.executions;
+    stats_.work_replayed += dag_.node(u).work_us;
+    // Dependence footprint: consume every predecessor's result, publish
+    // our own. Under race::Replay this is exactly the check that the
+    // spawn structure serializes each dependence edge.
+    for (const NodeId p : preds_[u]) race::read(&cells_[p]);
+    race::write(&cells_[u]);
+    cells_[u] += dag_.node(u).work_us;
+  }
+
+  /// Execute the chain starting at `u`. Returns the join this chain
+  /// terminates into (a continuation with fan-in > 1, executed by the
+  /// frame that owns the matching split), or kNoNode if the chain is the
+  /// end of the program.
+  NodeId run_chain(NodeId u) {
+    while (true) {
+      exec_node(u);
+      const sim::DagNode& n = dag_.node(u);
+      if (!n.spawns.empty()) {
+        const NodeId join = n.continuation;
+        rt::TaskGroup group;
+        std::vector<NodeId> child_tail(n.spawns.size(), kNoNode);
+        for (std::size_t i = 0; i < n.spawns.size(); ++i) {
+          const NodeId child = n.spawns[i];
+          NodeId* slot = &child_tail[i];
+          sched_.spawn(group, [this, child, slot] {
+            *slot = run_chain(child);
+          });
+        }
+        sched_.wait(group);
+        if (join == kNoNode) {
+          defect() << "split node " << u << " has no continuation join";
+          return kNoNode;
+        }
+        if (fan_in_[join] != n.spawns.size() + 1) {
+          defect() << "join " << join << " of split " << u << " has fan-in "
+                   << fan_in_[join] << ", expected "
+                   << (n.spawns.size() + 1);
+        }
+        for (std::size_t i = 0; i < n.spawns.size(); ++i) {
+          if (child_tail[i] != join) {
+            defect() << "child chain " << n.spawns[i] << " of split " << u
+                     << " ends at "
+                     << (child_tail[i] == kNoNode
+                             ? std::string("no join")
+                             : "join " + std::to_string(child_tail[i]))
+                     << ", expected join " << join;
+          }
+        }
+        u = join;  // all signals delivered: the split's frame runs the join
+        continue;
+      }
+      if (n.continuation == kNoNode) return kNoNode;
+      if (fan_in_[n.continuation] > 1) return n.continuation;
+      u = n.continuation;  // fan-in-1 continuation: plain serial chain
+    }
+  }
+
+  rt::Scheduler& sched_;
+  const sim::TaskDag& dag_;
+  std::vector<std::vector<NodeId>> preds_;
+  std::vector<std::uint32_t> fan_in_;
+  std::vector<std::uint32_t> exec_count_;
+  std::vector<double> cells_;
+  DagReplayStats stats_;
+};
+
+}  // namespace
+
+DagReplayStats replay_dag(rt::Scheduler& sched, const sim::TaskDag& dag) {
+  return DagReplayer(sched, dag).run();
+}
+
+}  // namespace dws::apps

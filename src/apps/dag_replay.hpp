@@ -1,0 +1,47 @@
+// Race certification for the simulator's DAG extraction.
+//
+// The evaluation figures run on sim::Machine over TaskDags produced by
+// the DagProfile generators (apps/profiles.*). Those DAGs claim to be
+// fork-join programs — replay_dag makes the claim checkable by
+// *executing* a DAG as the fork-join program it encodes, on the real
+// runtime: each split node spawns its children into a TaskGroup and
+// waits, serial chains run inline, and every node "reads" each of its
+// dependence predecessors' results and "publishes" its own through
+// race::read/write annotations. Driven under a race::Replay session
+// (serial elision), the SP-bags detector then certifies that every
+// dependence edge of the DAG is realized by the series-parallel order of
+// the spawn structure — the same certificate the real kernels get.
+//
+// Structural defects the replay itself detects (independently of the
+// detector, and beyond what TaskDag::validate can see): a child chain
+// that terminates at the wrong join (e.g. a nested chain claiming an
+// outer join), join fan-in that does not match its split, nodes executed
+// twice or never, and a program that ends with a pending join.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+#include "sim/dag.hpp"
+
+namespace dws::apps {
+
+struct DagReplayStats {
+  std::uint64_t nodes = 0;       ///< DAG size
+  std::uint64_t executions = 0;  ///< total node-body executions
+  double work_replayed = 0.0;    ///< sum of work_us over executions
+  /// Structural defects found by the replay; empty == certified shape.
+  std::vector<std::string> defects;
+
+  [[nodiscard]] bool clean() const noexcept { return defects.empty(); }
+};
+
+/// Execute `dag` as a fork-join program on `sched`, annotating every
+/// dependence edge for the race detector. Run it under race::Replay to
+/// certify; the replay is serial (one legal schedule), so drive it from
+/// the replay thread only.
+DagReplayStats replay_dag(rt::Scheduler& sched, const sim::TaskDag& dag);
+
+}  // namespace dws::apps

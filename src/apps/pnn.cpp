@@ -59,9 +59,7 @@ double PnnApp::train(rt::Scheduler* sched) {
     };
     auto map = [&](std::int64_t b, std::int64_t e) {
       // Footprint: reads the feature rows, targets and current weights
-      // for this sample block; the gradient accumulator is task-local
-      // and the final combine is lock-protected (locks are outside the
-      // SP-bags model, so it stays unannotated — see docs/CHECKING.md).
+      // for this sample block; the gradient accumulator is task-local.
       race::read(&features_[static_cast<std::size_t>(b) * n_features_],
                  static_cast<std::size_t>(e - b) * n_features_);
       race::read(&targets_[static_cast<std::size_t>(b)],
@@ -84,6 +82,15 @@ double PnnApp::train(rt::Scheduler* sched) {
       return p;
     };
     auto combine = [&](Partial a, Partial b) {
+      // `a` aliases the shared accumulator that every leaf task folds
+      // into under parallel_reduce's combine lock: its heap gradient
+      // buffer is handed from round to round by move, so its address is
+      // stable and genuinely shared. Annotated so the ALL-SETS lockset
+      // detector certifies the mutual exclusion instead of skipping it
+      // (`a.loss` lives in the moved-around struct itself — no stable
+      // address to annotate). `b` is the task-local partial.
+      race::write(a.grad.data(), n_features_);
+      race::read(b.grad.data(), n_features_);
       for (std::size_t k = 0; k < n_features_; ++k) a.grad[k] += b.grad[k];
       a.loss += b.loss;
       return a;

@@ -89,11 +89,16 @@ SimAppProfile make_sim_profile(const std::string& name, double work_scale) {
   return p;
 }
 
+const std::vector<std::string>& sim_profile_names() {
+  static const std::vector<std::string> names{
+      "FFT", "PNN", "Cholesky", "LU", "GE", "Heat", "SOR", "Mergesort"};
+  return names;
+}
+
 std::vector<SimAppProfile> make_all_sim_profiles(double work_scale) {
   std::vector<SimAppProfile> out;
-  out.reserve(8);
-  for (const char* name : {"FFT", "PNN", "Cholesky", "LU", "GE", "Heat",
-                           "SOR", "Mergesort"}) {
+  out.reserve(sim_profile_names().size());
+  for (const std::string& name : sim_profile_names()) {
     out.push_back(make_sim_profile(name, work_scale));
   }
   return out;

@@ -36,6 +36,11 @@ SimAppProfile make_sim_profile(const std::string& name,
 /// All eight profiles, Table-2 order.
 std::vector<SimAppProfile> make_all_sim_profiles(double work_scale = 1.0);
 
+/// The eight profile names, Table-2 order. Every generator behind these
+/// names is race-certified by replaying its DAG on the real runtime
+/// under the detector (apps/dag_replay, tests/test_race.cpp).
+const std::vector<std::string>& sim_profile_names();
+
 /// Mergesort-specific DAG: binary recursion whose (serial) merge nodes
 /// double in cost toward the root — parallelism collapses at the top.
 sim::TaskDag make_mergesort_dag(unsigned depth, double leaf_work_us,

@@ -18,6 +18,24 @@ const char* access_name(Access a) noexcept {
   return a == Access::kWrite ? "write" : "read";
 }
 
+namespace {
+
+void append_lock_list(std::ostringstream& os,
+                      const std::vector<std::string>& locks) {
+  if (locks.empty()) {
+    os << "none";
+    return;
+  }
+  os << "{";
+  for (std::size_t i = 0; i < locks.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << locks[i];
+  }
+  os << "}";
+}
+
+}  // namespace
+
 std::string RaceReport::to_string() const {
   std::ostringstream os;
   os << "determinacy race on address 0x" << std::hex << addr << std::dec
@@ -31,6 +49,22 @@ std::string RaceReport::to_string() const {
   for (std::size_t i = 0; i < current_chain.size(); ++i) {
     if (i != 0) os << " > ";
     os << current_chain[i];
+  }
+  os << "\n  locks held:     prior ";
+  append_lock_list(os, prior_locks);
+  os << ", current ";
+  append_lock_list(os, current_locks);
+  if (prior_locks.empty() && current_locks.empty()) {
+    os << " (no locks held by either access)";
+  } else {
+    // The locksets are disjoint or there would be no race; any lock from
+    // either side, held around both accesses, serializes the pair.
+    std::vector<std::string> would;
+    would.insert(would.end(), prior_locks.begin(), prior_locks.end());
+    would.insert(would.end(), current_locks.begin(), current_locks.end());
+    os << " — disjoint; holding ";
+    append_lock_list(os, would);
+    os << " on both sides would have serialized the pair";
   }
   return os.str();
 }
@@ -104,9 +138,20 @@ void SpBags::on_spawn(rt::Scheduler& /*sched*/, rt::TaskGroup& group,
 
   // Serial elision: the child runs here, now, to completion (including
   // everything it transitively spawns — on_spawn re-enters for those).
+  // The child starts with an empty lockset: in a parallel schedule it
+  // runs on a worker that does not own the spawner's mutexes. Restoring
+  // the saved frame afterwards also discards any acquire the child
+  // failed to release, so unbalanced annotations cannot corrupt the
+  // parent's lock state.
+  std::vector<std::int32_t> saved_held;
+  saved_held.swap(held_);
+  const std::int32_t saved_lockset = cur_lockset_;
+  cur_lockset_ = 0;
   cur_task_ = child;
   task->run_and_destroy();  // completes the group; captures exceptions
   cur_task_ = parent;
+  held_ = std::move(saved_held);
+  cur_lockset_ = saved_lockset;
 
   // The child (with every serial descendant its bag accumulated) is
   // logically parallel with all work until the group's wait.
@@ -124,20 +169,22 @@ void SpBags::on_wait(rt::Scheduler& /*sched*/, rt::TaskGroup& group) {
   live_finishes_.erase(it);
 }
 
-void SpBags::record(std::uintptr_t addr, std::int32_t prior_task,
-                    Access prior, Access current) {
+void SpBags::record(std::uintptr_t addr, const Locker& prior,
+                    Access prior_kind, Access current_kind) {
   ++races_found_;
   const auto key = std::make_tuple(
-      prior_task, cur_task_,
-      static_cast<std::uint8_t>((static_cast<unsigned>(prior) << 1) |
-                                static_cast<unsigned>(current)));
+      prior.task, cur_task_,
+      static_cast<std::uint8_t>((static_cast<unsigned>(prior_kind) << 1) |
+                                static_cast<unsigned>(current_kind)));
   if (races_.size() >= kMaxReports || !reported_.insert(key).second) return;
   RaceReport r;
   r.addr = addr;
-  r.prior = prior;
-  r.current = current;
-  r.prior_chain = chain_of(prior_task);
+  r.prior = prior_kind;
+  r.current = current_kind;
+  r.prior_chain = chain_of(prior.task);
   r.current_chain = chain_of(cur_task_);
+  r.prior_locks = lockset_names(prior.lockset);
+  r.current_locks = lockset_names(cur_lockset_);
   races_.push_back(std::move(r));
 }
 
@@ -154,22 +201,56 @@ void SpBags::check_granule(std::uintptr_t granule, bool is_write) {
   ++granules_checked_;
   Shadow& sh = shadow_[granule];
   const std::uintptr_t byte_addr = granule << kGranuleShift;
+  const std::int32_t H = cur_lockset_;
+  // ALL-SETS ACCESS rule: a prior locker races with this access iff its
+  // task is logically parallel AND no lock is common to both locksets.
   if (is_write) {
-    if (sh.writer >= 0 && in_p_bag(sh.writer)) {
-      record(byte_addr, sh.writer, Access::kWrite, Access::kWrite);
+    for (const Locker& w : sh.writers) {
+      if (in_p_bag(w.task) && locksets_disjoint(w.lockset, H)) {
+        record(byte_addr, w, Access::kWrite, Access::kWrite);
+      }
     }
-    if (sh.reader >= 0 && in_p_bag(sh.reader)) {
-      record(byte_addr, sh.reader, Access::kRead, Access::kWrite);
+    for (const Locker& r : sh.readers) {
+      if (in_p_bag(r.task) && locksets_disjoint(r.lockset, H)) {
+        record(byte_addr, r, Access::kRead, Access::kWrite);
+      }
     }
-    sh.writer = cur_task_;
+    update_lockers(sh.writers, H);
   } else {
-    if (sh.writer >= 0 && in_p_bag(sh.writer)) {
-      record(byte_addr, sh.writer, Access::kWrite, Access::kRead);
+    for (const Locker& w : sh.writers) {
+      if (in_p_bag(w.task) && locksets_disjoint(w.lockset, H)) {
+        record(byte_addr, w, Access::kWrite, Access::kRead);
+      }
     }
-    // Keep the "deepest" reader: replace only a serial one. A parallel
-    // prior reader is stronger evidence against any future writer.
-    if (sh.reader < 0 || !in_p_bag(sh.reader)) sh.reader = cur_task_;
+    update_lockers(sh.readers, H);
   }
+}
+
+void SpBags::update_lockers(std::vector<Locker>& lockers, std::int32_t H) {
+  // ALL-SETS pruning. Soundness rests on pseudotransitivity of ∥ in
+  // serial depth-first order (e1 ∥ e2, e2 ∥ e3, e1 before e2 before e3
+  // serially ⟹ e1 ∥ e3) and transitivity of ⪯:
+  //  - a serial predecessor e' with H' ⊇ H is subsumed by (cur, H): any
+  //    later access parallel with e' is parallel with cur too, and
+  //    disjoint from H' implies disjoint from H — drop it;
+  //  - if some parallel e' holds H' ⊆ H, then (cur, H) is redundant by
+  //    the mirrored argument — skip the insert.
+  // In the lock-free case (every lockset ∅, so ⊆ and ⊇ always hold)
+  // this keeps exactly one locker per list.
+  bool redundant = false;
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < lockers.size(); ++i) {
+    const Locker& l = lockers[i];
+    const bool parallel = in_p_bag(l.task);
+    if (!parallel && lockset_subset(H, l.lockset)) {
+      ++lockers_pruned_;
+      continue;
+    }
+    if (parallel && lockset_subset(l.lockset, H)) redundant = true;
+    lockers[out++] = l;
+  }
+  lockers.resize(out);
+  if (!redundant) lockers.push_back(Locker{cur_task_, H});
 }
 
 void SpBags::on_access(const void* addr, std::size_t size, std::size_t count,
@@ -188,6 +269,99 @@ void SpBags::on_region_enter(const char* name) { regions_.push_back(name); }
 
 void SpBags::on_region_exit() {
   if (!regions_.empty()) regions_.pop_back();
+}
+
+std::int32_t SpBags::lock_id(const void* lock, const char* name) {
+  auto [it, inserted] =
+      lock_of_addr_.emplace(lock, static_cast<std::int32_t>(lock_names_.size()));
+  if (inserted) {
+    std::ostringstream os;
+    if (name != nullptr) {
+      os << name;
+    } else {
+      os << "lock#" << it->second << "@0x" << std::hex
+         << reinterpret_cast<std::uintptr_t>(lock);
+    }
+    lock_names_.push_back(os.str());
+  } else if (name != nullptr &&
+             lock_names_[static_cast<std::size_t>(it->second)].rfind(
+                 "lock#", 0) == 0) {
+    // A later annotation supplied the name an earlier anonymous
+    // acquisition lacked; adopt it for all future reports.
+    lock_names_[static_cast<std::size_t>(it->second)] = name;
+  }
+  return it->second;
+}
+
+std::int32_t SpBags::intern_lockset(std::vector<std::int32_t> sorted_unique) {
+  if (sorted_unique.empty()) return 0;
+  const auto next = static_cast<std::int32_t>(locksets_.size());
+  auto [it, inserted] = lockset_of_key_.emplace(std::move(sorted_unique), next);
+  if (inserted) locksets_.push_back(it->first);
+  return it->second;
+}
+
+bool SpBags::locksets_disjoint(std::int32_t a, std::int32_t b) const noexcept {
+  if (a == 0 || b == 0) return true;
+  if (a == b) return false;  // identical non-empty sets share every lock
+  const auto& sa = locksets_[static_cast<std::size_t>(a)];
+  const auto& sb = locksets_[static_cast<std::size_t>(b)];
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    if (sa[i] == sb[j]) return false;
+    if (sa[i] < sb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return true;
+}
+
+bool SpBags::lockset_subset(std::int32_t a, std::int32_t b) const noexcept {
+  if (a == 0 || a == b) return true;
+  if (b == 0) return false;
+  const auto& sa = locksets_[static_cast<std::size_t>(a)];
+  const auto& sb = locksets_[static_cast<std::size_t>(b)];
+  if (sa.size() > sb.size()) return false;
+  std::size_t j = 0;
+  for (const std::int32_t x : sa) {
+    while (j < sb.size() && sb[j] < x) ++j;
+    if (j == sb.size() || sb[j] != x) return false;
+    ++j;
+  }
+  return true;
+}
+
+std::vector<std::string> SpBags::lockset_names(std::int32_t ls) const {
+  std::vector<std::string> names;
+  if (ls == 0) return names;
+  for (const std::int32_t id : locksets_[static_cast<std::size_t>(ls)]) {
+    names.push_back(lock_names_[static_cast<std::size_t>(id)]);
+  }
+  return names;
+}
+
+void SpBags::recompute_cur_lockset() {
+  std::vector<std::int32_t> key(held_);
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+  cur_lockset_ = intern_lockset(std::move(key));
+}
+
+void SpBags::on_lock_acquire(const void* lock, const char* name) {
+  const std::int32_t id = lock_id(lock, name);
+  held_.insert(std::upper_bound(held_.begin(), held_.end(), id), id);
+  recompute_cur_lockset();
+}
+
+void SpBags::on_lock_release(const void* lock) {
+  const auto it = lock_of_addr_.find(lock);
+  if (it == lock_of_addr_.end()) return;  // release of a never-acquired lock
+  const auto pos = std::lower_bound(held_.begin(), held_.end(), it->second);
+  if (pos == held_.end() || *pos != it->second) return;  // not held
+  held_.erase(pos);  // one multiset instance: recursive holds stay held
+  recompute_cur_lockset();
 }
 
 Replay::Replay(rt::Scheduler& sched)

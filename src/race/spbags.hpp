@@ -15,19 +15,33 @@
 //   - at wait(F), F's P-bag merges into the S-bag of the waiting task
 //     (everything F joined is now a serial predecessor).
 //
-// Shadow memory over the *annotated* addresses (dws::race::read/write
-// in runtime/api.hpp) keeps, per 8-byte granule, the last writer and one
-// representative reader; every annotated access checks that prior
-// accessors in a P-bag do not conflict. A conflict is a determinacy
+// Locks are modeled with the ALL-SETS extension (Cheng, Feng,
+// Leiserson, Randall & Stark, "Detecting data races in Cilk programs
+// that use locks" — the Nondeterminator-2 lineage): the detector keeps
+// the multiset of locks the replay currently holds (fed by
+// dws::race::lock_acquire/lock_release, usually via race::scoped_lock),
+// and shadow memory over the *annotated* addresses keeps, per 8-byte
+// granule, a list of (accessor task, lockset) "lockers" for writers and
+// readers. An access races with a prior one iff the two tasks are
+// logically parallel (P-bag) AND their locksets are disjoint — a common
+// lock serializes the pair in every schedule. Locker lists stay tiny
+// through ALL-SETS's pruning rule: a new locker (e, H) evicts entries
+// (e', H') with e' a serial predecessor and H' ⊇ H, and is itself
+// redundant (not inserted) when some parallel (e', H') has H' ⊆ H.
+// With no locks in play every lockset is ∅ and the lists degenerate to
+// the classic one-writer/one-reader shadow. A conflict is a determinacy
 // race: some parallel schedule of the same DAG orders the two accesses
 // the other way. Reports carry spawn-tree provenance — the chain of
 // spawn sites (with active race::region labels) from the root to each
-// conflicting task.
+// conflicting task — plus lock provenance: the locks each side held,
+// and which lock would have serialized the pair.
 //
 // Known limitations (by design; see docs/CHECKING.md): only annotated
-// addresses are checked, locks are not modeled (annotated accesses that
-// are mutex-protected will be reported), and one serial execution checks
-// one DAG — input-dependent spawn trees need one replay per input.
+// addresses are checked; a common lock certifies mutual exclusion (no
+// data race), not determinacy — lock-protected combines must still be
+// order-insensitive; and one serial execution checks one DAG —
+// input-dependent spawn trees need one replay per input (the race suite
+// sweeps seeded inputs for those).
 #pragma once
 
 #ifdef DWS_RACE_DISABLED
@@ -35,6 +49,7 @@
 #endif
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -51,7 +66,8 @@ enum class Access : std::uint8_t { kRead = 0, kWrite = 1 };
 
 [[nodiscard]] const char* access_name(Access a) noexcept;
 
-/// One detected determinacy race between two logically parallel tasks.
+/// One detected determinacy race between two logically parallel tasks
+/// whose locksets share no lock.
 struct RaceReport {
   std::uintptr_t addr = 0;  ///< first conflicting granule (byte address)
   Access prior = Access::kRead;
@@ -60,6 +76,12 @@ struct RaceReport {
   /// executing access ("root > spawn#3 'FFT' > spawn#9").
   std::vector<std::string> prior_chain;
   std::vector<std::string> current_chain;
+  /// Lock provenance: the (necessarily disjoint) sets of locks each side
+  /// held at its access. Empty means the access held no lock. Any lock
+  /// from either list, taken on both sides, would have serialized the
+  /// pair.
+  std::vector<std::string> prior_locks;
+  std::vector<std::string> current_locks;
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -81,6 +103,8 @@ class SpBags final : public ExecHook, public MemorySink {
                  std::ptrdiff_t stride_bytes, bool is_write) override;
   void on_region_enter(const char* name) override;
   void on_region_exit() override;
+  void on_lock_acquire(const void* lock, const char* name) override;
+  void on_lock_release(const void* lock) override;
 
   [[nodiscard]] const std::vector<RaceReport>& races() const noexcept {
     return races_;
@@ -96,6 +120,15 @@ class SpBags final : public ExecHook, public MemorySink {
   [[nodiscard]] std::uint64_t granules_checked() const noexcept {
     return granules_checked_;
   }
+  /// Distinct locks observed through lock_acquire.
+  [[nodiscard]] std::size_t locks_seen() const noexcept {
+    return lock_names_.size() - 1;  // id 0 is reserved
+  }
+  /// Locker entries evicted by the ALL-SETS pruning rule (serial
+  /// predecessor with a superset lockset subsumed by a new locker).
+  [[nodiscard]] std::uint64_t lockers_pruned() const noexcept {
+    return lockers_pruned_;
+  }
 
   /// Spawn-site chain (root first) of a task id from a report.
   [[nodiscard]] std::vector<std::string> chain_of(std::int32_t task) const;
@@ -109,9 +142,16 @@ class SpBags final : public ExecHook, public MemorySink {
     std::string label;         ///< empty for finish anchors
     bool is_finish;
   };
+  /// One ALL-SETS "locker": a past accessor and the (interned) set of
+  /// locks it held. Pruning keeps these lists near-minimal — exactly one
+  /// entry per list in the lock-free case.
+  struct Locker {
+    std::int32_t task;
+    std::int32_t lockset;
+  };
   struct Shadow {
-    std::int32_t writer = -1;
-    std::int32_t reader = -1;
+    std::vector<Locker> writers;
+    std::vector<Locker> readers;
   };
 
   std::int32_t new_elem(std::int32_t parent, std::string label,
@@ -121,9 +161,24 @@ class SpBags final : public ExecHook, public MemorySink {
   /// `result_is_p`.
   void merge(std::int32_t a, std::int32_t b, bool result_is_p) noexcept;
   [[nodiscard]] bool in_p_bag(std::int32_t task) noexcept;
-  void record(std::uintptr_t addr, std::int32_t prior_task, Access prior,
-              Access current);
+  void record(std::uintptr_t addr, const Locker& prior, Access prior_kind,
+              Access current_kind);
   void check_granule(std::uintptr_t granule, bool is_write);
+  /// ALL-SETS insertion with pruning: fold (cur_task_, H) into `lockers`.
+  void update_lockers(std::vector<Locker>& lockers, std::int32_t H);
+
+  // Lockset machinery. Locks are interned to small ids; locksets are
+  // canonical sorted-unique id vectors interned to lockset ids (0 = ∅),
+  // so per-access set operations compare ids and walk short vectors.
+  std::int32_t lock_id(const void* lock, const char* name);
+  std::int32_t intern_lockset(std::vector<std::int32_t> sorted_unique);
+  [[nodiscard]] bool locksets_disjoint(std::int32_t a,
+                                       std::int32_t b) const noexcept;
+  /// a ⊆ b over interned lockset ids.
+  [[nodiscard]] bool lockset_subset(std::int32_t a,
+                                    std::int32_t b) const noexcept;
+  [[nodiscard]] std::vector<std::string> lockset_names(std::int32_t ls) const;
+  void recompute_cur_lockset();
 
   // Disjoint-set forest; element index space is shared by tasks and
   // finish anchors.
@@ -139,10 +194,23 @@ class SpBags final : public ExecHook, public MemorySink {
   std::uint64_t next_ordinal_ = 0;  // spawn counter for labels
   std::vector<const char*> regions_;
 
+  // Lock state of the replay. held_ is the sorted multiset of lock ids
+  // the current task holds (multiset: recursive/hand-over-hand locking
+  // stays representable); cur_lockset_ caches its interned dedup. A
+  // spawned child starts with ∅ — in a parallel schedule it would run on
+  // a worker that does not own its parent's mutexes (see on_spawn).
+  std::unordered_map<const void*, std::int32_t> lock_of_addr_;
+  std::vector<std::string> lock_names_{std::string()};  // [0] reserved
+  std::map<std::vector<std::int32_t>, std::int32_t> lockset_of_key_;
+  std::vector<std::vector<std::int32_t>> locksets_{{}};  // [0] = ∅
+  std::vector<std::int32_t> held_;
+  std::int32_t cur_lockset_ = 0;
+
   std::vector<RaceReport> races_;
   std::set<std::tuple<std::int32_t, std::int32_t, std::uint8_t>> reported_;
   std::uint64_t races_found_ = 0;
   std::uint64_t granules_checked_ = 0;
+  std::uint64_t lockers_pruned_ = 0;
 };
 
 /// RAII serial-replay session: while alive, everything submitted to

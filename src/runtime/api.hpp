@@ -56,6 +56,53 @@ inline void write(T* p, std::size_t count = 1, std::ptrdiff_t stride = 1) {
   }
 }
 
+/// The current task acquired the lock identified by `lock`'s address.
+/// `name` (optional) labels the lock in race reports; the first non-null
+/// name registered for an address wins. Accesses annotated while a lock
+/// is held carry it in their lockset: the ALL-SETS detector only reports
+/// a pair of parallel conflicting accesses when their locksets are
+/// disjoint (see docs/CHECKING.md).
+inline void lock_acquire(const void* lock, const char* name = nullptr) {
+  if (MemorySink* s = detail::tl_sink(); s != nullptr) {
+    s->on_lock_acquire(lock, name);
+  }
+}
+
+/// The current task released `lock`. Must pair with lock_acquire on the
+/// same task, stack-like or not (the detector keeps a multiset, so
+/// hand-over-hand locking is representable).
+inline void lock_release(const void* lock) {
+  if (MemorySink* s = detail::tl_sink(); s != nullptr) {
+    s->on_lock_release(lock);
+  }
+}
+
+/// RAII mutex guard that annotates the acquire/release for the lockset
+/// detector. Drop-in for std::lock_guard at annotated call sites:
+///
+///   race::scoped_lock<std::mutex> lock(m, "histogram.bins");
+///
+/// The real mutex is always acquired (also under -DDWS_RACE=OFF, where
+/// only the annotations compile out) — the guard changes checking, never
+/// synchronization.
+template <typename Mutex>
+class scoped_lock {
+ public:
+  explicit scoped_lock(Mutex& m, const char* name = nullptr) : m_(m) {
+    m_.lock();
+    lock_acquire(&m_, name);
+  }
+  scoped_lock(const scoped_lock&) = delete;
+  scoped_lock& operator=(const scoped_lock&) = delete;
+  ~scoped_lock() {
+    lock_release(&m_);
+    m_.unlock();
+  }
+
+ private:
+  Mutex& m_;
+};
+
 /// RAII provenance label: tasks spawned while a region is active carry
 /// its name in their spawn-tree chain in race reports.
 class region {
@@ -81,6 +128,21 @@ template <typename T>
 inline void read(const T*, std::size_t = 1, std::ptrdiff_t = 1) {}
 template <typename T>
 inline void write(T*, std::size_t = 1, std::ptrdiff_t = 1) {}
+inline void lock_acquire(const void*, const char* = nullptr) {}
+inline void lock_release(const void*) {}
+template <typename Mutex>
+class scoped_lock {
+ public:
+  explicit scoped_lock(Mutex& m, const char* = nullptr) : m_(m) {
+    m_.lock();
+  }
+  scoped_lock(const scoped_lock&) = delete;
+  scoped_lock& operator=(const scoped_lock&) = delete;
+  ~scoped_lock() { m_.unlock(); }
+
+ private:
+  Mutex& m_;
+};
 class region {
  public:
   explicit region(const char*) noexcept {}
@@ -310,7 +372,8 @@ T parallel_reduce(Scheduler& sched, std::int64_t begin, std::int64_t end,
   parallel_for(sched, begin, end, grain,
                [&](std::int64_t b, std::int64_t e) {
                  T partial = map(b, e);
-                 std::lock_guard<std::mutex> lock(result_m);
+                 race::scoped_lock<std::mutex> lock(result_m,
+                                                    "parallel_reduce.combine");
                  result = combine(std::move(result), std::move(partial));
                });
   return result;

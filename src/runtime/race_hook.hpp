@@ -57,6 +57,18 @@ class MemorySink {
   /// its name in their spawn-tree chain.
   virtual void on_region_enter(const char* name) = 0;
   virtual void on_region_exit() = 0;
+  /// Lock events (dws::race::lock_acquire/lock_release, or the
+  /// race::scoped_lock RAII wrapper). Under serial replay these arrive in
+  /// serial-elision order, so the sink sees the exact lockset each
+  /// annotated access was performed under. Locks are identified by
+  /// address; `name` is an optional human-readable label for provenance
+  /// (the first non-null name given for an address wins). Default no-ops
+  /// keep sinks that predate the lockset extension source-compatible.
+  virtual void on_lock_acquire(const void* lock, const char* name) {
+    (void)lock;
+    (void)name;
+  }
+  virtual void on_lock_release(const void* lock) { (void)lock; }
 };
 
 namespace detail {

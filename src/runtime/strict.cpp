@@ -44,6 +44,8 @@ const char* violation_name(Violation v) noexcept {
       return "foreign-wait";
     case Violation::kSpawnAfterCompletion:
       return "spawn-after-completion";
+    case Violation::kAncestorWait:
+      return "ancestor-wait";
   }
   return "unknown";
 }
@@ -79,6 +81,34 @@ void report(Violation v, const char* detail) noexcept {
 std::uintptr_t thread_tag() noexcept {
   thread_local char tag;
   return reinterpret_cast<std::uintptr_t>(&tag);
+}
+
+namespace {
+
+const Lineage*& tl_lineage() noexcept {
+  thread_local const Lineage* lineage = nullptr;
+  return lineage;
+}
+
+std::atomic<std::uint64_t> g_next_task_id{1};
+
+}  // namespace
+
+std::uint64_t next_task_id() noexcept {
+  return g_next_task_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+const Lineage* current_lineage() noexcept { return tl_lineage(); }
+
+const Lineage* swap_current_lineage(const Lineage* l) noexcept {
+  const Lineage* prev = tl_lineage();
+  tl_lineage() = l;
+  return prev;
+}
+
+void capture_lineage(Lineage& out) {
+  if (const Lineage* cur = tl_lineage(); cur != nullptr) out = *cur;
+  out.push_back(next_task_id());
 }
 
 }  // namespace dws::rt::strict

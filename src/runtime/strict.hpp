@@ -9,13 +9,28 @@
 //   kEscapedGroup         a TaskGroup destroyed with tasks still pending
 //                         (the group out-lived or escaped its structured
 //                         scope; completers will write to freed memory)
-//   kForeignWait          wait() called from a thread other than the one
-//                         that created the group
+//   kForeignWait          wait() from a task that is neither the group's
+//                         creator nor one of its ancestors (or, when a
+//                         non-task frame is involved, from a thread other
+//                         than the creating one)
+//   kAncestorWait         wait() from a task that is a spawn-tree
+//                         *ancestor* of the group's creator — the group
+//                         escaped upward out of its creating frame, so
+//                         the join is not fully strict even though the
+//                         thread identity may coincidentally match
 //   kSpawnAfterCompletion a spawn into a group whose wait() already
 //                         returned, from a thread other than the creator
 //                         (nobody is left to wait for the new task);
 //                         creator-thread respawn is the sanctioned reuse
 //                         pattern and reopens the group
+//
+// Wait checks are spawn-tree-scoped, not merely thread-scoped: every
+// TaskBase constructed while enforcement is on records its lineage (the
+// task-id chain from the root spawn down to itself), run_and_destroy
+// publishes it in a thread-local for the duration of execute(), and each
+// TaskGroup snapshots its creating frame's lineage. Thread identity
+// remains the fallback when either side is a non-task frame (an external
+// caller thread).
 //
 // Cost model: each check is gated on the group's creator tag, which is 0
 // unless enforcement was enabled when the group was constructed — so a
@@ -26,6 +41,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace dws::rt::strict {
 
@@ -33,6 +49,7 @@ enum class Violation : int {
   kEscapedGroup = 0,
   kForeignWait = 1,
   kSpawnAfterCompletion = 2,
+  kAncestorWait = 3,
 };
 
 [[nodiscard]] const char* violation_name(Violation v) noexcept;
@@ -62,5 +79,28 @@ void report(Violation v, const char* detail) noexcept;
 /// never 0). Cheaper than std::this_thread::get_id and hashable for
 /// free.
 [[nodiscard]] std::uintptr_t thread_tag() noexcept;
+
+// ---- Spawn-tree lineage (recorded outside replay mode too) ----
+
+/// A task's position in the spawn tree: the ids of its ancestors, root
+/// spawn first, ending with the task's own id. Captured at construction
+/// time — the ancestor chain is provably alive then — because parent
+/// frames may return before their children run.
+using Lineage = std::vector<std::uint64_t>;
+
+/// Fresh process-unique task id (never 0).
+[[nodiscard]] std::uint64_t next_task_id() noexcept;
+
+/// Lineage of the task currently executing on this thread, or nullptr in
+/// a non-task frame.
+[[nodiscard]] const Lineage* current_lineage() noexcept;
+
+/// Publish `l` as the current frame's lineage (nullptr for a non-task
+/// frame); returns the previous value so run_and_destroy can nest.
+const Lineage* swap_current_lineage(const Lineage* l) noexcept;
+
+/// Fill `out` with the calling frame's lineage extended by a fresh id —
+/// i.e. the lineage of a task being spawned right now.
+void capture_lineage(Lineage& out);
 
 }  // namespace dws::rt::strict

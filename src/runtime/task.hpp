@@ -22,7 +22,12 @@ class TaskGroup;
 /// execution; `run_and_destroy` is the single consumption point.
 class TaskBase {
  public:
-  explicit TaskBase(TaskGroup* group) noexcept : group_(group) {}
+  explicit TaskBase(TaskGroup* group) : group_(group) {
+    // Spawn-tree position, captured while the ancestor chain is alive
+    // (the spawning frame may return before this task runs). Stays empty
+    // — and costs one enabled() load — when strictness is off.
+    if (strict::enabled()) strict::capture_lineage(lineage_);
+  }
   TaskBase(const TaskBase&) = delete;
   TaskBase& operator=(const TaskBase&) = delete;
   virtual ~TaskBase() = default;
@@ -37,6 +42,7 @@ class TaskBase {
 
  private:
   TaskGroup* group_;
+  strict::Lineage lineage_;  // empty unless strictness was on at spawn
 };
 
 template <typename F>
@@ -62,8 +68,15 @@ class TaskGroup {
   TaskGroup() {
     // Strictness validation is armed per group at construction time: a
     // creator tag of 0 (enforcement off) short-circuits every later hook
-    // to a single member load.
-    if (strict::enabled()) creator_tag_ = strict::thread_tag();
+    // to a single member load. The creating frame's lineage (empty for a
+    // non-task frame) scopes the wait check to the spawn tree.
+    if (strict::enabled()) {
+      creator_tag_ = strict::thread_tag();
+      if (const strict::Lineage* cur = strict::current_lineage();
+          cur != nullptr) {
+        creator_lineage_ = *cur;
+      }
+    }
   }
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
@@ -167,9 +180,36 @@ class TaskGroup {
     }
   }
 
-  /// At the top of Scheduler::wait on this group.
+  /// At the top of Scheduler::wait on this group. Task identity is the
+  /// primary check: when both the creating frame and the waiting frame
+  /// are tasks, their spawn-tree positions decide — thread identity is
+  /// coincidental under work stealing (an ancestor can wind up on the
+  /// creator's worker, a legitimate creator-wait can replay on any
+  /// thread). Thread tags remain the fallback when either side is a
+  /// non-task frame.
   void strict_on_wait() noexcept {
     if (creator_tag_ == 0) return;
+    const strict::Lineage* waiter = strict::current_lineage();
+    if (!creator_lineage_.empty() && waiter != nullptr && !waiter->empty()) {
+      const std::uint64_t waiter_id = waiter->back();
+      if (waiter_id == creator_lineage_.back()) return;  // creator waits
+      for (const std::uint64_t ancestor : creator_lineage_) {
+        if (ancestor == waiter_id) {
+          strict::report(
+              strict::Violation::kAncestorWait,
+              "wait() on a TaskGroup created by a spawn-tree descendant "
+              "of the waiting task — the group escaped upward out of its "
+              "creating frame, so the join is not fully strict");
+          return;
+        }
+      }
+      strict::report(strict::Violation::kForeignWait,
+                     "wait() on a TaskGroup from a task that is neither "
+                     "the group's creator nor one of its ancestors — "
+                     "joins must be fully strict (creator waits for its "
+                     "own children)");
+      return;
+    }
     if (strict::thread_tag() != creator_tag_) {
       strict::report(strict::Violation::kForeignWait,
                      "wait() on a TaskGroup the waiting thread did not "
@@ -187,6 +227,7 @@ class TaskGroup {
  private:
   std::atomic<std::int64_t> pending_{0};
   std::uintptr_t creator_tag_ = 0;  // 0 == strictness unarmed
+  strict::Lineage creator_lineage_;  // empty for non-task creator frames
   std::atomic<bool> waited_{false};
   std::atomic<std::int32_t> signalers_{0};  // completers touching m_/cv_
   std::atomic<bool> has_exception_{false};
@@ -197,11 +238,20 @@ class TaskGroup {
 
 inline void TaskBase::run_and_destroy() noexcept {
   TaskGroup* g = group_;
+  // Publish this task's lineage for the duration of execute() so groups
+  // it creates and waits it performs are attributed to this spawn-tree
+  // frame. Restored before complete_one()/delete: the lineage vector
+  // lives in this task, and a waiter may destroy state as soon as the
+  // group drains.
+  const bool framed = !lineage_.empty();
+  const strict::Lineage* prev =
+      framed ? strict::swap_current_lineage(&lineage_) : nullptr;
   try {
     execute();
   } catch (...) {
     if (g != nullptr) g->capture_exception(std::current_exception());
   }
+  if (framed) strict::swap_current_lineage(prev);
   if (g != nullptr) g->complete_one();
   delete this;
 }

@@ -19,6 +19,18 @@ std::vector<std::uint32_t> TaskDag::join_counts() const {
   return counts;
 }
 
+std::vector<std::vector<NodeId>> TaskDag::predecessors() const {
+  std::vector<std::vector<NodeId>> preds(nodes_.size());
+  for (std::size_t u = 0; u < nodes_.size(); ++u) {
+    const DagNode& n = nodes_[u];
+    for (NodeId v : n.spawns) preds[v].push_back(static_cast<NodeId>(u));
+    if (n.continuation != kNoNode) {
+      preds[n.continuation].push_back(static_cast<NodeId>(u));
+    }
+  }
+  return preds;
+}
+
 double TaskDag::critical_path() const {
   if (nodes_.empty() || root_ == kNoNode) return 0.0;
   // Longest path over edges (u -> spawn) and (u -> continuation), computed

@@ -68,6 +68,12 @@ class TaskDag {
   /// Join fan-in per node: how many nodes name it as their continuation.
   [[nodiscard]] std::vector<std::uint32_t> join_counts() const;
 
+  /// Predecessors per node: the nodes that spawn it or signal it as
+  /// their continuation — i.e. the dependence edges a replay of the DAG
+  /// must respect. Used by the race-certification replay (apps/dag_replay)
+  /// to annotate each node's "reads" of its predecessors' results.
+  [[nodiscard]] std::vector<std::vector<NodeId>> predecessors() const;
+
   /// Verify well-formedness; returns an empty string when valid, else a
   /// human-readable description of the first defect found.
   [[nodiscard]] std::string validate() const;

@@ -1,30 +1,53 @@
-// SP-bags determinacy-race detector tests (ctest label: race).
+// SP-bags / ALL-SETS determinacy-race detector tests (ctest label: race).
 //
-// Three layers:
+// Layers:
 //  1. detector unit tests against hand-built spawn trees — the SP
 //     relation (siblings parallel, wait serializes), read/write rules,
-//     strided-disjointness, and provenance chains;
-//  2. clean certification — each Table-2 app replays serially with zero
-//     reports AND verifies (the replay executes the real kernel, so this
-//     also certifies the serial-elision schedule computes the right
-//     answer);
+//     strided-disjointness, provenance chains, and the ALL-SETS lockset
+//     semantics (common lock serializes, disjoint locksets race, locks
+//     do not cross spawns, pruning keeps locker lists small);
+//  2. clean certification — each Table-2 app (including PNN's locked
+//     combine) plus the tiled BlockedCholesky/BlockedLU kernels replays
+//     serially with zero reports AND verifies;
 //  3. seeded racy mutants — one deliberately broken kernel per app
 //     pattern, each of which must be flagged with a provenance chain
-//     naming the mutant's race::region.
+//     naming the mutant's race::region (and, for the lock mutants, the
+//     lock provenance that would have serialized the pair);
+//  4. simulator-DAG certification — every DagProfile generator's TaskDag
+//     is executed as the fork-join program it encodes (apps/dag_replay)
+//     under the detector, so the simulated DAGs ship with the same
+//     certificate as the real kernels;
+//  5. seeded-input sweep — input-dependent kernels (Mergesort cutoffs,
+//     FFT sizes) are certified across N seeded inputs; N comes from
+//     --sweep=N or DWS_RACE_SWEEP (default 3, clamped to [1, 16]).
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "apps/app.hpp"
+#include "apps/dag_replay.hpp"
+#include "apps/fft.hpp"
+#include "apps/mergesort.hpp"
+#include "apps/profiles.hpp"
 #include "race/spbags.hpp"
 #include "runtime/api.hpp"
 #include "runtime/scheduler.hpp"
+#include "util/rng.hpp"
 
 namespace dws {
 namespace {
+
+/// Seeded-input sweep width, set by main() from --sweep=N or the
+/// DWS_RACE_SWEEP environment variable.
+int g_sweep = 3;
+
+int sweep_n() { return g_sweep; }
 
 Config make_config(unsigned cores) {
   Config cfg;
@@ -250,6 +273,252 @@ TEST(SpBagsTest, ParallelForSubrangesDoNotRaceOnDisjointBlocks) {
 }
 
 // ---------------------------------------------------------------------
+// 1b. ALL-SETS lockset semantics.
+// ---------------------------------------------------------------------
+
+TEST(LocksetTest, CommonLockSerializesParallelWrites) {
+  rt::Scheduler sched(make_config(2));
+  double x = 0.0;
+  std::mutex m;
+  {
+    race::Replay replay(sched);
+    rt::TaskGroup g;
+    for (int i = 0; i < 4; ++i) {
+      sched.spawn(g, [&] {
+        race::scoped_lock<std::mutex> lock(m, "x-lock");
+        race::write(&x);
+        x += 1.0;
+      });
+    }
+    sched.wait(g);
+    EXPECT_TRUE(replay.finish().empty()) << dump(replay.finish());
+    EXPECT_EQ(replay.detector().locks_seen(), 1u);
+    EXPECT_GT(replay.detector().granules_checked(), 0u);
+  }
+}
+
+TEST(LocksetTest, DisjointLocksStillRace) {
+  rt::Scheduler sched(make_config(2));
+  double x = 0.0;
+  std::mutex ma, mb;
+  {
+    race::Replay replay(sched);
+    rt::TaskGroup g;
+    sched.spawn(g, [&] {
+      race::scoped_lock<std::mutex> lock(ma, "lock-a");
+      race::write(&x);
+    });
+    sched.spawn(g, [&] {
+      race::scoped_lock<std::mutex> lock(mb, "lock-b");
+      race::write(&x);
+    });
+    sched.wait(g);
+    const auto& reports = replay.finish();
+    ASSERT_EQ(reports.size(), 1u) << dump(reports);
+    // Lock provenance: each side's (disjoint) lockset, by name.
+    ASSERT_EQ(reports[0].prior_locks.size(), 1u);
+    ASSERT_EQ(reports[0].current_locks.size(), 1u);
+    EXPECT_EQ(reports[0].prior_locks[0], "lock-a");
+    EXPECT_EQ(reports[0].current_locks[0], "lock-b");
+    const std::string s = reports[0].to_string();
+    EXPECT_NE(s.find("lock-a"), std::string::npos) << s;
+    EXPECT_NE(s.find("lock-b"), std::string::npos) << s;
+    EXPECT_NE(s.find("would have serialized"), std::string::npos) << s;
+  }
+}
+
+TEST(LocksetTest, LockedVersusUnlockedAccessRaces) {
+  rt::Scheduler sched(make_config(2));
+  double x = 0.0;
+  std::mutex m;
+  {
+    race::Replay replay(sched);
+    rt::TaskGroup g;
+    sched.spawn(g, [&] {
+      race::scoped_lock<std::mutex> lock(m, "half-lock");
+      race::write(&x);
+    });
+    sched.spawn(g, [&] { race::write(&x); });
+    sched.wait(g);
+    const auto& reports = replay.finish();
+    ASSERT_EQ(reports.size(), 1u) << dump(reports);
+    ASSERT_EQ(reports[0].prior_locks.size(), 1u);
+    EXPECT_EQ(reports[0].prior_locks[0], "half-lock");
+    EXPECT_TRUE(reports[0].current_locks.empty());
+  }
+}
+
+TEST(LocksetTest, NoLockReportSaysSo) {
+  rt::Scheduler sched(make_config(2));
+  double x = 0.0;
+  {
+    race::Replay replay(sched);
+    rt::TaskGroup g;
+    sched.spawn(g, [&] { race::write(&x); });
+    sched.spawn(g, [&] { race::write(&x); });
+    sched.wait(g);
+    const auto& reports = replay.finish();
+    ASSERT_EQ(reports.size(), 1u) << dump(reports);
+    EXPECT_NE(reports[0].to_string().find("no locks held by either access"),
+              std::string::npos)
+        << reports[0].to_string();
+  }
+}
+
+TEST(LocksetTest, LocksDoNotCrossSpawns) {
+  // A child spawned while the parent holds a lock does NOT inherit it:
+  // in a parallel schedule the child runs on a worker that does not own
+  // the parent's mutex.
+  rt::Scheduler sched(make_config(2));
+  double x = 0.0;
+  std::mutex m;
+  {
+    race::Replay replay(sched);
+    rt::TaskGroup g;
+    {
+      race::scoped_lock<std::mutex> lock(m, "parent-lock");
+      sched.spawn(g, [&] { race::write(&x); });  // child: no lockset
+      race::write(&x);  // parent continuation: holds parent-lock
+    }
+    sched.wait(g);
+    const auto& reports = replay.finish();
+    ASSERT_EQ(reports.size(), 1u) << dump(reports);
+    EXPECT_TRUE(reports[0].prior_locks.empty()) << dump(reports);
+    ASSERT_EQ(reports[0].current_locks.size(), 1u);
+    EXPECT_EQ(reports[0].current_locks[0], "parent-lock");
+  }
+}
+
+TEST(LocksetTest, RecursiveHoldIsAMultiset) {
+  // acquire-acquire-release leaves the lock held (one release per
+  // acquire), so the access still carries it.
+  rt::Scheduler sched(make_config(2));
+  double x = 0.0;
+  std::mutex m;  // annotated manually: std::mutex is not recursive
+  {
+    race::Replay replay(sched);
+    rt::TaskGroup g;
+    sched.spawn(g, [&] {
+      race::lock_acquire(&m, "recursive-lock");
+      race::lock_acquire(&m);
+      race::lock_release(&m);
+      race::write(&x);  // still protected
+      race::lock_release(&m);
+    });
+    sched.spawn(g, [&] {
+      race::scoped_lock<std::mutex> lock(m, "recursive-lock");
+      race::write(&x);
+    });
+    sched.wait(g);
+    EXPECT_TRUE(replay.finish().empty()) << dump(replay.finish());
+  }
+}
+
+TEST(LocksetTest, HandOverHandLockingTracksTheHeldSet) {
+  // acquire A, acquire B, release A: the access under {B} is safe
+  // against a parallel access under {B}, races against one under {A}.
+  rt::Scheduler sched(make_config(2));
+  double x = 0.0, y = 0.0;
+  std::mutex a, b;
+  {
+    race::Replay replay(sched);
+    rt::TaskGroup g;
+    sched.spawn(g, [&] {
+      race::lock_acquire(&a, "hoh-a");
+      race::lock_acquire(&b, "hoh-b");
+      race::lock_release(&a);
+      race::write(&x);  // under {B} only
+      race::write(&y);
+      race::lock_release(&b);
+    });
+    sched.spawn(g, [&] {
+      race::scoped_lock<std::mutex> lock(b, "hoh-b");
+      race::write(&x);  // common lock B: no race
+    });
+    sched.spawn(g, [&] {
+      race::scoped_lock<std::mutex> lock(a, "hoh-a");
+      race::write(&y);  // holds A, prior was under {B}: race
+    });
+    sched.wait(g);
+    const auto& reports = replay.finish();
+    ASSERT_EQ(reports.size(), 1u) << dump(reports);
+    EXPECT_EQ(reports[0].addr,
+              reinterpret_cast<std::uintptr_t>(&y) & ~std::uintptr_t{7});
+  }
+}
+
+TEST(LocksetTest, ScopedLockEndsProtectionAtScopeExit) {
+  rt::Scheduler sched(make_config(2));
+  double x = 0.0;
+  std::mutex m;
+  {
+    race::Replay replay(sched);
+    rt::TaskGroup g;
+    sched.spawn(g, [&] {
+      { race::scoped_lock<std::mutex> lock(m, "scope-lock"); }
+      race::write(&x);  // after the scope: unprotected
+    });
+    sched.spawn(g, [&] {
+      race::scoped_lock<std::mutex> lock(m, "scope-lock");
+      race::write(&x);
+    });
+    sched.wait(g);
+    const auto& reports = replay.finish();
+    ASSERT_EQ(reports.size(), 1u) << dump(reports);
+  }
+}
+
+TEST(LocksetTest, SerialPredecessorsArePrunedFromLockerLists) {
+  // Spawn+wait in sequence: each new write subsumes the previous serial
+  // one under the ALL-SETS pruning rule, so the locker list stays at one
+  // entry and prune events are observable.
+  rt::Scheduler sched(make_config(2));
+  double x = 0.0;
+  {
+    race::Replay replay(sched);
+    for (int i = 0; i < 4; ++i) {
+      rt::TaskGroup g;
+      sched.spawn(g, [&] { race::write(&x); });
+      sched.wait(g);
+    }
+    EXPECT_TRUE(replay.finish().empty()) << dump(replay.finish());
+    EXPECT_GE(replay.detector().lockers_pruned(), 3u);
+  }
+}
+
+TEST(LocksetTest, ParallelReduceCombineCertifiesUnderItsLock) {
+  // parallel_reduce's combine step runs under an annotated internal
+  // lock; a reduction whose combine annotates the shared accumulator
+  // must certify clean — this is exactly the PNN pattern.
+  rt::Scheduler sched(make_config(2));
+  struct Acc {
+    std::vector<double> v;
+  };
+  {
+    race::Replay replay(sched);
+    Acc init;
+    init.v.assign(8, 0.0);
+    const std::size_t n = init.v.size();
+    Acc total = rt::parallel_reduce<Acc>(
+        sched, 0, 64, 4, std::move(init),
+        [n](std::int64_t b, std::int64_t e) {
+          Acc p;
+          p.v.assign(n, static_cast<double>(e - b));
+          return p;
+        },
+        [n](Acc a, Acc b) {
+          race::write(a.v.data(), n);
+          race::read(b.v.data(), n);
+          for (std::size_t k = 0; k < n; ++k) a.v[k] += b.v[k];
+          return a;
+        });
+    EXPECT_TRUE(replay.finish().empty()) << dump(replay.finish());
+    EXPECT_EQ(replay.detector().locks_seen(), 1u);
+    EXPECT_DOUBLE_EQ(total.v[0], 64.0);
+  }
+}
+
+// ---------------------------------------------------------------------
 // 2. Clean certification: every Table-2 app replays race-free and
 //    verifies under the serial-elision schedule.
 // ---------------------------------------------------------------------
@@ -271,6 +540,12 @@ TEST_P(RaceCleanTest, AppReplaysWithoutRaces) {
 
 INSTANTIATE_TEST_SUITE_P(Table2, RaceCleanTest,
                          ::testing::ValuesIn(apps::kAppNames));
+
+// The tiled kernels: their block-dependency structure (phase waits +
+// per-phase tile disjointness) is exactly where a stale-tile race would
+// hide, so they get the same clean certification as the Table-2 apps.
+INSTANTIATE_TEST_SUITE_P(BlockedLinalg, RaceCleanTest,
+                         ::testing::Values("BlockedCholesky", "BlockedLU"));
 
 // ---------------------------------------------------------------------
 // 3. Seeded racy mutants: one representative broken kernel per app
@@ -413,5 +688,228 @@ TEST(RaceMutantTest, MergesortOverlappingMergeBuffers) {
   });
 }
 
+TEST(RaceMutantTest, PnnCombineMissingTheLock) {
+  // Mutant of PNN's reduction: every leaf folds its partial into the
+  // shared gradient accumulator under the combine lock — except one,
+  // which "forgot" it. The lockset detector must flag exactly that pair
+  // and name the lock that would have serialized it.
+  rt::Scheduler sched(make_config(2));
+  race::Replay replay(sched);
+  {
+    race::region scope("PNN-combine-mutant");
+    std::vector<double> acc(16, 0.0);
+    std::mutex m;
+    rt::parallel_for(sched, 0, 64, 8,
+                     [&](std::int64_t b, std::int64_t /*e*/) {
+                       if (b == 0) {
+                         // The missing-lock leaf.
+                         race::write(acc.data(), acc.size());
+                       } else {
+                         race::scoped_lock<std::mutex> lock(m, "combine-lock");
+                         race::write(acc.data(), acc.size());
+                       }
+                     });
+  }
+  const auto& reports = replay.finish();
+  ASSERT_FALSE(reports.empty()) << "missing-lock combine not flagged";
+  EXPECT_TRUE(any_chain_mentions(reports, "PNN-combine-mutant"))
+      << dump(reports);
+  // Lock provenance: one side held combine-lock, the other held nothing.
+  bool provenance_ok = false;
+  for (const auto& r : reports) {
+    const bool one_sided =
+        (r.prior_locks.empty() && r.current_locks.size() == 1 &&
+         r.current_locks[0] == "combine-lock") ||
+        (r.current_locks.empty() && r.prior_locks.size() == 1 &&
+         r.prior_locks[0] == "combine-lock");
+    if (one_sided) provenance_ok = true;
+  }
+  EXPECT_TRUE(provenance_ok) << dump(reports);
+  EXPECT_NE(dump(reports).find("would have serialized"), std::string::npos);
+}
+
+TEST(RaceMutantTest, BlockedLuStaleTileRead) {
+  // Mutant of BlockedLU's phase structure: the GEMM trailing update runs
+  // in the SAME parallel region as the U-solve, so gemm(i, j, k) reads
+  // tile (I, K) while trsm_u is still writing it — a stale-tile race.
+  rt::Scheduler sched(make_config(2));
+  race::Replay replay(sched);
+  {
+    race::region scope("BlockedLU-mutant");
+    const std::size_t n = 16, b = 4;
+    std::vector<double> lu(n * n, 1.0);
+    double* p = lu.data();
+    // Tiles at block coordinates: diagonal (1,1) rows/cols [4,8).
+    rt::parallel_invoke(
+        sched,
+        [&] {
+          // trsm_u: writes tile (1, 0) — rows [4,8) cols [0,4).
+          for (std::size_t r = b; r < 2 * b; ++r) race::write(p + r * n, b);
+        },
+        [&] {
+          // gemm(1, 1, 0): reads tiles (1, 0) and (0, 1), writes (1, 1).
+          for (std::size_t r = b; r < 2 * b; ++r) race::read(p + r * n, b);
+          for (std::size_t r = 0; r < b; ++r) race::read(p + r * n + b, b);
+          for (std::size_t r = b; r < 2 * b; ++r) {
+            race::write(p + r * n + b, b);
+          }
+        });
+  }
+  const auto& reports = replay.finish();
+  ASSERT_FALSE(reports.empty()) << "stale-tile mutant not flagged";
+  EXPECT_TRUE(any_chain_mentions(reports, "BlockedLU-mutant"))
+      << dump(reports);
+  // No locks anywhere near the tile phases: the report must say so.
+  EXPECT_NE(dump(reports).find("no locks held by either access"),
+            std::string::npos)
+      << dump(reports);
+}
+
+// ---------------------------------------------------------------------
+// 4. Simulator-DAG certification: every DagProfile generator's TaskDag,
+//    executed as the fork-join program it encodes, replays clean — the
+//    simulated DAGs carry the same certificate as the real kernels.
+// ---------------------------------------------------------------------
+
+class SimDagCertTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SimDagCertTest, ProfileDagReplaysClean) {
+  const apps::SimAppProfile profile = apps::make_sim_profile(GetParam());
+  ASSERT_EQ(profile.dag.validate(), "");
+  rt::Scheduler sched(make_config(2));
+  race::Replay replay(sched);
+  const apps::DagReplayStats stats = apps::replay_dag(sched, profile.dag);
+  const auto& reports = replay.finish();
+  EXPECT_TRUE(reports.empty()) << dump(reports);
+  ASSERT_TRUE(stats.clean()) << stats.defects.front();
+  EXPECT_EQ(stats.executions, profile.dag.size());
+  EXPECT_NEAR(stats.work_replayed, profile.dag.total_work(),
+              1e-9 * profile.dag.total_work());
+  EXPECT_GT(replay.detector().granules_checked(), 0u)
+      << "DAG replay is not annotated — the clean result is vacuous";
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, SimDagCertTest,
+                         ::testing::ValuesIn(apps::sim_profile_names()));
+
+TEST(SimDagCertTest, MergesortDagReplaysClean) {
+  const sim::TaskDag dag = apps::make_mergesort_dag(8, 25.0, 8.0, 0.6);
+  ASSERT_EQ(dag.validate(), "");
+  rt::Scheduler sched(make_config(2));
+  race::Replay replay(sched);
+  const apps::DagReplayStats stats = apps::replay_dag(sched, dag);
+  EXPECT_TRUE(replay.finish().empty());
+  EXPECT_TRUE(stats.clean()) << stats.defects.front();
+  EXPECT_EQ(stats.executions, dag.size());
+}
+
+TEST(SimDagCertTest, ReplayFlagsNestedChainClaimingOuterJoin) {
+  // Adversarial DAG that PASSES TaskDag::validate() (every node enabled
+  // exactly once, acyclic, reachable) but is not a well-formed
+  // fork-join program: the inner split's child chain terminates at the
+  // OUTER join instead of its own. The replay certificate catches what
+  // static validation cannot.
+  sim::TaskDag dag;
+  const sim::NodeId s = dag.add_node(1.0);   // outer split
+  const sim::NodeId a = dag.add_node(1.0);   // child: inner split
+  const sim::NodeId b = dag.add_node(1.0);   // child: plain chain
+  const sim::NodeId j = dag.add_node(1.0);   // outer join
+  const sim::NodeId a1 = dag.add_node(1.0);  // inner child
+  const sim::NodeId ja = dag.add_node(1.0);  // inner join
+  dag.set_root(s);
+  dag.add_spawn(s, a);
+  dag.add_spawn(s, b);
+  dag.set_continuation(s, j);
+  dag.set_continuation(b, j);
+  dag.add_spawn(a, a1);
+  dag.set_continuation(a, ja);
+  dag.set_continuation(a1, j);  // WRONG: claims the outer join
+  dag.set_continuation(ja, j);
+  ASSERT_EQ(dag.validate(), "") << "defect must be invisible to validate()";
+  rt::Scheduler sched(make_config(2));
+  race::Replay replay(sched);
+  const apps::DagReplayStats stats = apps::replay_dag(sched, dag);
+  replay.finish();
+  EXPECT_FALSE(stats.clean())
+      << "replay certified a DAG that is not a fork-join program";
+}
+
+TEST(SimDagCertTest, ReplayFlagsSplitWithoutAJoin) {
+  // A split with no continuation also passes validate() (the enabling
+  // discipline has nothing to say about a missing join), but the spawned
+  // child's completion signal has nowhere to land — not a fork-join
+  // program, and the replay says so.
+  sim::TaskDag dag;
+  const sim::NodeId root = dag.add_node(1.0);
+  const sim::NodeId child = dag.add_node(1.0);
+  dag.set_root(root);
+  dag.add_spawn(root, child);  // spawned, but root has no join
+  ASSERT_EQ(dag.validate(), "");
+  rt::Scheduler sched(make_config(2));
+  race::Replay replay(sched);
+  const apps::DagReplayStats stats = apps::replay_dag(sched, dag);
+  replay.finish();
+  EXPECT_FALSE(stats.clean());
+}
+
+// ---------------------------------------------------------------------
+// 5. Seeded-input replay sweep: one serial replay certifies one DAG, so
+//    input-dependent kernels are swept across N seeded inputs.
+// ---------------------------------------------------------------------
+
+TEST(RaceSweepTest, MergesortCertifiesAcrossSeededInputs) {
+  util::Xoshiro256 rng(0xD5EEDCAFEu);
+  for (int s = 0; s < sweep_n(); ++s) {
+    // Sizes straddle the sort/merge cutoffs, so the spawn tree (not just
+    // the data) changes per input.
+    const std::size_t n = 512 + static_cast<std::size_t>(
+                                    rng.next_below(6 * 1024));
+    const std::uint64_t seed = rng.next();
+    apps::MergesortApp app(n, seed);
+    rt::Scheduler sched(make_config(2));
+    race::Replay replay(sched);
+    app.run(sched);
+    const auto& reports = replay.finish();
+    EXPECT_TRUE(reports.empty())
+        << "n=" << n << " seed=" << seed << "\n" << dump(reports);
+    EXPECT_EQ(app.verify(), "") << "n=" << n << " seed=" << seed;
+  }
+}
+
+TEST(RaceSweepTest, FftCertifiesAcrossSizes) {
+  util::Xoshiro256 rng(0xFF7F5EEDu);
+  for (int s = 0; s < sweep_n(); ++s) {
+    // Power-of-two sizes spanning several recursion depths.
+    const std::size_t n = std::size_t{1} << (6 + rng.next_below(6));
+    const std::uint64_t seed = rng.next();
+    apps::FftApp app(n, seed);
+    rt::Scheduler sched(make_config(2));
+    race::Replay replay(sched);
+    app.run(sched);
+    const auto& reports = replay.finish();
+    EXPECT_TRUE(reports.empty())
+        << "n=" << n << " seed=" << seed << "\n" << dump(reports);
+    EXPECT_EQ(app.verify(), "") << "n=" << n << " seed=" << seed;
+  }
+}
+
 }  // namespace
 }  // namespace dws
+
+// Custom driver: gtest_main's main is not pulled in because this TU
+// defines one. --sweep=N (or DWS_RACE_SWEEP=N) widens the seeded-input
+// sweep; the default stays small so the plain ctest run is fast.
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);  // strips gtest's own flags
+  int sweep = 3;
+  if (const char* env = std::getenv("DWS_RACE_SWEEP"); env != nullptr) {
+    sweep = std::atoi(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--sweep=", 8) == 0) {
+      sweep = std::atoi(argv[i] + 8);
+    }
+  }
+  dws::g_sweep = sweep < 1 ? 1 : (sweep > 16 ? 16 : sweep);
+  return RUN_ALL_TESTS();
+}

@@ -1,12 +1,18 @@
 // Strictness-validator tests (ctest label: race): the runtime checks
 // that TaskGroup usage is fully strict — created, spawned into, waited
-// on, and destroyed under the creating scope. Each test installs a
-// recording handler (the default handler aborts, by design) and enables
-// enforcement explicitly so the suite behaves the same in release
-// builds, where enforcement is off by default.
+// on, and destroyed under the creating scope. Scoping is spawn-tree
+// based: every task carries its ancestor lineage, so waiting on a group
+// created by a descendant task (ancestor-wait) or by an unrelated task
+// (foreign-wait) is flagged even when both tasks happened to execute on
+// the same worker thread; the thread-tag check remains as a fallback
+// when either side of the wait is not a task frame. Each test installs
+// a recording handler (the default handler aborts, by design) and
+// enables enforcement explicitly so the suite behaves the same in
+// release builds, where enforcement is off by default.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -75,6 +81,70 @@ TEST_F(StrictnessTest, CreatorReuseIsSanctioned) {
   EXPECT_TRUE(recorded().empty());
 }
 
+TEST_F(StrictnessTest, TaskWaitingOnItsOwnGroupIsSilent) {
+  Scheduler sched(make_config(2));
+  std::atomic<int> ran{0};
+  TaskGroup outer;
+  sched.spawn(outer, [&] {
+    TaskGroup mine;
+    sched.spawn(mine, [&] { ran.fetch_add(1); });
+    sched.wait(mine);
+  });
+  sched.wait(outer);
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_TRUE(recorded().empty());
+}
+
+TEST_F(StrictnessTest, AncestorWaitIsFlagged) {
+  // Task A spawns task B; B creates a group that escapes back to A, and
+  // A waits on it. A is B's spawn-tree ancestor, not the group's
+  // creator — fully strict computations never do this, and the
+  // thread-tag check alone could miss it (A and B may well run on the
+  // same worker).
+  Scheduler sched(make_config(2));
+  std::unique_ptr<TaskGroup> stray;
+  TaskGroup outer;
+  sched.spawn(outer, [&] {  // task A
+    TaskGroup mid;
+    sched.spawn(mid, [&] {  // task B, child of A
+      stray = std::make_unique<TaskGroup>();
+      sched.spawn(*stray, [] {});
+    });
+    sched.wait(mid);     // sanctioned: A's own group
+    sched.wait(*stray);  // ancestor-wait: B created this group
+  });
+  sched.wait(outer);
+  ASSERT_EQ(recorded().size(), 1u);
+  EXPECT_EQ(recorded()[0], strict::Violation::kAncestorWait);
+}
+
+TEST_F(StrictnessTest, SiblingTaskWaitIsForeign) {
+  // Task B1 creates a group; its spawn-tree sibling B2 waits on it. The
+  // two tasks run sequentially here (B1's round completes before B2
+  // spawns), so under the old thread-tag scoping they could land on the
+  // same worker thread and the wait would pass silently; lineage
+  // scoping flags it regardless of placement.
+  Scheduler sched(make_config(2));
+  std::unique_ptr<TaskGroup> stray;
+  TaskGroup outer;
+  sched.spawn(outer, [&] {  // task A
+    TaskGroup round1;
+    sched.spawn(round1, [&] {  // task B1
+      stray = std::make_unique<TaskGroup>();
+      sched.spawn(*stray, [] {});
+    });
+    sched.wait(round1);
+    TaskGroup round2;
+    sched.spawn(round2, [&] {  // task B2, sibling of B1
+      sched.wait(*stray);      // foreign-wait: not B2's, not a descendant's
+    });
+    sched.wait(round2);
+  });
+  sched.wait(outer);
+  ASSERT_EQ(recorded().size(), 1u);
+  EXPECT_EQ(recorded()[0], strict::Violation::kForeignWait);
+}
+
 TEST_F(StrictnessTest, ForeignWaitIsFlagged) {
   Scheduler sched(make_config(2));
   TaskGroup g;  // created on this thread
@@ -133,6 +203,8 @@ TEST_F(StrictnessTest, ViolationNamesAreStable) {
   EXPECT_STREQ(
       strict::violation_name(strict::Violation::kSpawnAfterCompletion),
       "spawn-after-completion");
+  EXPECT_STREQ(strict::violation_name(strict::Violation::kAncestorWait),
+               "ancestor-wait");
 }
 
 }  // namespace
