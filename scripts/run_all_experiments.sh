@@ -50,10 +50,11 @@ if [ "${DWS_SKIP_CHECKS:-0}" != "1" ]; then
 
   # Preflight the correctness suites so every regenerated figure is
   # backed by a passing check/crash/race run; record which labels the
-  # build actually provides (race is absent under -DDWS_RACE=OFF).
+  # build actually provides (race and race-fasttrack are absent under
+  # -DDWS_RACE=OFF).
   LABELS_RUN=()
   LABELS_EMPTY=()
-  for label in check crash race; do
+  for label in check crash race race-fasttrack; do
     n=$(ctest --test-dir "$BUILD" -N -L "$label" 2>/dev/null \
           | sed -n 's/^Total Tests: //p')
     if [ "${n:-0}" -gt 0 ]; then

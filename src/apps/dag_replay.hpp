@@ -7,10 +7,13 @@
 // runtime: each split node spawns its children into a TaskGroup and
 // waits, serial chains run inline, and every node "reads" each of its
 // dependence predecessors' results and "publishes" its own through
-// race::read/write annotations. Driven under a race::Replay session
-// (serial elision), the SP-bags detector then certifies that every
-// dependence edge of the DAG is realized by the series-parallel order of
-// the spawn structure — the same certificate the real kernels get.
+// race::read/write annotations. Driven under a race::Replay session,
+// the detector then certifies that every dependence edge of the DAG is
+// realized by the series-parallel order of the spawn structure — the
+// same certificate the real kernels get. Both modes work: SP-bags
+// certifies the whole DAG from one serial elision; FastTrack checks the
+// same program on the live parallel workers (the replayer's bookkeeping
+// is internally synchronized for that case).
 //
 // Structural defects the replay itself detects (independently of the
 // detector, and beyond what TaskDag::validate can see): a child chain
@@ -40,8 +43,7 @@ struct DagReplayStats {
 
 /// Execute `dag` as a fork-join program on `sched`, annotating every
 /// dependence edge for the race detector. Run it under race::Replay to
-/// certify; the replay is serial (one legal schedule), so drive it from
-/// the replay thread only.
+/// certify; under Mode::kSpBags drive it from the replay thread only.
 DagReplayStats replay_dag(rt::Scheduler& sched, const sim::TaskDag& dag);
 
 }  // namespace dws::apps

@@ -134,6 +134,15 @@ StaleSweepResult StaleSweeper::sweep() {
     }
     const std::uint64_t epoch = table_->liveness_epoch(p);
     Observation& obs = seen_[p];
+    if (os_pid != obs.os_pid) {
+      // The slot is bound to a different process than the one we were
+      // watching (first sighting, or a rebind after the predecessor died
+      // or exited). Its first epoch may collide with the predecessor's
+      // last observed one, so restart the stall clock unconditionally —
+      // a fresh binding deserves a full stale_periods_ budget.
+      obs = Observation{epoch, os_pid, 0};
+      continue;
+    }
     if (epoch != obs.epoch) {  // heartbeat advanced: healthy
       obs.epoch = epoch;
       obs.stalled = 0;

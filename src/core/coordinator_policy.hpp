@@ -140,6 +140,12 @@ class StaleSweeper {
  private:
   struct Observation {
     std::uint64_t epoch = 0;
+    /// Which process the stall clock below is measuring. Epochs restart at
+    /// 1 per bind, so a slot rebound to a new process can present the same
+    /// epoch its dead predecessor last showed; keying the stall clock on
+    /// (os_pid, epoch) instead of epoch alone keeps the newcomer from
+    /// inheriting the corpse's stalled count and being swept early.
+    std::uint32_t os_pid = 0;
     unsigned stalled = 0;
   };
 

@@ -27,9 +27,18 @@ enum class StealOutcome : int {
 
 class StealPolicy {
  public:
+  /// The failure counter saturates here instead of growing without bound:
+  /// kClassic returns kRetry forever and never resets, so a long-starved
+  /// busy-spinning worker would otherwise increment a plain int past
+  /// INT_MAX — signed overflow, UB. The cap is far above any meaningful
+  /// threshold (T_SLEEP tops out at 64x the core count); thresholds are
+  /// clamped to it so `failed_steals_ >= t_sleep_` keeps firing after
+  /// saturation.
+  static constexpr int kFailedStealsSaturation = 1 << 20;
+
   /// `t_sleep` is the resolved threshold (Config::effective_t_sleep).
   constexpr StealPolicy(SchedMode mode, int t_sleep) noexcept
-      : mode_(mode), t_sleep_(t_sleep) {}
+      : mode_(mode), t_sleep_(clamp_t_sleep(t_sleep)) {}
 
   /// Algorithm 1 lines 5-6 / 10-11: any successful task acquisition
   /// (own pool pop or steal) resets the failure count.
@@ -38,7 +47,7 @@ class StealPolicy {
   /// Algorithm 1 lines 13-17: record one failed steal and return the
   /// action the worker must take.
   constexpr StealOutcome on_steal_failed() noexcept {
-    ++failed_steals_;
+    if (failed_steals_ < kFailedStealsSaturation) ++failed_steals_;
     switch (mode_) {
       case SchedMode::kClassic:
         return StealOutcome::kRetry;
@@ -70,9 +79,16 @@ class StealPolicy {
 
   /// Adjust the threshold at runtime (adaptive T_SLEEP extension; the
   /// paper fixes it at k, §3.4, and sketches adaptivity as future work).
-  constexpr void set_t_sleep(int t_sleep) noexcept { t_sleep_ = t_sleep; }
+  constexpr void set_t_sleep(int t_sleep) noexcept {
+    t_sleep_ = clamp_t_sleep(t_sleep);
+  }
 
  private:
+  static constexpr int clamp_t_sleep(int t_sleep) noexcept {
+    return t_sleep > kFailedStealsSaturation ? kFailedStealsSaturation
+                                             : t_sleep;
+  }
+
   SchedMode mode_;
   int t_sleep_;
   int failed_steals_ = 0;

@@ -1,0 +1,357 @@
+#include "race/fasttrack.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dws::race {
+
+namespace {
+
+constexpr unsigned kGranuleShift = 3;  // 8-byte shadow granules
+
+std::uint64_t next_session_id() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+FastTrack::FastTrack()
+    : session_(next_session_id()), shards_(new Shard[kShards]) {}
+
+FastTrack::~FastTrack() = default;
+
+FastTrack::ThreadState& FastTrack::my_state() {
+  // Per-thread cache keyed by session id: worker threads outlive
+  // detector sessions, and a later detector may reuse this address.
+  thread_local struct {
+    std::uint64_t session = 0;
+    ThreadState* ts = nullptr;
+  } cache;
+  if (cache.session != session_) {
+    std::lock_guard<std::mutex> lock(states_m_);
+    states_.emplace_back();
+    ThreadState& ts = states_.back();
+    // The thread's root frame gets its own clock index, like any task.
+    // A frame needs a nonzero epoch before its first access: clock 0
+    // compares as ordered-to-everyone (VC entries default to 0).
+    ts.slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
+    ts.vc.set(ts.slot, 1);
+    ts.sink = std::make_unique<Sink>(this, &ts);
+    refresh_prov(ts);  // interns {"root"} -> id 0
+    cache.session = session_;
+    cache.ts = &ts;
+  }
+  return *cache.ts;
+}
+
+void FastTrack::refresh_prov(ThreadState& ts) {
+  std::string key;
+  for (const std::string& hop : ts.chain) {
+    key += hop;
+    key += '\x1f';
+  }
+  std::lock_guard<std::mutex> lock(prov_m_);
+  const auto next = static_cast<std::uint32_t>(prov_chains_.size());
+  auto [it, inserted] = prov_ids_.emplace(std::move(key), next);
+  if (inserted) prov_chains_.push_back(ts.chain);
+  ts.prov = it->second;
+}
+
+void FastTrack::refresh_locks(ThreadState& ts) {
+  std::vector<std::string> names;
+  names.reserve(ts.held.size());
+  for (const auto& [addr, name] : ts.held) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  std::string key;
+  for (const std::string& n : names) {
+    key += n;
+    key += '\x1f';
+  }
+  std::lock_guard<std::mutex> lock(prov_m_);
+  const auto next = static_cast<std::uint32_t>(lock_lists_.size());
+  auto [it, inserted] = lock_list_ids_.emplace(std::move(key), next);
+  if (inserted) lock_lists_.push_back(std::move(names));
+  ts.locks = it->second;
+}
+
+// ---- ParallelHook edges ----
+
+void* FastTrack::on_task_published(rt::TaskGroup& /*group*/) {
+  ThreadState& ts = my_state();
+  auto* tok = new Token;
+  // Everything the spawning frame did so far happens-before the child.
+  tok->msg = ts.vc;
+  // Advance the spawner's epoch: its post-spawn work is parallel with
+  // the child (ESP semantics — the child stays parallel with the
+  // spawner's continuation until the group's wait).
+  ts.vc.set(ts.slot, ts.vc.get(ts.slot) + 1);
+
+  std::string label =
+      "spawn#" +
+      std::to_string(spawn_ordinal_.fetch_add(1, std::memory_order_relaxed));
+  if (!ts.regions.empty()) {
+    label += " '";
+    label += ts.regions.back();
+    label += "'";
+  }
+  tok->chain = ts.chain;
+  tok->chain.push_back(std::move(label));
+  // Regions travel with the task: a region active at the spawn site
+  // labels the child's nested spawns too, wherever they execute.
+  tok->regions = ts.regions;
+  return tok;
+}
+
+void FastTrack::on_task_begin(void* token) {
+  auto* tok = static_cast<Token*>(token);
+  ThreadState& ts = my_state();
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+
+  // Save the interrupted frame (help-first waiters execute tasks inline;
+  // tokens nest stack-fashion per thread).
+  tok->saved_slot = ts.slot;
+  tok->saved_vc = std::move(ts.vc);
+  tok->saved_chain = std::move(ts.chain);
+  tok->saved_regions = std::move(ts.regions);
+  tok->saved_held = std::move(ts.held);
+  tok->saved_prov = ts.prov;
+  tok->saved_locks = ts.locks;
+
+  // Open a fresh frame: a brand-new clock index whose inherited history
+  // is exactly the spawn-site clock. Per-frame indices (not per-worker)
+  // keep prefix coverage exact — tasks that share a worker share no
+  // index, so they stay logically parallel (see fasttrack.hpp).
+  ts.slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
+  ts.vc = std::move(tok->msg);
+  ts.vc.set(ts.slot, 1);
+  ts.chain = std::move(tok->chain);
+  ts.regions = std::move(tok->regions);
+  ts.held.clear();
+  ts.locks = 0;
+  refresh_prov(ts);
+
+  tok->prev_sink = detail::tl_sink();
+  detail::tl_sink() = ts.sink.get();
+}
+
+void FastTrack::on_task_end(void* token, rt::TaskGroup* group) {
+  auto* tok = static_cast<Token*>(token);
+  ThreadState& ts = my_state();
+  if (group != nullptr) {
+    // Completion edge: published before complete_one signals, so a
+    // waiter released by the final decrement joins a complete clock.
+    std::lock_guard<std::mutex> lock(groups_m_);
+    group_vcs_[group].join(ts.vc);
+  }
+  ts.slot = tok->saved_slot;
+  ts.vc = std::move(tok->saved_vc);
+  ts.chain = std::move(tok->saved_chain);
+  ts.regions = std::move(tok->saved_regions);
+  ts.held = std::move(tok->saved_held);
+  ts.prov = tok->saved_prov;
+  ts.locks = tok->saved_locks;
+  detail::tl_sink() = tok->prev_sink;
+  delete tok;
+}
+
+void FastTrack::on_wait_done(rt::TaskGroup& group) {
+  ThreadState& ts = my_state();
+  std::lock_guard<std::mutex> lock(groups_m_);
+  const auto it = group_vcs_.find(&group);
+  if (it == group_vcs_.end()) return;  // nothing completed into it
+  ts.vc.join(it->second);
+  // Drop the mapping — TaskGroups are routinely stack-allocated, so a
+  // later group at the same address must get a fresh join clock.
+  group_vcs_.erase(it);
+}
+
+// ---- Locks (acquire joins, release publishes + advances) ----
+
+void FastTrack::lock_acquire(ThreadState& ts, const void* lock,
+                             const char* name) {
+  std::string label;
+  if (name != nullptr) {
+    label = name;
+  } else {
+    std::ostringstream os;
+    os << "lock@0x" << std::hex << reinterpret_cast<std::uintptr_t>(lock);
+    label = os.str();
+  }
+  ts.held.emplace_back(lock, std::move(label));
+  refresh_locks(ts);
+  std::lock_guard<std::mutex> g(locks_m_);
+  const auto it = lock_vcs_.find(lock);
+  if (it != lock_vcs_.end()) ts.vc.join(it->second);
+}
+
+void FastTrack::lock_release(ThreadState& ts, const void* lock) {
+  bool held = false;
+  for (auto it = ts.held.rbegin(); it != ts.held.rend(); ++it) {
+    if (it->first == lock) {
+      ts.held.erase(std::next(it).base());
+      held = true;
+      break;
+    }
+  }
+  if (!held) return;  // release of a never-acquired lock
+  refresh_locks(ts);
+  {
+    std::lock_guard<std::mutex> g(locks_m_);
+    lock_vcs_[lock].join(ts.vc);
+  }
+  // Post-release work must not look ordered to the next acquirer.
+  ts.vc.set(ts.slot, ts.vc.get(ts.slot) + 1);
+}
+
+// ---- Shadow checking ----
+
+void FastTrack::check_granule(ThreadState& ts, std::uintptr_t granule,
+                              bool is_write) {
+  Shard& shard = shards_[granule & (kShards - 1)];
+  std::lock_guard<std::mutex> lock(shard.m);
+  ++shard.granules_checked;
+  ShadowWord& w = shard.words[granule];
+  const std::uintptr_t byte_addr = granule << kGranuleShift;
+  const Epoch cur{ts.vc.get(ts.slot), ts.slot, ts.prov, ts.locks};
+
+  const auto ordered = [&ts](const Epoch& e) {
+    return e.slot == kNoSlot || e.clock <= ts.vc.get(e.slot);
+  };
+
+  if (is_write) {
+    if (!ordered(w.write)) {
+      record(byte_addr, w.write, Access::kWrite, Access::kWrite, ts);
+    }
+    if (w.read_frontier != nullptr) {
+      for (const Epoch& e : *w.read_frontier) {
+        if (!ordered(e)) record(byte_addr, e, Access::kRead, Access::kWrite, ts);
+      }
+    } else if (!ordered(w.read)) {
+      record(byte_addr, w.read, Access::kRead, Access::kWrite, ts);
+    }
+    // The write dominates: prior reads either happened-before it or were
+    // just reported; collapse back to the fast representation.
+    w.write = cur;
+    w.read = Epoch{};
+    w.read_frontier.reset();
+  } else {
+    if (!ordered(w.write)) {
+      record(byte_addr, w.write, Access::kWrite, Access::kRead, ts);
+    }
+    if (w.read_frontier != nullptr) {
+      // Keep the frontier of pairwise-unordered reads: entries ordered
+      // before this read are subsumed (a later writer unordered with a
+      // dropped entry is also unordered with this read), and a frame's
+      // own earlier reads are ordered by definition.
+      auto& v = *w.read_frontier;
+      v.erase(std::remove_if(v.begin(), v.end(), ordered), v.end());
+      v.push_back(cur);
+      if (v.size() == 1) {  // collapsed back to one reader
+        w.read = v.front();
+        w.read_frontier.reset();
+      }
+    } else if (w.read.slot == kNoSlot || ordered(w.read)) {
+      // Single-epoch fast path: no prior read, or one this read
+      // subsumes (same-frame reads are always ordered).
+      w.read = cur;
+    } else {
+      // Concurrent readers: promote to a frontier so a later write
+      // races against each of them.
+      ++shard.read_promotions;
+      w.read_frontier =
+          std::make_unique<std::vector<Epoch>>(
+              std::vector<Epoch>{w.read, cur});
+      w.read = Epoch{};
+    }
+  }
+}
+
+void FastTrack::record(std::uintptr_t addr, const Epoch& prior,
+                       Access prior_kind, Access current_kind,
+                       const ThreadState& ts) {
+  races_found_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(report_m_);
+  const auto key = std::make_tuple(
+      prior.prov, ts.prov,
+      static_cast<std::uint8_t>((static_cast<unsigned>(prior_kind) << 1) |
+                                static_cast<unsigned>(current_kind)));
+  if (races_.size() >= kMaxReports || !reported_.insert(key).second) return;
+  RaceReport r;
+  r.addr = addr;
+  r.prior = prior_kind;
+  r.current = current_kind;
+  {
+    std::lock_guard<std::mutex> plock(prov_m_);
+    r.prior_chain = prov_chains_[prior.prov];
+    r.current_chain = prov_chains_[ts.prov];
+    r.prior_locks = lock_lists_[prior.locks];
+    r.current_locks = lock_lists_[ts.locks];
+  }
+  races_.push_back(std::move(r));
+}
+
+// ---- Sink plumbing ----
+
+MemorySink* FastTrack::sink_for_current_thread() {
+  return my_state().sink.get();
+}
+
+void FastTrack::Sink::on_access(const void* addr, std::size_t size,
+                                std::size_t count,
+                                std::ptrdiff_t stride_bytes, bool is_write) {
+  if (size == 0) return;
+  auto base = reinterpret_cast<std::uintptr_t>(addr);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uintptr_t lo = base >> kGranuleShift;
+    const std::uintptr_t hi = (base + size - 1) >> kGranuleShift;
+    for (std::uintptr_t g = lo; g <= hi; ++g) {
+      owner_->check_granule(*ts_, g, is_write);
+    }
+    base += static_cast<std::uintptr_t>(stride_bytes);
+  }
+}
+
+void FastTrack::Sink::on_region_enter(const char* name) {
+  ts_->regions.push_back(name);
+}
+
+void FastTrack::Sink::on_region_exit() {
+  if (!ts_->regions.empty()) ts_->regions.pop_back();
+}
+
+void FastTrack::Sink::on_lock_acquire(const void* lock, const char* name) {
+  owner_->lock_acquire(*ts_, lock, name);
+}
+
+void FastTrack::Sink::on_lock_release(const void* lock) {
+  owner_->lock_release(*ts_, lock);
+}
+
+// ---- Counters ----
+
+std::uint64_t FastTrack::granules_checked() const noexcept {
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].m);
+    n += shards_[i].granules_checked;
+  }
+  return n;
+}
+
+std::uint64_t FastTrack::read_promotions() const noexcept {
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].m);
+    n += shards_[i].read_promotions;
+  }
+  return n;
+}
+
+std::size_t FastTrack::threads_seen() const {
+  std::lock_guard<std::mutex> lock(states_m_);
+  return states_.size();
+}
+
+}  // namespace dws::race

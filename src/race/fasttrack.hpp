@@ -1,0 +1,282 @@
+// FastTrack-style vector-clock race detection riding the *live* parallel
+// schedule (Flanagan & Freund's epoch/VC adaptive representation, adapted
+// to the task layer).
+//
+// Where SP-bags replays the program serially and certifies the whole task
+// DAG, FastTrack lets the program run on the real work-stealing workers
+// and checks the same annotation stream against the happens-before
+// relation of that execution — detection itself becomes a parallel
+// workload. The runtime publishes its HB edges through
+// race::ParallelHook (runtime/race_hook.hpp):
+//
+//   publish (spawn site)   the child task captures the spawning frame's
+//                          vector clock in a per-task token before the
+//                          deque push / inbox transfer; the spawner then
+//                          advances its own epoch, so its post-spawn work
+//                          is parallel with the child;
+//   begin (pop or steal)   the executing thread opens a FRESH frame: a
+//                          brand-new vector-clock index for the task,
+//                          with the token's clock as its inherited
+//                          history. Tasks — not OS threads — are the
+//                          units of the clock, so two tasks that happen
+//                          to land on one worker share no index and stay
+//                          logically parallel: the relation checked is
+//                          the program's series-parallel structure plus
+//                          lock edges, not the accidents of one deque
+//                          interleaving. Nested inline execution
+//                          (help-first waiting) saves and restores the
+//                          interrupted frame stack-fashion through the
+//                          token;
+//   end (completion)       the frame's clock joins the TaskGroup's join
+//                          clock before complete_one can release a
+//                          waiter;
+//   wait done              the waiter joins the group's join clock;
+//   lock acquire/release   release publishes the frame clock into the
+//                          lock's clock and advances the holder's epoch;
+//                          acquire joins the lock's clock — mutex-
+//                          serialized accesses are ordered, as in
+//                          ALL-SETS, but via the lock-edge order of the
+//                          observed schedule.
+//
+// Per-frame indices make vector-clock prefix coverage EXACT: an index is
+// one frame's serial execution, so "slot s up to clock c" can only mean
+// that frame's first c epochs — there is no way for one task's fresh
+// epoch to accidentally cover an unrelated task that reused the same
+// worker (the classic unsoundness of thread-indexed clocks under task
+// schedulers). The cost is that clock vectors grow with the number of
+// frames spawned in the session and spawn/join edges are O(frames) —
+// acceptable for certification runs, and access checks stay O(1) via
+// FastTrack epochs.
+//
+// Shadow state per 8-byte granule is FastTrack's adaptive word: a single
+// write epoch, plus either one read epoch (while reads stay ordered) or
+// a read *frontier* — the pairwise-unordered prior reads — once
+// concurrent readers appear. Dropping a read that is ordered before the
+// incoming one is sound: any later writer unordered with the dropped
+// read is also unordered with the one that subsumed it. The shadow table
+// is sharded (per-shard mutex) so worker threads check annotations
+// without a global lock; each frame's own clock needs no lock at all —
+// the FastTrack property that makes the parallel mode cheap.
+//
+// Known limitation (the mode-selection trade, docs/CHECKING.md): one
+// run checks one observed schedule. For lock-free programs the modeled
+// relation is schedule-independent (spawn/join edges only), so verdicts
+// match SP-bags; with locks, the observed lock-edge order can serialize
+// pairs that another schedule would race — SP-bags/ALL-SETS remains the
+// certifying default.
+#pragma once
+
+#ifdef DWS_RACE_DISABLED
+#error "src/race requires a build without DWS_RACE_DISABLED (-DDWS_RACE=ON)"
+#endif
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "race/report.hpp"
+#include "runtime/race_hook.hpp"
+
+namespace dws::race {
+
+class FastTrack final : public ParallelHook {
+ public:
+  FastTrack();
+  ~FastTrack() override;
+
+  // ParallelHook (called by the runtime; see race_hook.hpp)
+  void* on_task_published(rt::TaskGroup& group) override;
+  void on_task_begin(void* token) override;
+  void on_task_end(void* token, rt::TaskGroup* group) override;
+  void on_wait_done(rt::TaskGroup& group) override;
+
+  /// The calling thread's annotation sink (allocates the thread's slot on
+  /// first use). Replay installs this on the session's root thread; task
+  /// bodies get their executing thread's sink installed at begin.
+  [[nodiscard]] MemorySink* sink_for_current_thread();
+
+  [[nodiscard]] const std::vector<RaceReport>& races() const noexcept {
+    return races_;
+  }
+  /// Total unordered conflicting pairs observed, including those
+  /// deduplicated or dropped past the report cap.
+  [[nodiscard]] std::uint64_t races_found() const noexcept {
+    return races_found_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t tasks_executed() const noexcept {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t granules_checked() const noexcept;
+  /// Granules whose read state was promoted from a single epoch to a
+  /// read frontier (FastTrack's slow representation).
+  [[nodiscard]] std::uint64_t read_promotions() const noexcept;
+  /// Thread slots allocated (workers that executed annotated work, plus
+  /// the session root thread).
+  [[nodiscard]] std::size_t threads_seen() const;
+
+  /// At most this many distinct reports are materialized.
+  static constexpr std::size_t kMaxReports = 64;
+
+ private:
+  using Clock = std::uint32_t;
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFU;
+  static constexpr std::size_t kShards = 64;
+
+  /// Growable vector clock; absent entries are 0.
+  struct VC {
+    std::vector<Clock> c;
+
+    [[nodiscard]] Clock get(std::size_t i) const noexcept {
+      return i < c.size() ? c[i] : 0;
+    }
+    void set(std::size_t i, Clock v) {
+      if (i >= c.size()) c.resize(i + 1, 0);
+      c[i] = v;
+    }
+    void join(const VC& o) {
+      if (o.c.size() > c.size()) c.resize(o.c.size(), 0);
+      for (std::size_t i = 0; i < o.c.size(); ++i) {
+        if (o.c[i] > c[i]) c[i] = o.c[i];
+      }
+    }
+  };
+
+  /// One access: a (clock, slot) epoch plus interned provenance (spawn
+  /// chain and held-lock names) for reports.
+  struct Epoch {
+    Clock clock = 0;
+    std::uint32_t slot = kNoSlot;
+    std::uint32_t prov = 0;
+    std::uint32_t locks = 0;
+  };
+
+  struct ShadowWord {
+    Epoch write;
+    /// Last read while reads stay totally ordered...
+    Epoch read;
+    /// ...or the frontier of pairwise-unordered reads once concurrent
+    /// readers appear (sparse: distinct slots, scanned linearly).
+    std::unique_ptr<std::vector<Epoch>> read_frontier;
+  };
+
+  struct ThreadState;
+
+  /// Per-thread MemorySink routing into the owning detector.
+  class Sink final : public MemorySink {
+   public:
+    Sink(FastTrack* owner, ThreadState* ts) noexcept
+        : owner_(owner), ts_(ts) {}
+    void on_access(const void* addr, std::size_t size, std::size_t count,
+                   std::ptrdiff_t stride_bytes, bool is_write) override;
+    void on_region_enter(const char* name) override;
+    void on_region_exit() override;
+    void on_lock_acquire(const void* lock, const char* name) override;
+    void on_lock_release(const void* lock) override;
+
+   private:
+    FastTrack* owner_;
+    ThreadState* ts_;
+  };
+
+  /// One OS thread's live frame. Strictly thread-private after
+  /// allocation (the FastTrack property: race checks read only the
+  /// current frame's clock); `deque` storage keeps addresses stable as
+  /// threads are added. `slot` is the CURRENT frame's vector-clock
+  /// index — fresh per task, so it changes at task begin/end.
+  struct ThreadState {
+    std::uint32_t slot = 0;
+    VC vc;
+    std::vector<std::string> chain{std::string("root")};
+    std::vector<const char*> regions;
+    /// Held locks, acquisition-ordered (multiset: recursive and
+    /// hand-over-hand locking stay representable).
+    std::vector<std::pair<const void*, std::string>> held;
+    std::uint32_t prov = 0;
+    std::uint32_t locks = 0;
+    std::unique_ptr<Sink> sink;
+  };
+
+  /// Per-task HB baton: the spawn-site clock and provenance going in,
+  /// the interrupted frame (help-first nesting) saved across the body.
+  struct Token {
+    VC msg;
+    std::vector<std::string> chain;
+    std::vector<const char*> regions;
+
+    std::uint32_t saved_slot = 0;
+    VC saved_vc;
+    std::vector<std::string> saved_chain;
+    std::vector<const char*> saved_regions;
+    std::vector<std::pair<const void*, std::string>> saved_held;
+    std::uint32_t saved_prov = 0;
+    std::uint32_t saved_locks = 0;
+    MemorySink* prev_sink = nullptr;
+  };
+
+  struct Shard {
+    std::mutex m;
+    std::unordered_map<std::uintptr_t, ShadowWord> words;
+    std::uint64_t granules_checked = 0;
+    std::uint64_t read_promotions = 0;
+  };
+
+  [[nodiscard]] ThreadState& my_state();
+  void refresh_prov(ThreadState& ts);
+  void refresh_locks(ThreadState& ts);
+  void check_granule(ThreadState& ts, std::uintptr_t granule, bool is_write);
+  void record(std::uintptr_t addr, const Epoch& prior, Access prior_kind,
+              Access current_kind, const ThreadState& ts);
+  void lock_acquire(ThreadState& ts, const void* lock, const char* name);
+  void lock_release(ThreadState& ts, const void* lock);
+
+  // Session identity for the thread-local slot cache (a new detector at
+  // a reused address must not inherit stale cached pointers).
+  const std::uint64_t session_;
+
+  // Thread slots. states_m_ guards allocation only; each ThreadState is
+  // then touched exclusively by its thread.
+  mutable std::mutex states_m_;
+  std::deque<ThreadState> states_;
+
+  // Sharded shadow memory: annotation checking contends only per shard.
+  std::unique_ptr<Shard[]> shards_;
+
+  // Interned provenance, shared by all threads (touched at task begin,
+  // region/lock changes, and report time — not per access).
+  mutable std::mutex prov_m_;
+  std::vector<std::vector<std::string>> prov_chains_{{std::string("root")}};
+  std::unordered_map<std::string, std::uint32_t> prov_ids_;
+  std::vector<std::vector<std::string>> lock_lists_{{}};
+  std::unordered_map<std::string, std::uint32_t> lock_list_ids_;
+
+  // Lock clocks (release publishes, acquire joins).
+  std::mutex locks_m_;
+  std::unordered_map<const void*, VC> lock_vcs_;
+
+  // TaskGroup join clocks; an entry lives from the group's first task
+  // completion to its wait (mirrors SpBags::live_finishes_, so
+  // stack-reused groups get fresh clocks).
+  std::mutex groups_m_;
+  std::unordered_map<const rt::TaskGroup*, VC> group_vcs_;
+
+  std::mutex report_m_;
+  std::vector<RaceReport> races_;
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint8_t>> reported_;
+
+  std::atomic<std::uint64_t> races_found_{0};
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> spawn_ordinal_{0};
+  /// Frame (vector-clock index) allocator: one index per task body plus
+  /// one per participating OS thread's root frame.
+  std::atomic<std::uint32_t> next_slot_{0};
+};
+
+}  // namespace dws::race

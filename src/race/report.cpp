@@ -1,0 +1,101 @@
+#include "race/report.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace dws::race {
+
+const char* access_name(Access a) noexcept {
+  return a == Access::kWrite ? "write" : "read";
+}
+
+namespace {
+
+void append_lock_list(std::ostringstream& os,
+                      const std::vector<std::string>& locks) {
+  if (locks.empty()) {
+    os << "none";
+    return;
+  }
+  os << "{";
+  for (std::size_t i = 0; i < locks.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << locks[i];
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string RaceReport::to_string() const {
+  std::ostringstream os;
+  os << "determinacy race on address 0x" << std::hex << addr << std::dec
+     << ": prior " << access_name(prior) << " is logically parallel with "
+     << access_name(current) << "\n  prior access:   ";
+  for (std::size_t i = 0; i < prior_chain.size(); ++i) {
+    if (i != 0) os << " > ";
+    os << prior_chain[i];
+  }
+  os << "\n  current access: ";
+  for (std::size_t i = 0; i < current_chain.size(); ++i) {
+    if (i != 0) os << " > ";
+    os << current_chain[i];
+  }
+  os << "\n  locks held:     prior ";
+  append_lock_list(os, prior_locks);
+  os << ", current ";
+  append_lock_list(os, current_locks);
+  if (prior_locks.empty() && current_locks.empty()) {
+    os << " (no locks held by either access)";
+  } else {
+    // The locksets are disjoint or there would be no race; any lock from
+    // either side, held around both accesses, serializes the pair.
+    std::vector<std::string> would;
+    would.insert(would.end(), prior_locks.begin(), prior_locks.end());
+    would.insert(would.end(), current_locks.begin(), current_locks.end());
+    os << " — disjoint; holding ";
+    append_lock_list(os, would);
+    os << " on both sides would have serialized the pair";
+  }
+  return os.str();
+}
+
+const char* mode_name(Mode m) noexcept {
+  return m == Mode::kFastTrack ? "fasttrack" : "spbags";
+}
+
+bool parse_mode(const char* s, Mode& out) noexcept {
+  if (s == nullptr) return false;
+  std::string key;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p == '-' || *p == '_') continue;  // "sp-bags" == "spbags"
+    key += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (key == "spbags" || key == "serial") {
+    out = Mode::kSpBags;
+    return true;
+  }
+  if (key == "fasttrack" || key == "ft" || key == "parallel") {
+    out = Mode::kFastTrack;
+    return true;
+  }
+  return false;
+}
+
+std::vector<Mode> modes_from_env() {
+  const char* env = std::getenv("DWS_RACE_MODE");
+  if (env != nullptr && *env != '\0') {
+    Mode m{};
+    if (parse_mode(env, m)) return {m};
+    if (std::string(env) != "both") {
+      std::cerr << "DWS_RACE_MODE=" << env
+                << " not recognized (want spbags|fasttrack|both); "
+                   "running both modes\n";
+    }
+  }
+  return {Mode::kSpBags, Mode::kFastTrack};
+}
+
+}  // namespace dws::race

@@ -1,0 +1,62 @@
+// Types shared by the two race detectors (SP-bags serial replay and the
+// FastTrack live-schedule mode): the access kinds, the report format with
+// spawn-tree + lock provenance, and the Mode knob selecting a detector.
+#pragma once
+
+#ifdef DWS_RACE_DISABLED
+#error "src/race requires a build without DWS_RACE_DISABLED (-DDWS_RACE=ON)"
+#endif
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dws::race {
+
+enum class Access : std::uint8_t { kRead = 0, kWrite = 1 };
+
+[[nodiscard]] const char* access_name(Access a) noexcept;
+
+/// One detected race between two logically parallel accesses whose
+/// locksets share no lock (SP-bags) / whose epochs are unordered by the
+/// modeled happens-before relation (FastTrack).
+struct RaceReport {
+  std::uintptr_t addr = 0;  ///< first conflicting granule (byte address)
+  Access prior = Access::kRead;
+  Access current = Access::kRead;
+  /// Spawn-site chains, root first, for the earlier and the currently
+  /// executing access ("root > spawn#3 'FFT' > spawn#9").
+  std::vector<std::string> prior_chain;
+  std::vector<std::string> current_chain;
+  /// Lock provenance: the (necessarily disjoint) sets of locks each side
+  /// held at its access. Empty means the access held no lock. Any lock
+  /// from either list, taken on both sides, would have serialized the
+  /// pair.
+  std::vector<std::string> prior_locks;
+  std::vector<std::string> current_locks;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Which detector a race::Replay session drives (see docs/CHECKING.md
+/// for the trade-off):
+///  - kSpBags: one serial depth-first execution, certifies the whole
+///    task DAG (ALL-SETS lock modeling). The default.
+///  - kFastTrack: vector clocks riding the live parallel schedule;
+///    detection itself is a parallel workload, but lock-induced ordering
+///    follows the one observed schedule (non-certifying with locks).
+enum class Mode : std::uint8_t { kSpBags = 0, kFastTrack = 1 };
+
+[[nodiscard]] const char* mode_name(Mode m) noexcept;
+
+/// Parse a DWS_RACE_MODE-style spelling ("spbags"/"sp-bags"/"serial",
+/// "fasttrack"/"ft"/"parallel"; case-insensitive). Returns false (and
+/// leaves `out` untouched) for anything else.
+[[nodiscard]] bool parse_mode(const char* s, Mode& out) noexcept;
+
+/// The detector modes a test run should exercise: both, unless the
+/// DWS_RACE_MODE environment variable restricts to one. An unparsable
+/// value falls back to both (with a stderr warning).
+[[nodiscard]] std::vector<Mode> modes_from_env();
+
+}  // namespace dws::race

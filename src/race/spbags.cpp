@@ -1,9 +1,11 @@
 #include "race/spbags.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <sstream>
 #include <utility>
 
+#include "race/fasttrack.hpp"
 #include "runtime/task.hpp"
 
 namespace dws::race {
@@ -13,61 +15,6 @@ namespace {
 constexpr unsigned kGranuleShift = 3;  // 8-byte shadow granules
 
 }  // namespace
-
-const char* access_name(Access a) noexcept {
-  return a == Access::kWrite ? "write" : "read";
-}
-
-namespace {
-
-void append_lock_list(std::ostringstream& os,
-                      const std::vector<std::string>& locks) {
-  if (locks.empty()) {
-    os << "none";
-    return;
-  }
-  os << "{";
-  for (std::size_t i = 0; i < locks.size(); ++i) {
-    if (i != 0) os << ", ";
-    os << locks[i];
-  }
-  os << "}";
-}
-
-}  // namespace
-
-std::string RaceReport::to_string() const {
-  std::ostringstream os;
-  os << "determinacy race on address 0x" << std::hex << addr << std::dec
-     << ": prior " << access_name(prior) << " is logically parallel with "
-     << access_name(current) << "\n  prior access:   ";
-  for (std::size_t i = 0; i < prior_chain.size(); ++i) {
-    if (i != 0) os << " > ";
-    os << prior_chain[i];
-  }
-  os << "\n  current access: ";
-  for (std::size_t i = 0; i < current_chain.size(); ++i) {
-    if (i != 0) os << " > ";
-    os << current_chain[i];
-  }
-  os << "\n  locks held:     prior ";
-  append_lock_list(os, prior_locks);
-  os << ", current ";
-  append_lock_list(os, current_locks);
-  if (prior_locks.empty() && current_locks.empty()) {
-    os << " (no locks held by either access)";
-  } else {
-    // The locksets are disjoint or there would be no race; any lock from
-    // either side, held around both accesses, serializes the pair.
-    std::vector<std::string> would;
-    would.insert(would.end(), prior_locks.begin(), prior_locks.end());
-    would.insert(would.end(), current_locks.begin(), current_locks.end());
-    os << " — disjoint; holding ";
-    append_lock_list(os, would);
-    os << " on both sides would have serialized the pair";
-  }
-  return os.str();
-}
 
 SpBags::SpBags() {
   // Element 0: the root task (the thread driving the replay), in its own
@@ -364,23 +311,53 @@ void SpBags::on_lock_release(const void* lock) {
   recompute_cur_lockset();
 }
 
-Replay::Replay(rt::Scheduler& sched)
-    : sched_(sched), det_(std::make_unique<SpBags>()) {
+Replay::Replay(rt::Scheduler& sched, Mode mode) : sched_(sched), mode_(mode) {
   prev_sink_ = detail::tl_sink();
-  detail::tl_sink() = det_.get();
-  sched_.set_exec_hook(det_.get());
+  if (mode_ == Mode::kSpBags) {
+    det_ = std::make_unique<SpBags>();
+    detail::tl_sink() = det_.get();
+    sched_.set_exec_hook(det_.get());
+  } else {
+    ft_ = std::make_unique<FastTrack>();
+    // The constructing thread gets a sink immediately (annotations made
+    // outside any task — e.g. serial reference phases — are attributed
+    // to its root frame); worker threads install theirs per task body.
+    detail::tl_sink() = ft_->sink_for_current_thread();
+    assert(detail::parallel_hook().load(std::memory_order_acquire) ==
+               nullptr &&
+           "one FastTrack session at a time (the hook is process-wide)");
+    detail::parallel_hook().store(ft_.get(), std::memory_order_release);
+  }
   attached_ = true;
 }
 
 const std::vector<RaceReport>& Replay::finish() {
   if (attached_) {
-    sched_.set_exec_hook(nullptr);
+    if (mode_ == Mode::kSpBags) {
+      sched_.set_exec_hook(nullptr);
+    } else {
+      detail::parallel_hook().store(nullptr, std::memory_order_release);
+    }
     detail::tl_sink() = prev_sink_;
     attached_ = false;
   }
-  return det_->races();
+  return mode_ == Mode::kSpBags ? det_->races() : ft_->races();
 }
 
 Replay::~Replay() { finish(); }
+
+std::uint64_t Replay::races_found() const noexcept {
+  return mode_ == Mode::kSpBags ? det_->races_found() : ft_->races_found();
+}
+
+std::uint64_t Replay::tasks_executed() const noexcept {
+  return mode_ == Mode::kSpBags ? det_->tasks_executed()
+                                : ft_->tasks_executed();
+}
+
+std::uint64_t Replay::granules_checked() const noexcept {
+  return mode_ == Mode::kSpBags ? det_->granules_checked()
+                                : ft_->granules_checked();
+}
 
 }  // namespace dws::race

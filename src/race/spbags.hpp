@@ -57,34 +57,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "race/report.hpp"
 #include "runtime/race_hook.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace dws::race {
 
-enum class Access : std::uint8_t { kRead = 0, kWrite = 1 };
-
-[[nodiscard]] const char* access_name(Access a) noexcept;
-
-/// One detected determinacy race between two logically parallel tasks
-/// whose locksets share no lock.
-struct RaceReport {
-  std::uintptr_t addr = 0;  ///< first conflicting granule (byte address)
-  Access prior = Access::kRead;
-  Access current = Access::kRead;
-  /// Spawn-site chains, root first, for the earlier and the currently
-  /// executing access ("root > spawn#3 'FFT' > spawn#9").
-  std::vector<std::string> prior_chain;
-  std::vector<std::string> current_chain;
-  /// Lock provenance: the (necessarily disjoint) sets of locks each side
-  /// held at its access. Empty means the access held no lock. Any lock
-  /// from either list, taken on both sides, would have serialized the
-  /// pair.
-  std::vector<std::string> prior_locks;
-  std::vector<std::string> current_locks;
-
-  [[nodiscard]] std::string to_string() const;
-};
+class FastTrack;
 
 /// The detector: installed as both the scheduler's ExecHook (serial
 /// depth-first replay + SP-relation maintenance) and the thread's
@@ -213,20 +192,28 @@ class SpBags final : public ExecHook, public MemorySink {
   std::uint64_t lockers_pruned_ = 0;
 };
 
-/// RAII serial-replay session: while alive, everything submitted to
-/// `sched` (from the constructing thread) executes serially depth-first
-/// and annotated accesses are race-checked.
+/// RAII race-checking session over `sched`, in one of two modes:
 ///
-///   race::Replay replay(sched);
-///   app.run(sched);                  // one full run, serial order
+///  - Mode::kSpBags (default): serial depth-first replay. Everything
+///    submitted from the constructing thread executes inline in
+///    serial-elision order; one run certifies the whole task DAG.
+///  - Mode::kFastTrack: the program runs on the real parallel workers;
+///    vector clocks over the runtime's spawn/steal/wait edges check the
+///    same annotation stream against the one observed schedule
+///    (race::FastTrack; non-certifying where locks order accesses).
+///
+///   race::Replay replay(sched, race::Mode::kFastTrack);
+///   app.run(sched);
 ///   for (auto& r : replay.finish()) std::cerr << r.to_string() << "\n";
 ///
 /// The scheduler must be quiescent when the session starts and when it
-/// ends; submit work only from the constructing thread while it is
-/// active.
+/// ends. Under kSpBags, submit only from the constructing thread while
+/// the session is active; under kFastTrack any thread may submit, but
+/// only one FastTrack session may exist process-wide at a time (the
+/// hook is global — it observes every scheduler in the process).
 class Replay {
  public:
-  explicit Replay(rt::Scheduler& sched);
+  explicit Replay(rt::Scheduler& sched, Mode mode = Mode::kSpBags);
   Replay(const Replay&) = delete;
   Replay& operator=(const Replay&) = delete;
   ~Replay();
@@ -236,11 +223,23 @@ class Replay {
   /// object is destroyed.
   const std::vector<RaceReport>& finish();
 
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+  /// The SP-bags detector. Valid only in Mode::kSpBags.
   [[nodiscard]] const SpBags& detector() const noexcept { return *det_; }
+  /// The FastTrack detector. Valid only in Mode::kFastTrack.
+  [[nodiscard]] const FastTrack& fasttrack() const noexcept { return *ft_; }
+
+  // Mode-independent counters, for tests parametrized over Mode.
+  [[nodiscard]] std::uint64_t races_found() const noexcept;
+  [[nodiscard]] std::uint64_t tasks_executed() const noexcept;
+  [[nodiscard]] std::uint64_t granules_checked() const noexcept;
 
  private:
   rt::Scheduler& sched_;
+  Mode mode_;
   std::unique_ptr<SpBags> det_;
+  std::unique_ptr<FastTrack> ft_;
   MemorySink* prev_sink_ = nullptr;
   bool attached_ = false;
 };

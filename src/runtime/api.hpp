@@ -26,9 +26,10 @@ namespace dws::race {
 // ---- Determinacy-race annotation API (see docs/CHECKING.md) ----
 //
 // Kernels annotate the shared-memory footprint of their parallel leaf
-// bodies; the SP-bags detector (src/race/) checks every pair of
-// annotated accesses from logically parallel tasks during a serial
-// replay. With no active detector on the thread each call is one
+// bodies; the detectors (src/race/) check every pair of annotated
+// accesses from logically parallel tasks — SP-bags during a serial
+// replay, FastTrack riding the live parallel schedule; same stream,
+// same annotations. With no active detector on the thread each call is one
 // thread-local load and a predicted branch; with DWS_RACE_DISABLED
 // (cmake -DDWS_RACE=OFF) the calls compile to nothing.
 

@@ -1,19 +1,32 @@
-// Interfaces through which the determinacy-race detector (src/race/)
-// drives the runtime without the runtime depending on it:
+// Interfaces through which the race detectors (src/race/) observe the
+// runtime without the runtime depending on them:
 //
 //  - race::ExecHook commandeers Scheduler::spawn/wait. While installed,
 //    every spawned task executes *inline, depth-first, at its spawn site*
 //    (Cilk's serial elision order) on the installing thread, and every
 //    wait() is an end-finish event. This serial replay executes one legal
 //    schedule of the task DAG while the detector maintains the
-//    series-parallel relation over it.
+//    series-parallel relation over it (SP-bags mode).
+//  - race::ParallelHook observes the *live parallel* schedule instead of
+//    replacing it: tasks run on the real workers, and the hook is told
+//    about every happens-before edge the runtime creates — a task
+//    becoming stealable at its spawn site (on_task_published, before the
+//    deque push / inbox transfer), the task body starting and ending on
+//    whichever worker popped or stole it (on_task_begin/on_task_end,
+//    the latter before the TaskGroup completion is signalled), and a
+//    wait() observing its group drained (on_wait_done). FastTrack mode
+//    maintains vector clocks over these edges.
 //  - race::MemorySink receives the annotated memory accesses
 //    (dws::race::read/write/region in runtime/api.hpp). The sink is a
-//    thread-local: annotations are free (one load + branch) on threads
+//    thread-local: under serial replay only the replay thread has one;
+//    under the parallel hook each worker installs its own per-thread
+//    sink for the duration of a task body, so annotations route with no
+//    global lock. Annotations are free (one load + branch) on threads
 //    with no active detector, and compile to nothing entirely when the
 //    build defines DWS_RACE_DISABLED (cmake -DDWS_RACE=OFF).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 
 namespace dws::rt {
@@ -71,13 +84,46 @@ class MemorySink {
   virtual void on_lock_release(const void* lock) { (void)lock; }
 };
 
+/// Live-schedule observer (FastTrack mode). Installed process-wide (one
+/// session at a time) while every observed scheduler is quiescent; while
+/// installed, Scheduler::spawn attaches an opaque per-task token and the
+/// runtime calls back at each happens-before edge it creates. All
+/// callbacks run on the thread performing the edge.
+class ParallelHook {
+ public:
+  virtual ~ParallelHook() = default;
+  /// Spawning thread, after the group accounted the task but before it
+  /// becomes stealable. The returned token is stored in the task and
+  /// handed back at begin/end; it must be consumed by on_task_end.
+  virtual void* on_task_published(rt::TaskGroup& group) = 0;
+  /// Executing thread (owner pop, thief steal, or inbox transfer),
+  /// immediately before the task body runs.
+  virtual void on_task_begin(void* token) = 0;
+  /// Executing thread, after the body but *before* the group completion
+  /// is signalled — a waiter released by that completion must already
+  /// see everything this edge publishes.
+  virtual void on_task_end(void* token, rt::TaskGroup* group) = 0;
+  /// The thread whose Scheduler::wait observed the group drain.
+  virtual void on_wait_done(rt::TaskGroup& group) = 0;
+};
+
 namespace detail {
-/// The active sink for this thread (nullptr almost always). Set by the
-/// detector for the replay thread only; function-local so the header
-/// stays self-contained.
+/// The active sink for this thread (nullptr almost always). Under serial
+/// replay the detector sets it on the replay thread; under the parallel
+/// hook each task body runs with its executing thread's sink installed.
+/// Function-local so the header stays self-contained.
 inline MemorySink*& tl_sink() noexcept {
   thread_local MemorySink* sink = nullptr;
   return sink;
+}
+
+/// The process-wide live-schedule hook (nullptr almost always). Global
+/// rather than per-scheduler because tasks know their group, not their
+/// scheduler, at the completion edge; one session observes every
+/// scheduler in the process.
+inline std::atomic<ParallelHook*>& parallel_hook() noexcept {
+  static std::atomic<ParallelHook*> hook{nullptr};
+  return hook;
 }
 }  // namespace detail
 

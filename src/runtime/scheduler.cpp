@@ -116,6 +116,25 @@ TaskBase* Scheduler::try_pop_inbox() {
   return t;
 }
 
+namespace {
+
+// Join-edge for the live-schedule detector (FastTrack mode): the waiter
+// acquires everything the group's completed tasks published. Called after
+// quiesce(), so every completer's on_task_end has already run.
+inline void race_notify_wait_done(TaskGroup& group) noexcept {
+#ifndef DWS_RACE_DISABLED
+  if (race::ParallelHook* ph =
+          race::detail::parallel_hook().load(std::memory_order_acquire);
+      ph != nullptr) {
+    ph->on_wait_done(group);
+  }
+#else
+  (void)group;
+#endif
+}
+
+}  // namespace
+
 void Scheduler::wait(TaskGroup& group) {
   group.strict_on_wait();
 #ifndef DWS_RACE_DISABLED
@@ -136,6 +155,7 @@ void Scheduler::wait(TaskGroup& group) {
       group.timed_block(std::chrono::milliseconds(1));
     }
     group.quiesce();
+    race_notify_wait_done(group);
     group.strict_on_wait_done();
     group.rethrow_if_exception();
     return;
@@ -163,6 +183,7 @@ void Scheduler::wait(TaskGroup& group) {
   // The final completer may still be inside the group's notify; do not
   // let the caller destroy the group under it.
   group.quiesce();
+  race_notify_wait_done(group);
   group.strict_on_wait_done();
   group.rethrow_if_exception();
 }

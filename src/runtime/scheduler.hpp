@@ -60,7 +60,9 @@ class Scheduler {
   /// (pushes to its own deque, Algorithm 1's common case) or from any
   /// external thread (goes through the injection inbox). Under an
   /// installed race-replay hook the task instead executes inline,
-  /// depth-first, before this call returns.
+  /// depth-first, before this call returns; under the live-schedule
+  /// parallel hook (FastTrack mode) it runs normally but carries a
+  /// happens-before token captured here, at the spawn site.
   template <typename F>
   void spawn(TaskGroup& group, F&& fn) {
     group.strict_on_spawn();
@@ -72,9 +74,22 @@ class Scheduler {
                   new TaskImpl<std::decay_t<F>>(&group, std::forward<F>(fn)));
       return;
     }
-#endif
+    group.add_pending();
+    auto* task = new TaskImpl<std::decay_t<F>>(&group, std::forward<F>(fn));
+    if (race::ParallelHook* ph =
+            race::detail::parallel_hook().load(std::memory_order_acquire);
+        ph != nullptr) {
+      // Publish-edge: everything the spawning thread did so far
+      // happens-before the task, wherever it is popped or stolen. The
+      // token rides the task through the deque/inbox, whose own
+      // release/acquire ordering makes it safely visible to the thief.
+      task->set_race_token(ph->on_task_published(group));
+    }
+    enqueue(task);
+#else
     group.add_pending();
     enqueue(new TaskImpl<std::decay_t<F>>(&group, std::forward<F>(fn)));
+#endif
   }
 
   /// Help-first join: the calling worker executes/steals tasks until the

@@ -12,6 +12,7 @@
 #include <thread>
 #include <utility>
 
+#include "runtime/race_hook.hpp"
 #include "runtime/strict.hpp"
 
 namespace dws::rt {
@@ -37,12 +38,22 @@ class TaskBase {
 
   [[nodiscard]] TaskGroup* group() const noexcept { return group_; }
 
+#ifndef DWS_RACE_DISABLED
+  /// Opaque happens-before token from race::ParallelHook::on_task_published
+  /// (FastTrack mode). Set by Scheduler::spawn before the task becomes
+  /// stealable; consumed by run_and_destroy around the body.
+  void set_race_token(void* token) noexcept { race_token_ = token; }
+#endif
+
  protected:
   virtual void execute() = 0;
 
  private:
   TaskGroup* group_;
   strict::Lineage lineage_;  // empty unless strictness was on at spawn
+#ifndef DWS_RACE_DISABLED
+  void* race_token_ = nullptr;
+#endif
 };
 
 template <typename F>
@@ -246,11 +257,26 @@ inline void TaskBase::run_and_destroy() noexcept {
   const bool framed = !lineage_.empty();
   const strict::Lineage* prev =
       framed ? strict::swap_current_lineage(&lineage_) : nullptr;
+#ifndef DWS_RACE_DISABLED
+  // FastTrack edges: the token carries the spawn-site clock; begin makes
+  // it this thread's frame (and installs the per-thread sink), end
+  // publishes the frame into the group's join clock *before*
+  // complete_one can release a waiter. The hook is loaded once so the
+  // begin/end pair always goes to the same detector.
+  race::ParallelHook* ph =
+      race_token_ != nullptr
+          ? race::detail::parallel_hook().load(std::memory_order_acquire)
+          : nullptr;
+  if (ph != nullptr) ph->on_task_begin(race_token_);
+#endif
   try {
     execute();
   } catch (...) {
     if (g != nullptr) g->capture_exception(std::current_exception());
   }
+#ifndef DWS_RACE_DISABLED
+  if (ph != nullptr) ph->on_task_end(race_token_, g);
+#endif
   if (framed) strict::swap_current_lineage(prev);
   if (g != nullptr) g->complete_one();
   delete this;

@@ -31,16 +31,35 @@ double Samples::max() const {
   return xs_.empty() ? 0.0 : *std::max_element(xs_.begin(), xs_.end());
 }
 
-double Samples::percentile(double q) const {
-  if (xs_.empty()) return 0.0;
+namespace {
+
+double percentile_of_sorted(const std::vector<double>& sorted, double q) {
   q = std::clamp(q, 0.0, 1.0);
-  std::vector<double> sorted = xs_;
-  std::sort(sorted.begin(), sorted.end());
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double Samples::percentile(double q) const {
+  if (xs_.empty()) return 0.0;
+  std::vector<double> sorted = xs_;
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_of_sorted(sorted, q);
+}
+
+std::vector<double> Samples::percentiles(
+    const std::vector<double>& qs) const {
+  if (xs_.empty()) return std::vector<double>(qs.size(), 0.0);
+  std::vector<double> sorted = xs_;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) out.push_back(percentile_of_sorted(sorted, q));
+  return out;
 }
 
 std::string Samples::summary() const {
@@ -50,10 +69,17 @@ std::string Samples::summary() const {
 }
 
 double geomean(const std::vector<double>& xs) {
-  if (xs.empty()) return 0.0;
+  // Non-positive samples are excluded (see stats.hpp for the policy);
+  // log() of them would turn the whole aggregate into -inf/NaN.
   double log_sum = 0.0;
-  for (double x : xs) log_sum += std::log(x);
-  return std::exp(log_sum / static_cast<double>(xs.size()));
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (x <= 0.0) continue;
+    log_sum += std::log(x);
+    ++n;
+  }
+  if (n == 0) return 0.0;
+  return std::exp(log_sum / static_cast<double>(n));
 }
 
 }  // namespace dws::util

@@ -55,6 +55,11 @@ class Samples {
   [[nodiscard]] double max() const;
   /// Linear-interpolated percentile; q in [0,1]. Empty => 0.
   [[nodiscard]] double percentile(double q) const;
+  /// Several quantiles from a single sort (percentile() re-sorts per
+  /// call, which is quadratic when a report asks for p50/p90/p99/...).
+  /// Returns one value per q, in input order.
+  [[nodiscard]] std::vector<double> percentiles(
+      const std::vector<double>& qs) const;
   [[nodiscard]] double median() const { return percentile(0.5); }
 
   [[nodiscard]] const std::vector<double>& values() const noexcept { return xs_; }
@@ -66,8 +71,12 @@ class Samples {
   std::vector<double> xs_;
 };
 
-/// Geometric mean of a vector of positive values (used for cross-mix
-/// aggregate speedups). Returns 0 for empty input.
+/// Geometric mean (used for cross-mix aggregate speedups). The geometric
+/// mean is defined over positive reals only; a zero or negative sample is
+/// a broken measurement (a zero-time bench rep), and feeding it to log()
+/// used to poison the whole figure with -inf/NaN. Policy: non-positive
+/// samples are excluded from the mean. Returns 0 for empty input or when
+/// every sample is non-positive.
 [[nodiscard]] double geomean(const std::vector<double>& xs);
 
 }  // namespace dws::util

@@ -299,6 +299,38 @@ TEST_F(StaleSweeperTest, DeadProgramIsSweptAfterExactlyStalePeriods) {
   EXPECT_EQ(table_.count_active(me_), 4u);
 }
 
+TEST_F(StaleSweeperTest, RebindWithCollidingEpochRestartsTheStallClock) {
+  // Epochs restart at 1 per bind, so a slot rebound to a new process
+  // right after its predecessor went silent presents exactly the epoch
+  // the sweeper last recorded for the corpse. Keyed on the epoch alone
+  // the newcomer inherits the predecessor's stalled count and is swept
+  // on the very next pass; keyed on (os_pid, epoch) it gets the full
+  // stale_periods budget a fresh binding deserves.
+  constexpr unsigned kStale = 3;
+  StaleSweeper sweeper(table_, me_, kStale,
+                       [](std::uint32_t) { return false; });
+  // Stall the victim to the brink: one more silent period sweeps it.
+  for (unsigned period = 0; period < kStale; ++period) {
+    ASSERT_TRUE(sweeper.sweep().empty()) << "period " << period;
+  }
+  // The old process exits and a new one binds the same slot. Its first
+  // epoch collides with the corpse's last observed one.
+  table_.bind_liveness(victim_, 300);
+  ASSERT_EQ(table_.liveness_epoch(victim_), 1u);  // the collision is real
+  // The next sweep must NOT fire: a different os_pid is a different
+  // process, whatever the epoch says.
+  EXPECT_TRUE(sweeper.sweep().empty());
+  EXPECT_EQ(table_.count_active(victim_), 4u);
+  // And the newcomer, if it too goes silent, still gets the full budget.
+  for (unsigned period = 0; period < kStale - 1; ++period) {
+    EXPECT_TRUE(sweeper.sweep().empty()) << "rebound period " << period;
+  }
+  const StaleSweepResult r = sweeper.sweep();
+  ASSERT_EQ(r.declared_dead.size(), 1u);
+  EXPECT_EQ(r.declared_dead[0], victim_);
+  EXPECT_EQ(table_.liveness_os_pid(victim_), 0u);
+}
+
 TEST_F(StaleSweeperTest, KillProbeVetoesStalledButAliveProgram) {
   // A program can stall its epoch while alive (e.g. an EP co-runner with
   // no coordinator thread, or one wedged in a long syscall). The kill(2)

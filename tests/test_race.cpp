@@ -1,40 +1,64 @@
-// SP-bags / ALL-SETS determinacy-race detector tests (ctest label: race).
+// Race-detector tests (ctest labels: race, race-fasttrack).
+//
+// Two detection modes share the annotation stream and the suite:
+//   race::Mode::kSpBags    serial depth-first replay; certifies the DAG;
+//   race::Mode::kFastTrack vector clocks over the live parallel
+//                          schedule (real workers, real steals).
+// App-level suites (clean certification, mutants, DAG certification,
+// seeded sweeps) run under BOTH modes; the SP-relation and ALL-SETS
+// lockset unit tests are SP-bags-only because their expectations encode
+// the serial-replay lock order, which FastTrack replaces with the
+// observed schedule's lock edges (docs/CHECKING.md). DWS_RACE_MODE
+// (spbags | fasttrack | both) filters at runtime without changing test
+// names — filtered-out modes report as skipped.
 //
 // Layers:
 //  1. detector unit tests against hand-built spawn trees — the SP
 //     relation (siblings parallel, wait serializes), read/write rules,
 //     strided-disjointness, provenance chains, and the ALL-SETS lockset
 //     semantics (common lock serializes, disjoint locksets race, locks
-//     do not cross spawns, pruning keeps locker lists small);
+//     do not cross spawns, pruning keeps locker lists small); plus the
+//     FastTrack equivalents that are schedule-independent (spawn/join
+//     edges, epoch adaptivity, read-vector promotion);
 //  2. clean certification — each Table-2 app (including PNN's locked
-//     combine) plus the tiled BlockedCholesky/BlockedLU kernels replays
-//     serially with zero reports AND verifies;
+//     combine) plus the tiled BlockedCholesky/BlockedLU kernels runs
+//     with zero reports AND verifies, in both modes;
 //  3. seeded racy mutants — one deliberately broken kernel per app
-//     pattern, each of which must be flagged with a provenance chain
-//     naming the mutant's race::region (and, for the lock mutants, the
-//     lock provenance that would have serialized the pair);
+//     pattern, each of which must be flagged *in both modes* with a
+//     provenance chain naming the mutant's race::region (and, for the
+//     lock mutants, the lock provenance that would have serialized the
+//     pair);
 //  4. simulator-DAG certification — every DagProfile generator's TaskDag
 //     is executed as the fork-join program it encodes (apps/dag_replay)
 //     under the detector, so the simulated DAGs ship with the same
 //     certificate as the real kernels;
 //  5. seeded-input sweep — input-dependent kernels (Mergesort cutoffs,
-//     FFT sizes) are certified across N seeded inputs; N comes from
-//     --sweep=N or DWS_RACE_SWEEP (default 3, clamped to [1, 16]).
+//     FFT sizes, BlockedCholesky/BlockedLU tile shapes) are certified
+//     across N seeded inputs; N comes from --sweep=N or DWS_RACE_SWEEP
+//     (default 3, clamped to [1, 16]);
+//  6. mode agreement — on one worker both modes see the same logical
+//     DAG, so their verdicts must match across the app corpus and a
+//     seeded racy kernel.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "apps/app.hpp"
+#include "apps/blocked_linalg.hpp"
 #include "apps/dag_replay.hpp"
 #include "apps/fft.hpp"
 #include "apps/mergesort.hpp"
 #include "apps/profiles.hpp"
+#include "race/fasttrack.hpp"
 #include "race/spbags.hpp"
 #include "runtime/api.hpp"
 #include "runtime/scheduler.hpp"
@@ -55,6 +79,28 @@ Config make_config(unsigned cores) {
   cfg.num_cores = cores;
   cfg.pin_threads = false;
   return cfg;
+}
+
+/// Both detection modes, for mode-parametrized suites.
+constexpr race::Mode kBothModes[] = {race::Mode::kSpBags,
+                                     race::Mode::kFastTrack};
+
+/// True if DWS_RACE_MODE (unset = both) enables `m`. Filtering happens
+/// at runtime via GTEST_SKIP so test names stay stable across modes.
+bool mode_enabled(race::Mode m) {
+  static const std::vector<race::Mode> enabled = race::modes_from_env();
+  return std::find(enabled.begin(), enabled.end(), m) != enabled.end();
+}
+
+/// CamelCase mode tag for parametrized test names.
+std::string mode_tag(race::Mode m) {
+  return m == race::Mode::kFastTrack ? "FastTrack" : "SpBags";
+}
+
+/// SP-bags replays inline (worker count is irrelevant); FastTrack checks
+/// the live schedule, so it gets enough workers for real stealing.
+Config config_for(race::Mode m) {
+  return make_config(m == race::Mode::kFastTrack ? 4 : 2);
 }
 
 /// True if any report's provenance (either side) mentions `needle`.
@@ -81,7 +127,22 @@ std::string dump(const std::vector<race::RaceReport>& reports) {
 // 1. Detector unit tests.
 // ---------------------------------------------------------------------
 
-TEST(SpBagsTest, SiblingWritesSameAddressRace) {
+/// SP-bags-only unit tests (serial-replay semantics); skipped when
+/// DWS_RACE_MODE filters the mode out.
+class SpBagsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!mode_enabled(race::Mode::kSpBags)) {
+      GTEST_SKIP() << "spbags disabled by DWS_RACE_MODE";
+    }
+  }
+};
+
+/// The ALL-SETS lockset tests encode serial-replay lock ordering, so
+/// they are SP-bags-only too.
+class LocksetTest : public SpBagsTest {};
+
+TEST_F(SpBagsTest, SiblingWritesSameAddressRace) {
   rt::Scheduler sched(make_config(2));
   double x = 0.0;
   {
@@ -105,7 +166,7 @@ TEST(SpBagsTest, SiblingWritesSameAddressRace) {
   }
 }
 
-TEST(SpBagsTest, WaitSerializesAccesses) {
+TEST_F(SpBagsTest, WaitSerializesAccesses) {
   rt::Scheduler sched(make_config(2));
   double x = 0.0;
   {
@@ -127,7 +188,7 @@ TEST(SpBagsTest, WaitSerializesAccesses) {
   }
 }
 
-TEST(SpBagsTest, ParallelReadsAreNotARace) {
+TEST_F(SpBagsTest, ParallelReadsAreNotARace) {
   rt::Scheduler sched(make_config(2));
   const double x = 42.0;
   {
@@ -141,7 +202,7 @@ TEST(SpBagsTest, ParallelReadsAreNotARace) {
   }
 }
 
-TEST(SpBagsTest, ParallelReadAndWriteRace) {
+TEST_F(SpBagsTest, ParallelReadAndWriteRace) {
   rt::Scheduler sched(make_config(2));
   double x = 0.0;
   {
@@ -160,7 +221,7 @@ TEST(SpBagsTest, ParallelReadAndWriteRace) {
   }
 }
 
-TEST(SpBagsTest, ContinuationRacesWithSpawnedChild) {
+TEST_F(SpBagsTest, ContinuationRacesWithSpawnedChild) {
   rt::Scheduler sched(make_config(2));
   double x = 0.0;
   {
@@ -180,7 +241,7 @@ TEST(SpBagsTest, ContinuationRacesWithSpawnedChild) {
   }
 }
 
-TEST(SpBagsTest, StridedAccessesWithDisjointParityDoNotRace) {
+TEST_F(SpBagsTest, StridedAccessesWithDisjointParityDoNotRace) {
   rt::Scheduler sched(make_config(2));
   std::vector<double> v(64, 0.0);
   {
@@ -194,7 +255,7 @@ TEST(SpBagsTest, StridedAccessesWithDisjointParityDoNotRace) {
   }
 }
 
-TEST(SpBagsTest, ReplayRunsInlineOnSubmittingThread) {
+TEST_F(SpBagsTest, ReplayRunsInlineOnSubmittingThread) {
   rt::Scheduler sched(make_config(2));
   const auto main_id = std::this_thread::get_id();
   int order = 0;
@@ -214,7 +275,7 @@ TEST(SpBagsTest, ReplayRunsInlineOnSubmittingThread) {
   }
 }
 
-TEST(SpBagsTest, ProvenanceChainsAreRootFirstAndCarryRegions) {
+TEST_F(SpBagsTest, ProvenanceChainsAreRootFirstAndCarryRegions) {
   rt::Scheduler sched(make_config(2));
   double x = 0.0;
   {
@@ -242,7 +303,7 @@ TEST(SpBagsTest, ProvenanceChainsAreRootFirstAndCarryRegions) {
   }
 }
 
-TEST(SpBagsTest, DuplicatePairsAreReportedOnce) {
+TEST_F(SpBagsTest, DuplicatePairsAreReportedOnce) {
   rt::Scheduler sched(make_config(2));
   std::vector<double> v(16, 0.0);
   {
@@ -258,7 +319,7 @@ TEST(SpBagsTest, DuplicatePairsAreReportedOnce) {
   }
 }
 
-TEST(SpBagsTest, ParallelForSubrangesDoNotRaceOnDisjointBlocks) {
+TEST_F(SpBagsTest, ParallelForSubrangesDoNotRaceOnDisjointBlocks) {
   rt::Scheduler sched(make_config(2));
   std::vector<double> v(256, 0.0);
   {
@@ -276,7 +337,7 @@ TEST(SpBagsTest, ParallelForSubrangesDoNotRaceOnDisjointBlocks) {
 // 1b. ALL-SETS lockset semantics.
 // ---------------------------------------------------------------------
 
-TEST(LocksetTest, CommonLockSerializesParallelWrites) {
+TEST_F(LocksetTest, CommonLockSerializesParallelWrites) {
   rt::Scheduler sched(make_config(2));
   double x = 0.0;
   std::mutex m;
@@ -297,7 +358,7 @@ TEST(LocksetTest, CommonLockSerializesParallelWrites) {
   }
 }
 
-TEST(LocksetTest, DisjointLocksStillRace) {
+TEST_F(LocksetTest, DisjointLocksStillRace) {
   rt::Scheduler sched(make_config(2));
   double x = 0.0;
   std::mutex ma, mb;
@@ -327,7 +388,7 @@ TEST(LocksetTest, DisjointLocksStillRace) {
   }
 }
 
-TEST(LocksetTest, LockedVersusUnlockedAccessRaces) {
+TEST_F(LocksetTest, LockedVersusUnlockedAccessRaces) {
   rt::Scheduler sched(make_config(2));
   double x = 0.0;
   std::mutex m;
@@ -348,7 +409,7 @@ TEST(LocksetTest, LockedVersusUnlockedAccessRaces) {
   }
 }
 
-TEST(LocksetTest, NoLockReportSaysSo) {
+TEST_F(LocksetTest, NoLockReportSaysSo) {
   rt::Scheduler sched(make_config(2));
   double x = 0.0;
   {
@@ -365,7 +426,7 @@ TEST(LocksetTest, NoLockReportSaysSo) {
   }
 }
 
-TEST(LocksetTest, LocksDoNotCrossSpawns) {
+TEST_F(LocksetTest, LocksDoNotCrossSpawns) {
   // A child spawned while the parent holds a lock does NOT inherit it:
   // in a parallel schedule the child runs on a worker that does not own
   // the parent's mutex.
@@ -389,7 +450,7 @@ TEST(LocksetTest, LocksDoNotCrossSpawns) {
   }
 }
 
-TEST(LocksetTest, RecursiveHoldIsAMultiset) {
+TEST_F(LocksetTest, RecursiveHoldIsAMultiset) {
   // acquire-acquire-release leaves the lock held (one release per
   // acquire), so the access still carries it.
   rt::Scheduler sched(make_config(2));
@@ -414,7 +475,7 @@ TEST(LocksetTest, RecursiveHoldIsAMultiset) {
   }
 }
 
-TEST(LocksetTest, HandOverHandLockingTracksTheHeldSet) {
+TEST_F(LocksetTest, HandOverHandLockingTracksTheHeldSet) {
   // acquire A, acquire B, release A: the access under {B} is safe
   // against a parallel access under {B}, races against one under {A}.
   rt::Scheduler sched(make_config(2));
@@ -447,7 +508,7 @@ TEST(LocksetTest, HandOverHandLockingTracksTheHeldSet) {
   }
 }
 
-TEST(LocksetTest, ScopedLockEndsProtectionAtScopeExit) {
+TEST_F(LocksetTest, ScopedLockEndsProtectionAtScopeExit) {
   rt::Scheduler sched(make_config(2));
   double x = 0.0;
   std::mutex m;
@@ -468,7 +529,7 @@ TEST(LocksetTest, ScopedLockEndsProtectionAtScopeExit) {
   }
 }
 
-TEST(LocksetTest, SerialPredecessorsArePrunedFromLockerLists) {
+TEST_F(LocksetTest, SerialPredecessorsArePrunedFromLockerLists) {
   // Spawn+wait in sequence: each new write subsumes the previous serial
   // one under the ALL-SETS pruning rule, so the locker list stays at one
   // entry and prune events are observable.
@@ -486,7 +547,7 @@ TEST(LocksetTest, SerialPredecessorsArePrunedFromLockerLists) {
   }
 }
 
-TEST(LocksetTest, ParallelReduceCombineCertifiesUnderItsLock) {
+TEST_F(LocksetTest, ParallelReduceCombineCertifiesUnderItsLock) {
   // parallel_reduce's combine step runs under an annotated internal
   // lock; a reduction whose combine annotates the shared accumulator
   // must certify clean — this is exactly the PNN pattern.
@@ -519,52 +580,279 @@ TEST(LocksetTest, ParallelReduceCombineCertifiesUnderItsLock) {
 }
 
 // ---------------------------------------------------------------------
+// 1c. FastTrack unit tests — only properties that are
+//     schedule-independent (spawn/join HB edges, epoch adaptivity), so
+//     they hold on any worker interleaving.
+// ---------------------------------------------------------------------
+
+class FastTrackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!mode_enabled(race::Mode::kFastTrack)) {
+      GTEST_SKIP() << "fasttrack disabled by DWS_RACE_MODE";
+    }
+  }
+};
+
+TEST_F(FastTrackTest, SiblingWritesSameAddressRace) {
+  rt::Scheduler sched(config_for(race::Mode::kFastTrack));
+  double x = 0.0;
+  {
+    race::Replay replay(sched, race::Mode::kFastTrack);
+    rt::TaskGroup g;
+    // No real stores — the annotations alone model the conflict, so the
+    // test is clean under TSan while the detector must still flag it.
+    sched.spawn(g, [&] { race::write(&x); });
+    sched.spawn(g, [&] { race::write(&x); });
+    sched.wait(g);
+    const auto& reports = replay.finish();
+    ASSERT_EQ(reports.size(), 1u) << dump(reports);
+    EXPECT_EQ(reports[0].prior, race::Access::kWrite);
+    EXPECT_EQ(reports[0].current, race::Access::kWrite);
+    EXPECT_EQ(reports[0].addr,
+              reinterpret_cast<std::uintptr_t>(&x) & ~std::uintptr_t{7});
+  }
+}
+
+TEST_F(FastTrackTest, WaitSerializesAccesses) {
+  rt::Scheduler sched(config_for(race::Mode::kFastTrack));
+  double x = 0.0;
+  {
+    race::Replay replay(sched, race::Mode::kFastTrack);
+    rt::TaskGroup g1;
+    sched.spawn(g1, [&] { race::write(&x); });
+    sched.wait(g1);
+    // The wait joined the group's clock: the next task is ordered even
+    // if it lands on a different worker.
+    rt::TaskGroup g2;
+    sched.spawn(g2, [&] { race::write(&x); });
+    sched.wait(g2);
+    EXPECT_TRUE(replay.finish().empty()) << dump(replay.finish());
+  }
+}
+
+TEST_F(FastTrackTest, ContinuationRacesWithSpawnedChild) {
+  rt::Scheduler sched(config_for(race::Mode::kFastTrack));
+  double x = 0.0;
+  {
+    race::Replay replay(sched, race::Mode::kFastTrack);
+    rt::TaskGroup g;
+    sched.spawn(g, [&] { race::write(&x); });
+    // The submitting thread's continuation is parallel with the child;
+    // whichever access reaches the shadow word second sees the other's
+    // epoch outside its clock, so detection is order-independent.
+    race::read(&x);
+    sched.wait(g);
+    const auto& reports = replay.finish();
+    ASSERT_EQ(reports.size(), 1u) << dump(reports);
+  }
+}
+
+TEST_F(FastTrackTest, SameWorkerTasksStayLogicallyParallel) {
+  // One worker executes every task in some serial order; replace-at-begin
+  // (rather than join) must drop that incidental ordering so the race is
+  // still visible — the property the 1-worker agreement suite relies on.
+  rt::Scheduler sched(make_config(1));
+  double x = 0.0;
+  {
+    race::Replay replay(sched, race::Mode::kFastTrack);
+    rt::TaskGroup g;
+    sched.spawn(g, [&] { race::write(&x); });
+    sched.spawn(g, [&] { race::write(&x); });
+    sched.wait(g);
+    const auto& reports = replay.finish();
+    ASSERT_EQ(reports.size(), 1u) << dump(reports);
+  }
+}
+
+TEST_F(FastTrackTest, CommonLockSerializesParallelWrites) {
+  // Lock edges order the critical sections in the observed schedule:
+  // mutex-serialized writes never race, on any interleaving.
+  rt::Scheduler sched(config_for(race::Mode::kFastTrack));
+  double x = 0.0;
+  std::mutex m;
+  {
+    race::Replay replay(sched, race::Mode::kFastTrack);
+    rt::TaskGroup g;
+    for (int i = 0; i < 4; ++i) {
+      sched.spawn(g, [&] {
+        race::scoped_lock<std::mutex> lock(m, "x-lock");
+        race::write(&x);
+        x += 1.0;
+      });
+    }
+    sched.wait(g);
+    EXPECT_TRUE(replay.finish().empty()) << dump(replay.finish());
+    EXPECT_EQ(replay.tasks_executed(), 4u);
+  }
+}
+
+TEST_F(FastTrackTest, ConcurrentReadersPromoteToAReadVector) {
+  rt::Scheduler sched(config_for(race::Mode::kFastTrack));
+  const double x = 42.0;
+  std::atomic<bool> child_read{false};
+  {
+    race::Replay replay(sched, race::Mode::kFastTrack);
+    rt::TaskGroup g;
+    sched.spawn(g, [&] {
+      race::read(&x);
+      child_read.store(true, std::memory_order_release);
+    });
+    // Force the orders: the child's read lands first, then the parallel
+    // continuation reads from a different slot — the shadow word must
+    // keep BOTH epochs (promotion to the read vector), and two ordered
+    // reads of one address must not race.
+    while (!child_read.load(std::memory_order_acquire)) std::this_thread::yield();
+    race::read(&x);
+    sched.wait(g);
+    EXPECT_TRUE(replay.finish().empty()) << dump(replay.finish());
+    EXPECT_GE(replay.fasttrack().read_promotions(), 1u);
+    EXPECT_GE(replay.fasttrack().threads_seen(), 2u);
+  }
+}
+
+TEST_F(FastTrackTest, StridedAccessesWithDisjointParityDoNotRace) {
+  rt::Scheduler sched(config_for(race::Mode::kFastTrack));
+  std::vector<double> v(64, 0.0);
+  {
+    race::Replay replay(sched, race::Mode::kFastTrack);
+    rt::TaskGroup g;
+    sched.spawn(g, [&] { race::write(v.data(), 32, 2); });
+    sched.spawn(g, [&] { race::write(v.data() + 1, 32, 2); });
+    sched.wait(g);
+    EXPECT_TRUE(replay.finish().empty()) << dump(replay.finish());
+    EXPECT_GE(replay.granules_checked(), 64u);
+  }
+}
+
+TEST_F(FastTrackTest, DuplicatePairsAreCoalesced) {
+  rt::Scheduler sched(config_for(race::Mode::kFastTrack));
+  std::vector<double> v(16, 0.0);
+  {
+    race::Replay replay(sched, race::Mode::kFastTrack);
+    rt::TaskGroup g;
+    // Two tasks conflicting on 16 granules: every granule is found, but
+    // reports collapse per task pair. Either task can be the "prior"
+    // side of a granule when the bodies overlap, so at most two
+    // orientations of the one pair surface.
+    sched.spawn(g, [&] { race::write(v.data(), v.size()); });
+    sched.spawn(g, [&] { race::write(v.data(), v.size()); });
+    sched.wait(g);
+    const auto& reports = replay.finish();
+    EXPECT_GE(reports.size(), 1u) << dump(reports);
+    EXPECT_LE(reports.size(), 2u) << dump(reports);
+    EXPECT_EQ(replay.races_found(), v.size());
+  }
+}
+
+TEST_F(FastTrackTest, ProvenanceChainsAreRootFirstAndCarryRegions) {
+  rt::Scheduler sched(config_for(race::Mode::kFastTrack));
+  double x = 0.0;
+  {
+    race::Replay replay(sched, race::Mode::kFastTrack);
+    race::region scope("outer-kernel");
+    rt::TaskGroup g;
+    sched.spawn(g, [&] {
+      race::write(&x);
+      rt::TaskGroup inner;
+      sched.spawn(inner, [&] { race::write(&x); });
+      sched.wait(inner);
+    });
+    sched.spawn(g, [&] { race::write(&x); });
+    sched.wait(g);
+    const auto& reports = replay.finish();
+    ASSERT_FALSE(reports.empty());
+    for (const auto& r : reports) {
+      ASSERT_FALSE(r.prior_chain.empty());
+      ASSERT_FALSE(r.current_chain.empty());
+      EXPECT_EQ(r.prior_chain.front(), "root");
+      EXPECT_EQ(r.current_chain.front(), "root");
+    }
+    EXPECT_TRUE(any_chain_mentions(reports, "outer-kernel")) << dump(reports);
+  }
+}
+
+TEST_F(FastTrackTest, BackToBackSessionsStartClean) {
+  // The parallel hook is process-global; a finished session must fully
+  // detach so the next one starts with fresh shadow state.
+  double x = 0.0;
+  for (int round = 0; round < 2; ++round) {
+    rt::Scheduler sched(config_for(race::Mode::kFastTrack));
+    race::Replay replay(sched, race::Mode::kFastTrack);
+    rt::TaskGroup g;
+    sched.spawn(g, [&] { race::write(&x); });
+    sched.wait(g);
+    EXPECT_TRUE(replay.finish().empty()) << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------
 // 2. Clean certification: every Table-2 app replays race-free and
 //    verifies under the serial-elision schedule.
 // ---------------------------------------------------------------------
 
-class RaceCleanTest : public ::testing::TestWithParam<const char*> {};
+class RaceCleanTest
+    : public ::testing::TestWithParam<std::tuple<const char*, race::Mode>> {
+};
 
-TEST_P(RaceCleanTest, AppReplaysWithoutRaces) {
-  auto app = apps::make_app(GetParam(), apps::Scale::kSmall);
+TEST_P(RaceCleanTest, AppRunsWithoutRaces) {
+  const auto [name, mode] = GetParam();
+  if (!mode_enabled(mode)) GTEST_SKIP() << "disabled by DWS_RACE_MODE";
+  auto app = apps::make_app(name, apps::Scale::kSmall);
   ASSERT_NE(app, nullptr);
-  rt::Scheduler sched(make_config(2));
-  race::Replay replay(sched);
+  rt::Scheduler sched(config_for(mode));
+  race::Replay replay(sched, mode);
   app->run(sched);
   const auto& reports = replay.finish();
   EXPECT_TRUE(reports.empty()) << dump(reports);
-  EXPECT_GT(replay.detector().granules_checked(), 0u)
+  EXPECT_GT(replay.granules_checked(), 0u)
       << "app is not annotated — the clean result is vacuous";
   EXPECT_EQ(app->verify(), "");
 }
 
+std::string clean_test_name(
+    const ::testing::TestParamInfo<RaceCleanTest::ParamType>& info) {
+  return std::string(std::get<0>(info.param)) + mode_tag(std::get<1>(info.param));
+}
+
 INSTANTIATE_TEST_SUITE_P(Table2, RaceCleanTest,
-                         ::testing::ValuesIn(apps::kAppNames));
+                         ::testing::Combine(::testing::ValuesIn(apps::kAppNames),
+                                            ::testing::ValuesIn(kBothModes)),
+                         clean_test_name);
 
 // The tiled kernels: their block-dependency structure (phase waits +
 // per-phase tile disjointness) is exactly where a stale-tile race would
 // hide, so they get the same clean certification as the Table-2 apps.
-INSTANTIATE_TEST_SUITE_P(BlockedLinalg, RaceCleanTest,
-                         ::testing::Values("BlockedCholesky", "BlockedLU"));
+INSTANTIATE_TEST_SUITE_P(
+    BlockedLinalg, RaceCleanTest,
+    ::testing::Combine(::testing::Values("BlockedCholesky", "BlockedLU"),
+                       ::testing::ValuesIn(kBothModes)),
+    clean_test_name);
 
 // ---------------------------------------------------------------------
 // 3. Seeded racy mutants: one representative broken kernel per app
 //    pattern. Each must be flagged, with provenance naming the mutant.
 // ---------------------------------------------------------------------
 
-/// Runs `kernel` under replay and checks it is flagged with provenance
-/// pointing at `region_name`.
+/// Runs `kernel` under every enabled mode and checks it is flagged with
+/// provenance pointing at `region_name` in each. The mutants only
+/// annotate (no real conflicting stores), so the FastTrack leg is clean
+/// under TSan even though the modeled conflict must be caught.
 template <typename Kernel>
 void expect_mutant_flagged(const char* region_name, Kernel&& kernel) {
-  rt::Scheduler sched(make_config(2));
-  race::Replay replay(sched);
-  {
-    race::region scope(region_name);
-    kernel(sched);
+  for (race::Mode mode : kBothModes) {
+    if (!mode_enabled(mode)) continue;
+    SCOPED_TRACE(mode_tag(mode));
+    rt::Scheduler sched(config_for(mode));
+    race::Replay replay(sched, mode);
+    {
+      race::region scope(region_name);
+      kernel(sched);
+    }
+    const auto& reports = replay.finish();
+    ASSERT_FALSE(reports.empty()) << "mutant " << region_name << " not flagged";
+    EXPECT_TRUE(any_chain_mentions(reports, region_name)) << dump(reports);
   }
-  const auto& reports = replay.finish();
-  ASSERT_FALSE(reports.empty()) << "mutant " << region_name << " not flagged";
-  EXPECT_TRUE(any_chain_mentions(reports, region_name)) << dump(reports);
 }
 
 TEST(RaceMutantTest, FftSharedScratchBetweenHalves) {
@@ -691,78 +979,89 @@ TEST(RaceMutantTest, MergesortOverlappingMergeBuffers) {
 TEST(RaceMutantTest, PnnCombineMissingTheLock) {
   // Mutant of PNN's reduction: every leaf folds its partial into the
   // shared gradient accumulator under the combine lock — except one,
-  // which "forgot" it. The lockset detector must flag exactly that pair
-  // and name the lock that would have serialized it.
-  rt::Scheduler sched(make_config(2));
-  race::Replay replay(sched);
-  {
-    race::region scope("PNN-combine-mutant");
-    std::vector<double> acc(16, 0.0);
-    std::mutex m;
-    rt::parallel_for(sched, 0, 64, 8,
-                     [&](std::int64_t b, std::int64_t /*e*/) {
-                       if (b == 0) {
-                         // The missing-lock leaf.
-                         race::write(acc.data(), acc.size());
-                       } else {
-                         race::scoped_lock<std::mutex> lock(m, "combine-lock");
-                         race::write(acc.data(), acc.size());
-                       }
-                     });
+  // which "forgot" it. Both modes must flag that pair and name the lock
+  // that would have serialized it: the unlocked leaf takes part in no
+  // lock edge, so even FastTrack's observed-schedule ordering cannot
+  // serialize it against the locked leaves.
+  for (race::Mode mode : kBothModes) {
+    if (!mode_enabled(mode)) continue;
+    SCOPED_TRACE(mode_tag(mode));
+    rt::Scheduler sched(config_for(mode));
+    race::Replay replay(sched, mode);
+    {
+      race::region scope("PNN-combine-mutant");
+      std::vector<double> acc(16, 0.0);
+      std::mutex m;
+      rt::parallel_for(sched, 0, 64, 8,
+                       [&](std::int64_t b, std::int64_t /*e*/) {
+                         if (b == 0) {
+                           // The missing-lock leaf.
+                           race::write(acc.data(), acc.size());
+                         } else {
+                           race::scoped_lock<std::mutex> lock(m,
+                                                              "combine-lock");
+                           race::write(acc.data(), acc.size());
+                         }
+                       });
+    }
+    const auto& reports = replay.finish();
+    ASSERT_FALSE(reports.empty()) << "missing-lock combine not flagged";
+    EXPECT_TRUE(any_chain_mentions(reports, "PNN-combine-mutant"))
+        << dump(reports);
+    // Lock provenance: one side held combine-lock, the other nothing.
+    bool provenance_ok = false;
+    for (const auto& r : reports) {
+      const bool one_sided =
+          (r.prior_locks.empty() && r.current_locks.size() == 1 &&
+           r.current_locks[0] == "combine-lock") ||
+          (r.current_locks.empty() && r.prior_locks.size() == 1 &&
+           r.prior_locks[0] == "combine-lock");
+      if (one_sided) provenance_ok = true;
+    }
+    EXPECT_TRUE(provenance_ok) << dump(reports);
+    EXPECT_NE(dump(reports).find("would have serialized"), std::string::npos);
   }
-  const auto& reports = replay.finish();
-  ASSERT_FALSE(reports.empty()) << "missing-lock combine not flagged";
-  EXPECT_TRUE(any_chain_mentions(reports, "PNN-combine-mutant"))
-      << dump(reports);
-  // Lock provenance: one side held combine-lock, the other held nothing.
-  bool provenance_ok = false;
-  for (const auto& r : reports) {
-    const bool one_sided =
-        (r.prior_locks.empty() && r.current_locks.size() == 1 &&
-         r.current_locks[0] == "combine-lock") ||
-        (r.current_locks.empty() && r.prior_locks.size() == 1 &&
-         r.prior_locks[0] == "combine-lock");
-    if (one_sided) provenance_ok = true;
-  }
-  EXPECT_TRUE(provenance_ok) << dump(reports);
-  EXPECT_NE(dump(reports).find("would have serialized"), std::string::npos);
 }
 
 TEST(RaceMutantTest, BlockedLuStaleTileRead) {
   // Mutant of BlockedLU's phase structure: the GEMM trailing update runs
   // in the SAME parallel region as the U-solve, so gemm(i, j, k) reads
   // tile (I, K) while trsm_u is still writing it — a stale-tile race.
-  rt::Scheduler sched(make_config(2));
-  race::Replay replay(sched);
-  {
-    race::region scope("BlockedLU-mutant");
-    const std::size_t n = 16, b = 4;
-    std::vector<double> lu(n * n, 1.0);
-    double* p = lu.data();
-    // Tiles at block coordinates: diagonal (1,1) rows/cols [4,8).
-    rt::parallel_invoke(
-        sched,
-        [&] {
-          // trsm_u: writes tile (1, 0) — rows [4,8) cols [0,4).
-          for (std::size_t r = b; r < 2 * b; ++r) race::write(p + r * n, b);
-        },
-        [&] {
-          // gemm(1, 1, 0): reads tiles (1, 0) and (0, 1), writes (1, 1).
-          for (std::size_t r = b; r < 2 * b; ++r) race::read(p + r * n, b);
-          for (std::size_t r = 0; r < b; ++r) race::read(p + r * n + b, b);
-          for (std::size_t r = b; r < 2 * b; ++r) {
-            race::write(p + r * n + b, b);
-          }
-        });
+  for (race::Mode mode : kBothModes) {
+    if (!mode_enabled(mode)) continue;
+    SCOPED_TRACE(mode_tag(mode));
+    rt::Scheduler sched(config_for(mode));
+    race::Replay replay(sched, mode);
+    {
+      race::region scope("BlockedLU-mutant");
+      const std::size_t n = 16, b = 4;
+      std::vector<double> lu(n * n, 1.0);
+      double* p = lu.data();
+      // Tiles at block coordinates: diagonal (1,1) rows/cols [4,8).
+      rt::parallel_invoke(
+          sched,
+          [&] {
+            // trsm_u: writes tile (1, 0) — rows [4,8) cols [0,4).
+            for (std::size_t r = b; r < 2 * b; ++r) race::write(p + r * n, b);
+          },
+          [&] {
+            // gemm(1, 1, 0): reads tiles (1, 0), (0, 1), writes (1, 1).
+            for (std::size_t r = b; r < 2 * b; ++r) race::read(p + r * n, b);
+            for (std::size_t r = 0; r < b; ++r) race::read(p + r * n + b, b);
+            for (std::size_t r = b; r < 2 * b; ++r) {
+              race::write(p + r * n + b, b);
+            }
+          });
+    }
+    const auto& reports = replay.finish();
+    ASSERT_FALSE(reports.empty()) << "stale-tile mutant not flagged";
+    EXPECT_TRUE(any_chain_mentions(reports, "BlockedLU-mutant"))
+        << dump(reports);
+    // No locks anywhere near the tile phases: the report must say so.
+    EXPECT_NE(dump(reports).find("no locks held by either access"),
+              std::string::npos)
+        << dump(reports);
   }
-  const auto& reports = replay.finish();
-  ASSERT_FALSE(reports.empty()) << "stale-tile mutant not flagged";
-  EXPECT_TRUE(any_chain_mentions(reports, "BlockedLU-mutant"))
-      << dump(reports);
-  // No locks anywhere near the tile phases: the report must say so.
-  EXPECT_NE(dump(reports).find("no locks held by either access"),
-            std::string::npos)
-      << dump(reports);
 }
 
 // ---------------------------------------------------------------------
@@ -771,13 +1070,16 @@ TEST(RaceMutantTest, BlockedLuStaleTileRead) {
 //    simulated DAGs carry the same certificate as the real kernels.
 // ---------------------------------------------------------------------
 
-class SimDagCertTest : public ::testing::TestWithParam<std::string> {};
+class SimDagCertTest
+    : public ::testing::TestWithParam<std::tuple<std::string, race::Mode>> {};
 
 TEST_P(SimDagCertTest, ProfileDagReplaysClean) {
-  const apps::SimAppProfile profile = apps::make_sim_profile(GetParam());
+  const auto [profile_name, mode] = GetParam();
+  if (!mode_enabled(mode)) GTEST_SKIP() << "disabled by DWS_RACE_MODE";
+  const apps::SimAppProfile profile = apps::make_sim_profile(profile_name);
   ASSERT_EQ(profile.dag.validate(), "");
-  rt::Scheduler sched(make_config(2));
-  race::Replay replay(sched);
+  rt::Scheduler sched(config_for(mode));
+  race::Replay replay(sched, mode);
   const apps::DagReplayStats stats = apps::replay_dag(sched, profile.dag);
   const auto& reports = replay.finish();
   EXPECT_TRUE(reports.empty()) << dump(reports);
@@ -785,22 +1087,31 @@ TEST_P(SimDagCertTest, ProfileDagReplaysClean) {
   EXPECT_EQ(stats.executions, profile.dag.size());
   EXPECT_NEAR(stats.work_replayed, profile.dag.total_work(),
               1e-9 * profile.dag.total_work());
-  EXPECT_GT(replay.detector().granules_checked(), 0u)
+  EXPECT_GT(replay.granules_checked(), 0u)
       << "DAG replay is not annotated — the clean result is vacuous";
 }
 
-INSTANTIATE_TEST_SUITE_P(Profiles, SimDagCertTest,
-                         ::testing::ValuesIn(apps::sim_profile_names()));
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, SimDagCertTest,
+    ::testing::Combine(::testing::ValuesIn(apps::sim_profile_names()),
+                       ::testing::ValuesIn(kBothModes)),
+    [](const ::testing::TestParamInfo<SimDagCertTest::ParamType>& info) {
+      return std::get<0>(info.param) + mode_tag(std::get<1>(info.param));
+    });
 
 TEST(SimDagCertTest, MergesortDagReplaysClean) {
   const sim::TaskDag dag = apps::make_mergesort_dag(8, 25.0, 8.0, 0.6);
   ASSERT_EQ(dag.validate(), "");
-  rt::Scheduler sched(make_config(2));
-  race::Replay replay(sched);
-  const apps::DagReplayStats stats = apps::replay_dag(sched, dag);
-  EXPECT_TRUE(replay.finish().empty());
-  EXPECT_TRUE(stats.clean()) << stats.defects.front();
-  EXPECT_EQ(stats.executions, dag.size());
+  for (race::Mode mode : kBothModes) {
+    if (!mode_enabled(mode)) continue;
+    SCOPED_TRACE(mode_tag(mode));
+    rt::Scheduler sched(config_for(mode));
+    race::Replay replay(sched, mode);
+    const apps::DagReplayStats stats = apps::replay_dag(sched, dag);
+    EXPECT_TRUE(replay.finish().empty());
+    EXPECT_TRUE(stats.clean()) << stats.defects.front();
+    EXPECT_EQ(stats.executions, dag.size());
+  }
 }
 
 TEST(SimDagCertTest, ReplayFlagsNestedChainClaimingOuterJoin) {
@@ -857,6 +1168,24 @@ TEST(SimDagCertTest, ReplayFlagsSplitWithoutAJoin) {
 //    input-dependent kernels are swept across N seeded inputs.
 // ---------------------------------------------------------------------
 
+/// Runs one freshly-constructed app instance per enabled mode (run()
+/// mutates the app, so each leg gets its own copy) and expects a clean,
+/// verified result. `what` labels failures (input size, seed, ...).
+template <typename MakeApp>
+void expect_swept_input_clean(const std::string& what, MakeApp&& make) {
+  for (race::Mode mode : kBothModes) {
+    if (!mode_enabled(mode)) continue;
+    SCOPED_TRACE(mode_tag(mode) + " " + what);
+    auto app = make();
+    rt::Scheduler sched(config_for(mode));
+    race::Replay replay(sched, mode);
+    app.run(sched);
+    const auto& reports = replay.finish();
+    EXPECT_TRUE(reports.empty()) << dump(reports);
+    EXPECT_EQ(app.verify(), "");
+  }
+}
+
 TEST(RaceSweepTest, MergesortCertifiesAcrossSeededInputs) {
   util::Xoshiro256 rng(0xD5EEDCAFEu);
   for (int s = 0; s < sweep_n(); ++s) {
@@ -865,14 +1194,9 @@ TEST(RaceSweepTest, MergesortCertifiesAcrossSeededInputs) {
     const std::size_t n = 512 + static_cast<std::size_t>(
                                     rng.next_below(6 * 1024));
     const std::uint64_t seed = rng.next();
-    apps::MergesortApp app(n, seed);
-    rt::Scheduler sched(make_config(2));
-    race::Replay replay(sched);
-    app.run(sched);
-    const auto& reports = replay.finish();
-    EXPECT_TRUE(reports.empty())
-        << "n=" << n << " seed=" << seed << "\n" << dump(reports);
-    EXPECT_EQ(app.verify(), "") << "n=" << n << " seed=" << seed;
+    expect_swept_input_clean(
+        "n=" + std::to_string(n) + " seed=" + std::to_string(seed),
+        [&] { return apps::MergesortApp(n, seed); });
   }
 }
 
@@ -882,14 +1206,106 @@ TEST(RaceSweepTest, FftCertifiesAcrossSizes) {
     // Power-of-two sizes spanning several recursion depths.
     const std::size_t n = std::size_t{1} << (6 + rng.next_below(6));
     const std::uint64_t seed = rng.next();
-    apps::FftApp app(n, seed);
-    rt::Scheduler sched(make_config(2));
-    race::Replay replay(sched);
-    app.run(sched);
-    const auto& reports = replay.finish();
-    EXPECT_TRUE(reports.empty())
-        << "n=" << n << " seed=" << seed << "\n" << dump(reports);
-    EXPECT_EQ(app.verify(), "") << "n=" << n << " seed=" << seed;
+    expect_swept_input_clean(
+        "n=" + std::to_string(n) + " seed=" + std::to_string(seed),
+        [&] { return apps::FftApp(n, seed); });
+  }
+}
+
+// The blocked kernels' spawn trees depend on the (n, block) tile shape:
+// ragged edge tiles, block ≥ n (one tile), and block = 1 (degenerate
+// tiles) all change the phase structure, so the tile geometry is swept
+// the same way Mergesort sweeps its cutoffs.
+
+TEST(RaceSweepTest, BlockedCholeskyCertifiesAcrossTileShapes) {
+  util::Xoshiro256 rng(0xB10C0CE0u);
+  for (int s = 0; s < sweep_n(); ++s) {
+    const std::size_t n = 8 + rng.next_below(17);        // 8..24
+    const std::size_t block = 1 + rng.next_below(n + 2);  // 1..n+2
+    const std::uint64_t seed = rng.next();
+    expect_swept_input_clean(
+        "n=" + std::to_string(n) + " block=" + std::to_string(block) +
+            " seed=" + std::to_string(seed),
+        [&] { return apps::BlockedCholeskyApp(n, block, seed); });
+  }
+}
+
+TEST(RaceSweepTest, BlockedLuCertifiesAcrossTileShapes) {
+  util::Xoshiro256 rng(0xB10C0D1Du);
+  for (int s = 0; s < sweep_n(); ++s) {
+    const std::size_t n = 8 + rng.next_below(17);
+    const std::size_t block = 1 + rng.next_below(n + 2);
+    const std::uint64_t seed = rng.next();
+    expect_swept_input_clean(
+        "n=" + std::to_string(n) + " block=" + std::to_string(block) +
+            " seed=" + std::to_string(seed),
+        [&] { return apps::BlockedLuApp(n, block, seed); });
+  }
+}
+
+// ---------------------------------------------------------------------
+// 6. Mode agreement. FastTrack's replace-at-begin semantics make the
+//    modeled relation for lock-free programs schedule-independent
+//    (spawn/join edges only) — exactly the SP relation ESP-bags
+//    certifies. On one worker the schedule is the serial elision, so
+//    the two modes must return the same verdict for the whole corpus.
+// ---------------------------------------------------------------------
+
+class RaceModeAgreementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!mode_enabled(race::Mode::kSpBags) ||
+        !mode_enabled(race::Mode::kFastTrack)) {
+      GTEST_SKIP() << "agreement needs both modes enabled (DWS_RACE_MODE)";
+    }
+  }
+};
+
+TEST_F(RaceModeAgreementTest, OneWorkerVerdictsMatchAcrossTheAppCorpus) {
+  std::vector<std::string> corpus(std::begin(apps::kAppNames),
+                                  std::end(apps::kAppNames));
+  corpus.emplace_back("BlockedCholesky");
+  corpus.emplace_back("BlockedLU");
+  for (const std::string& name : corpus) {
+    SCOPED_TRACE(name);
+    std::uint64_t found[2] = {0, 0};
+    for (race::Mode mode : kBothModes) {
+      auto app = apps::make_app(name, apps::Scale::kTiny);
+      ASSERT_NE(app, nullptr);
+      rt::Scheduler sched(make_config(1));
+      race::Replay replay(sched, mode);
+      app->run(sched);
+      replay.finish();
+      found[static_cast<std::size_t>(mode)] = replay.races_found();
+      EXPECT_EQ(app->verify(), "") << mode_tag(mode);
+    }
+    EXPECT_EQ(found[0], 0u) << "spbags flagged a Table-2 app";
+    EXPECT_EQ(found[1], 0u) << "fasttrack disagrees with spbags";
+  }
+}
+
+TEST_F(RaceModeAgreementTest, OneWorkerVerdictsMatchOnSeededRacyKernels) {
+  // Overlapping-by-one-granule sibling writes at seeded widths: both
+  // modes must flag every instance.
+  util::Xoshiro256 rng(0xA62EE111u);
+  for (int s = 0; s < sweep_n(); ++s) {
+    const std::size_t span = 8 + static_cast<std::size_t>(rng.next_below(57));
+    bool raced[2] = {false, false};
+    for (race::Mode mode : kBothModes) {
+      rt::Scheduler sched(make_config(1));
+      race::Replay replay(sched, mode);
+      {
+        race::region scope("agreement-mutant");
+        std::vector<double> buf(2 * span + 1, 0.0);
+        rt::TaskGroup g;
+        sched.spawn(g, [&] { race::write(buf.data(), span + 1); });
+        sched.spawn(g, [&] { race::write(buf.data() + span, span); });
+        sched.wait(g);
+      }
+      raced[static_cast<std::size_t>(mode)] = !replay.finish().empty();
+    }
+    EXPECT_TRUE(raced[0]) << "span=" << span;
+    EXPECT_EQ(raced[0], raced[1]) << "span=" << span;
   }
 }
 

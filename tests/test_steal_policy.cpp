@@ -16,6 +16,44 @@ TEST(StealPolicy, ClassicNeverYieldsOrSleeps) {
   }
 }
 
+TEST(StealPolicy, FailureCountSaturatesInsteadOfOverflowing) {
+  // kClassic never sleeps, so nothing ever reset failed_steals_ and a
+  // starved worker incremented it forever — signed overflow (UB) after
+  // ~2^31 failed steals. The counter now saturates well below that and
+  // the policy's behavior is unchanged at the rail.
+  StealPolicy p(SchedMode::kClassic, 4);
+  for (int i = 0; i < StealPolicy::kFailedStealsSaturation + 10; ++i) {
+    ASSERT_EQ(p.on_steal_failed(), StealOutcome::kRetry);
+  }
+  EXPECT_EQ(p.failed_steals(), StealPolicy::kFailedStealsSaturation);
+  // Saturated is not stuck: a successful steal still resets the counter.
+  p.on_task_acquired();
+  EXPECT_EQ(p.failed_steals(), 0);
+}
+
+TEST(StealPolicy, SaturatedCounterStillTriggersSleep) {
+  // A T_SLEEP at (or clamped to) the saturation rail must still fire:
+  // the threshold comparison is >=, so pinning the counter at the rail
+  // keeps the sleep decision reachable rather than unreachable-by-one.
+  StealPolicy p(SchedMode::kDws, StealPolicy::kFailedStealsSaturation);
+  for (int i = 0; i < StealPolicy::kFailedStealsSaturation - 1; ++i) {
+    ASSERT_EQ(p.on_steal_failed(), StealOutcome::kYield);
+  }
+  EXPECT_EQ(p.on_steal_failed(), StealOutcome::kSleep);
+}
+
+TEST(StealPolicy, OversizedTSleepIsClampedToTheSaturationRail) {
+  // A T_SLEEP beyond the saturation point could never be reached by a
+  // counter that stops counting there; the constructor (and setter)
+  // clamp it so "sleep eventually" stays true for any configuration.
+  StealPolicy p(SchedMode::kDws, StealPolicy::kFailedStealsSaturation + 5);
+  EXPECT_EQ(p.t_sleep(), StealPolicy::kFailedStealsSaturation);
+  p.set_t_sleep(StealPolicy::kFailedStealsSaturation + 1000);
+  EXPECT_EQ(p.t_sleep(), StealPolicy::kFailedStealsSaturation);
+  p.set_t_sleep(7);
+  EXPECT_EQ(p.t_sleep(), 7);
+}
+
 TEST(StealPolicy, AbpAlwaysYields) {
   StealPolicy p(SchedMode::kAbp, 4);
   for (int i = 0; i < 1000; ++i) {

@@ -145,6 +145,45 @@ TEST(Geomean, KnownValues) {
   EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
 }
 
+TEST(Geomean, NonPositiveSamplesAreExcludedNotPoisonous) {
+  // The geometric mean is defined over positive reals. A zero sample
+  // (a zero-time bench rep) used to drive log() to -inf and turn the
+  // whole cross-mix figure into NaN/0; the policy is now to exclude
+  // non-positive samples from the mean.
+  EXPECT_NEAR(geomean({2.0, 0.0, 8.0}), 4.0, 1e-12);    // mean of {2, 8}
+  EXPECT_NEAR(geomean({-1.0, 4.0}), 4.0, 1e-12);        // mean of {4}
+  EXPECT_NEAR(geomean({0.0, -3.0, 9.0}), 9.0, 1e-12);   // mean of {9}
+  EXPECT_FALSE(std::isnan(geomean({0.0, 2.0})));
+  EXPECT_TRUE(std::isfinite(geomean({0.0, 2.0})));
+}
+
+TEST(Geomean, AllNonPositiveIsZero) {
+  // With nothing left after exclusion there is no mean to report; 0
+  // matches the empty-input convention (and is itself outside the
+  // geomean's range, so it cannot be mistaken for a real figure).
+  EXPECT_DOUBLE_EQ(geomean({0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({0.0, -2.0, 0.0}), 0.0);
+}
+
+TEST(Samples, PercentilesOverloadMatchesRepeatedCalls) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(101 - i);  // unsorted input
+  const std::vector<double> qs{0.0, 0.5, 0.9, 0.95, 0.99, 1.0};
+  const std::vector<double> got = s.percentiles(qs);
+  ASSERT_EQ(got.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i], s.percentile(qs[i])) << "q=" << qs[i];
+  }
+}
+
+TEST(Samples, PercentilesOverloadOnEmptyInput) {
+  Samples s;
+  const std::vector<double> got = s.percentiles({0.5, 0.99});
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_DOUBLE_EQ(got[0], 0.0);
+  EXPECT_DOUBLE_EQ(got[1], 0.0);
+}
+
 TEST(CliArgs, ParsesEqualsForm) {
   const char* argv[] = {"prog", "--cores=16", "--mode=DWS"};
   CliArgs args(3, argv);
