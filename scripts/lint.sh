@@ -1,30 +1,50 @@
 #!/usr/bin/env bash
-# Run clang-tidy over the first-party sources using the profile in
-# .clang-tidy. Needs a compile database: configure with
-#   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
-# Exits 0 with a notice when clang-tidy is not installed (it is not part
-# of the pinned toolchain image), so `scripts/lint.sh` is safe to call
-# unconditionally from CI and pre-commit hooks.
-set -euo pipefail
+# Static lint passes over the first-party sources, then clang-tidy using
+# the profile in .clang-tidy (which needs a compile database: configure
+# with cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON; exits 0
+# with a notice when clang-tidy is not installed — it is not part of the
+# pinned toolchain image — so the script is safe to call unconditionally
+# from CI and pre-commit hooks).
+#
+# Every pass runs even after an earlier one fails; the summary at the
+# end prints one line per check so CI logs show exactly WHICH pass
+# failed, and the script exits non-zero if any did.
+set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 
-# Crash-safety lint (no toolchain needed, always runs): raw ::kill() is
-# sanctioned in exactly two places — the liveness probe that confirms a
-# stale co-runner is dead (core/coordinator_policy.cpp) and the
-# fault-injection harness (harness/faults.cpp). Anywhere else it is test
-# scaffolding leaking into production code.
+CHECK_NAMES=()
+CHECK_RESULTS=()
+
+# note <name> <failure-output>: empty output records a pass; otherwise
+# the output is printed immediately and the check is marked FAIL.
+note() {
+  CHECK_NAMES+=("$1")
+  if [ -n "$2" ]; then
+    CHECK_RESULTS+=("FAIL")
+    echo "lint: $1: FAIL"
+    echo "$2"
+  else
+    CHECK_RESULTS+=("ok")
+  fi
+}
+
+# Crash-safety lint: raw ::kill() is sanctioned in exactly two places —
+# the liveness probe that confirms a stale co-runner is dead
+# (core/coordinator_policy.cpp) and the fault-injection harness
+# (harness/faults.cpp). Anywhere else it is test scaffolding leaking
+# into production code.
 BAD_KILL=$(git ls-files 'src/**/*.cpp' 'src/**/*.hpp' \
   | grep -v -e 'core/coordinator_policy.cpp' -e 'harness/faults.cpp' \
   | xargs grep -l '::kill(' 2>/dev/null || true)
 if [ -n "${BAD_KILL}" ]; then
-  echo "lint: ::kill() outside its sanctioned call sites:"
-  echo "${BAD_KILL}"
-  exit 1
+  BAD_KILL="::kill() outside its sanctioned call sites:
+${BAD_KILL}"
 fi
+note "kill-sites" "${BAD_KILL}"
 
 # Thread-creation lint: spawning OS threads is the scheduler's job. Raw
 # std::thread / pthread_create is sanctioned only under src/runtime/ (the
@@ -38,10 +58,10 @@ BAD_THREADS=$(git ls-files 'src/**/*.cpp' 'src/**/*.hpp' \
   | xargs grep -n -E 'std::thread|pthread_create' 2>/dev/null \
   | grep -v 'std::thread::hardware_concurrency' || true)
 if [ -n "${BAD_THREADS}" ]; then
-  echo "lint: raw thread creation outside src/runtime|harness|check:"
-  echo "${BAD_THREADS}"
-  exit 1
+  BAD_THREADS="raw thread creation outside src/runtime|harness|check:
+${BAD_THREADS}"
 fi
+note "raw-threads" "${BAD_THREADS}"
 
 # Lock-annotation lint: the race detector models locks only through
 # race::lock_acquire/lock_release, so a raw std::mutex guard in kernel
@@ -63,11 +83,10 @@ BAD_LOCKS=$(git ls-files 'src/**/*.cpp' 'src/**/*.hpp' \
   | xargs grep -n -E 'std::(lock_guard|unique_lock|scoped_lock)[[:space:]]*<|\.lock\(\)|\.unlock\(\)' \
   2>/dev/null | grep -v 'race::scoped_lock' || true)
 if [ -n "${BAD_LOCKS}" ]; then
-  echo "lint: raw mutex guard outside src/runtime|util|harness|check|race" \
-       "(use dws::race::scoped_lock so ALL-SETS sees the lock):"
-  echo "${BAD_LOCKS}"
-  exit 1
+  BAD_LOCKS="raw mutex guard outside src/runtime|util|harness|check|race (use dws::race::scoped_lock so ALL-SETS sees the lock):
+${BAD_LOCKS}"
 fi
+note "raw-mutex-guards" "${BAD_LOCKS}"
 
 # Strictness lint, static half (the runtime half lives in
 # runtime/strict.hpp): a heap- or static-storage TaskGroup out-lives its
@@ -79,13 +98,106 @@ BAD_GROUPS=$(git ls-files 'src/**/*.cpp' 'src/**/*.hpp' \
   | xargs grep -n -E 'new[[:space:]]+[A-Za-z:_<>, ]*TaskGroup|static[[:space:]]+[A-Za-z:_<>, ]*TaskGroup' \
   2>/dev/null || true)
 if [ -n "${BAD_GROUPS}" ]; then
-  echo "lint: TaskGroup with non-automatic storage (escapes its scope):"
-  echo "${BAD_GROUPS}"
-  exit 1
+  BAD_GROUPS="TaskGroup with non-automatic storage (escapes its scope):
+${BAD_GROUPS}"
 fi
+note "taskgroup-storage" "${BAD_GROUPS}"
+
+# Acquisition-order lint, the static half of deadlock analysis (the
+# dynamic half is the lock-order graph, src/race/lockgraph): every
+# race::scoped_lock site in src/ must declare its lock's order class on
+# the same line with a `// lock-order: CLASS` tag, optionally declaring
+# nesting as `CLASS after OUTER[,OUTER2...]`. scripts/lock_order.txt
+# registers all classes in canonical outermost-first acquisition order;
+# every declared `after` edge must be consistent with that order (the
+# registry is the topological order, so a back edge IS an inversion) —
+# caught here at review time, before any run.
+LOCK_ORDER_REGISTRY="scripts/lock_order.txt"
+ORDER_FAIL=""
+if [ ! -f "${LOCK_ORDER_REGISTRY}" ]; then
+  ORDER_FAIL="missing ${LOCK_ORDER_REGISTRY}"
+else
+  mapfile -t ORDER_CLASSES < <(grep -v -e '^[[:space:]]*#' \
+    -e '^[[:space:]]*$' "${LOCK_ORDER_REGISTRY}" \
+    | sed -e 's/^[[:space:]]*//' -e 's/[[:space:]]*$//')
+  DUP_CLASSES=$(printf '%s\n' "${ORDER_CLASSES[@]}" | sort | uniq -d)
+  if [ -n "${DUP_CLASSES}" ]; then
+    ORDER_FAIL+="duplicate class(es) in ${LOCK_ORDER_REGISTRY}: ${DUP_CLASSES}"$'\n'
+  fi
+  # Registry index of a class, or -1 (lower index = acquired earlier).
+  class_index() {
+    local i
+    for i in "${!ORDER_CLASSES[@]}"; do
+      if [ "${ORDER_CLASSES[$i]}" = "$1" ]; then
+        echo "$i"
+        return
+      fi
+    done
+    echo "-1"
+  }
+  while IFS= read -r site; do
+    [ -z "${site}" ] && continue
+    file="${site%%:*}"
+    rest="${site#*:}"
+    lineno="${rest%%:*}"
+    text="${rest#*:}"
+    stripped="${text#"${text%%[![:space:]]*}"}"
+    case "${stripped}" in
+      //*|\**) continue ;;  # doc-comment examples are not call sites
+    esac
+    if [[ "${text}" != *"// lock-order:"* ]]; then
+      ORDER_FAIL+="${file}:${lineno}: race::scoped_lock site without a '// lock-order: <class>' tag"$'\n'
+      continue
+    fi
+    tag="${text#*// lock-order:}"
+    tag="${tag#"${tag%%[![:space:]]*}"}"
+    read -r cls keyword outers _ <<<"${tag}" || true
+    cidx=$(class_index "${cls}")
+    if [ "${cidx}" -lt 0 ]; then
+      ORDER_FAIL+="${file}:${lineno}: class '${cls}' is not registered in ${LOCK_ORDER_REGISTRY}"$'\n'
+      continue
+    fi
+    if [ -n "${keyword:-}" ]; then
+      if [ "${keyword}" != "after" ] || [ -z "${outers:-}" ]; then
+        ORDER_FAIL+="${file}:${lineno}: malformed tag '// lock-order: ${tag}' (want 'CLASS' or 'CLASS after OUTER[,OUTER2]')"$'\n'
+        continue
+      fi
+      IFS=',' read -ra OUTER_LIST <<<"${outers}"
+      for outer in "${OUTER_LIST[@]}"; do
+        outer="${outer//[[:space:]]/}"
+        oidx=$(class_index "${outer}")
+        if [ "${oidx}" -lt 0 ]; then
+          ORDER_FAIL+="${file}:${lineno}: 'after ${outer}' names an unregistered class"$'\n'
+        elif [ "${oidx}" -ge "${cidx}" ]; then
+          ORDER_FAIL+="${file}:${lineno}: acquisition-order inversion: '${cls}' taken while holding '${outer}', but ${LOCK_ORDER_REGISTRY} orders '${outer}' at or below '${cls}'"$'\n'
+        fi
+      done
+    fi
+  done < <(git ls-files 'src/**/*.cpp' 'src/**/*.hpp' \
+    | xargs grep -n 'race::scoped_lock<' 2>/dev/null || true)
+fi
+note "lock-order" "${ORDER_FAIL}"
+
+summarize_and_maybe_exit() {
+  local failed=""
+  local i
+  echo "lint: summary:"
+  for i in "${!CHECK_NAMES[@]}"; do
+    echo "lint:   ${CHECK_NAMES[$i]}: ${CHECK_RESULTS[$i]}"
+    if [ "${CHECK_RESULTS[$i]}" = "FAIL" ]; then
+      failed+=" ${CHECK_NAMES[$i]}"
+    fi
+  done
+  if [ -n "${failed}" ]; then
+    echo "lint: FAILED:${failed}"
+    exit 1
+  fi
+}
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
+  note "clang-tidy" ""
   echo "lint: clang-tidy not found; skipping (install clang-tidy to lint)"
+  summarize_and_maybe_exit
   exit 0
 fi
 
@@ -99,16 +211,21 @@ fi
 mapfile -t FILES < <(git ls-files 'src/**/*.cpp' 'tests/*.cpp' \
   'bench/*.cpp' 'examples/*.cpp')
 
+TIDY_FAIL=""
 if [ "${#FILES[@]}" -eq 0 ]; then
   echo "lint: no source files found"
-  exit 0
-fi
-
-echo "lint: clang-tidy over ${#FILES[@]} files (${JOBS} jobs)"
-if command -v run-clang-tidy >/dev/null 2>&1; then
-  run-clang-tidy -p "${BUILD_DIR}" -j "${JOBS}" -quiet "${FILES[@]}"
 else
-  printf '%s\n' "${FILES[@]}" \
-    | xargs -P "${JOBS}" -n 1 clang-tidy -p "${BUILD_DIR}" --quiet
+  echo "lint: clang-tidy over ${#FILES[@]} files (${JOBS} jobs)"
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p "${BUILD_DIR}" -j "${JOBS}" -quiet "${FILES[@]}" \
+      || TIDY_FAIL="clang-tidy reported findings (see above)"
+  else
+    printf '%s\n' "${FILES[@]}" \
+      | xargs -P "${JOBS}" -n 1 clang-tidy -p "${BUILD_DIR}" --quiet \
+      || TIDY_FAIL="clang-tidy reported findings (see above)"
+  fi
 fi
+note "clang-tidy" "${TIDY_FAIL}"
+
+summarize_and_maybe_exit
 echo "lint: clean"

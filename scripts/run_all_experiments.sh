@@ -22,6 +22,7 @@ BENCHES=(
   bench_bws_comparison bench_asymmetric bench_worksharing bench_cache_model
   bench_machine_width bench_fig4_confidence bench_adaptive_tsleep
   bench_blocked_linalg bench_timeline bench_deque bench_spawn
+  bench_deadlock_overhead
 )
 
 # Fail fast, before any figure is regenerated, if a bench binary is
@@ -54,7 +55,7 @@ if [ "${DWS_SKIP_CHECKS:-0}" != "1" ]; then
   # -DDWS_RACE=OFF).
   LABELS_RUN=()
   LABELS_EMPTY=()
-  for label in check crash race race-fasttrack; do
+  for label in check crash race race-fasttrack race-deadlock; do
     n=$(ctest --test-dir "$BUILD" -N -L "$label" 2>/dev/null \
           | sed -n 's/^Total Tests: //p')
     if [ "${n:-0}" -gt 0 ]; then
@@ -93,6 +94,7 @@ run bench_blocked_linalg
 run bench_timeline --out="$OUT"
 run bench_deque --benchmark_min_time=0.1
 run bench_spawn --benchmark_min_time=0.1
+run bench_deadlock_overhead --out="$OUT/BENCH_deadlock_overhead.json"
 
 echo "all experiment outputs written to $OUT/"
 if [ "${DWS_SKIP_CHECKS:-0}" != "1" ]; then

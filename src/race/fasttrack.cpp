@@ -1,7 +1,7 @@
 #include "race/fasttrack.hpp"
 
 #include <algorithm>
-#include <sstream>
+#include <string>
 
 namespace dws::race {
 
@@ -16,8 +16,10 @@ std::uint64_t next_session_id() noexcept {
 
 }  // namespace
 
-FastTrack::FastTrack()
-    : session_(next_session_id()), shards_(new Shard[kShards]) {}
+FastTrack::FastTrack(bool check_deadlocks)
+    : session_(next_session_id()), shards_(new Shard[kShards]) {
+  if (check_deadlocks) lockgraph_ = std::make_unique<LockGraph>();
+}
 
 FastTrack::~FastTrack() = default;
 
@@ -37,6 +39,8 @@ FastTrack::ThreadState& FastTrack::my_state() {
     // compares as ordered-to-everyone (VC entries default to 0).
     ts.slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
     ts.vc.set(ts.slot, 1);
+    // sp_vc is lazy: a frame's own entry appears at its first lock
+    // acquire (see lock_acquire), so lock-free frames never resize it.
     ts.sink = std::make_unique<Sink>(this, &ts);
     refresh_prov(ts);  // interns {"root"} -> id 0
     cache.session = session_;
@@ -61,7 +65,7 @@ void FastTrack::refresh_prov(ThreadState& ts) {
 void FastTrack::refresh_locks(ThreadState& ts) {
   std::vector<std::string> names;
   names.reserve(ts.held.size());
-  for (const auto& [addr, name] : ts.held) names.push_back(name);
+  for (const HeldLock& h : ts.held) names.push_back(h.name);
   std::sort(names.begin(), names.end());
   names.erase(std::unique(names.begin(), names.end()), names.end());
   std::string key;
@@ -87,6 +91,15 @@ void* FastTrack::on_task_published(rt::TaskGroup& /*group*/) {
   // the child (ESP semantics — the child stays parallel with the
   // spawner's continuation until the group's wait).
   ts.vc.set(ts.slot, ts.vc.get(ts.slot) + 1);
+  if (lockgraph_ != nullptr) {
+    // Copying an inherited-only (or empty) sp_vc is cheap; the epoch
+    // advance is needed — and the frame's entry exists — only once this
+    // frame has acquired a lock (an acquire after this spawn must come
+    // out parallel with the child; one before it must not).
+    tok->msg_sp = ts.sp_vc;
+    const Clock sc = ts.sp_vc.get(ts.slot);
+    if (sc != 0) ts.sp_vc.set(ts.slot, sc + 1);
+  }
 
   std::string label =
       "spawn#" +
@@ -113,6 +126,7 @@ void FastTrack::on_task_begin(void* token) {
   // tokens nest stack-fashion per thread).
   tok->saved_slot = ts.slot;
   tok->saved_vc = std::move(ts.vc);
+  tok->saved_sp = std::move(ts.sp_vc);
   tok->saved_chain = std::move(ts.chain);
   tok->saved_regions = std::move(ts.regions);
   tok->saved_held = std::move(ts.held);
@@ -126,6 +140,7 @@ void FastTrack::on_task_begin(void* token) {
   ts.slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
   ts.vc = std::move(tok->msg);
   ts.vc.set(ts.slot, 1);
+  if (lockgraph_ != nullptr) ts.sp_vc = std::move(tok->msg_sp);
   ts.chain = std::move(tok->chain);
   ts.regions = std::move(tok->regions);
   ts.held.clear();
@@ -143,10 +158,13 @@ void FastTrack::on_task_end(void* token, rt::TaskGroup* group) {
     // Completion edge: published before complete_one signals, so a
     // waiter released by the final decrement joins a complete clock.
     std::lock_guard<std::mutex> lock(groups_m_);
-    group_vcs_[group].join(ts.vc);
+    GroupClocks& gc = group_vcs_[group];
+    gc.vc.join(ts.vc);
+    if (lockgraph_ != nullptr) gc.sp.join(ts.sp_vc);
   }
   ts.slot = tok->saved_slot;
   ts.vc = std::move(tok->saved_vc);
+  ts.sp_vc = std::move(tok->saved_sp);
   ts.chain = std::move(tok->saved_chain);
   ts.regions = std::move(tok->saved_regions);
   ts.held = std::move(tok->saved_held);
@@ -161,7 +179,8 @@ void FastTrack::on_wait_done(rt::TaskGroup& group) {
   std::lock_guard<std::mutex> lock(groups_m_);
   const auto it = group_vcs_.find(&group);
   if (it == group_vcs_.end()) return;  // nothing completed into it
-  ts.vc.join(it->second);
+  ts.vc.join(it->second.vc);
+  if (lockgraph_ != nullptr) ts.sp_vc.join(it->second.sp);
   // Drop the mapping — TaskGroups are routinely stack-allocated, so a
   // later group at the same address must get a fresh join clock.
   group_vcs_.erase(it);
@@ -169,17 +188,65 @@ void FastTrack::on_wait_done(rt::TaskGroup& group) {
 
 // ---- Locks (acquire joins, release publishes + advances) ----
 
+std::int32_t FastTrack::intern_lock_locked(const void* lock,
+                                           const char* name) {
+  auto [it, inserted] =
+      lock_ids_.emplace(lock, static_cast<std::int32_t>(lock_id_names_.size()));
+  if (inserted) {
+    lock_id_names_.push_back(name != nullptr
+                                 ? std::string(name)
+                                 : "lock#" + std::to_string(it->second + 1));
+  } else if (name != nullptr &&
+             lock_id_names_[static_cast<std::size_t>(it->second)].rfind(
+                 "lock#", 0) == 0) {
+    // A later annotation supplied the name an earlier anonymous
+    // acquisition lacked; adopt it for all future reports.
+    lock_id_names_[static_cast<std::size_t>(it->second)] = name;
+  }
+  return it->second;
+}
+
 void FastTrack::lock_acquire(ThreadState& ts, const void* lock,
                              const char* name) {
+  std::int32_t id;
   std::string label;
-  if (name != nullptr) {
-    label = name;
-  } else {
-    std::ostringstream os;
-    os << "lock@0x" << std::hex << reinterpret_cast<std::uintptr_t>(lock);
-    label = os.str();
+  {
+    std::lock_guard<std::mutex> g(locks_m_);
+    id = intern_lock_locked(lock, name);
+    label = lock_id_names_[static_cast<std::size_t>(id)];
   }
-  ts.held.emplace_back(lock, std::move(label));
+  // Deadlock edge: acquiring `id` while already holding others orders
+  // them before it (pre-acquire held set; recursive re-acquisition
+  // creates no edge). Parallelism against earlier events compares
+  // structural clocks: earlier event E by frame f at structural clock c
+  // is serial iff this frame's sp_vc already covers (f, c) — a relation
+  // lock edges never feed, so the verdict is schedule-independent.
+  if (lockgraph_ != nullptr && !ts.held.empty()) {
+    bool recursive = false;
+    std::vector<std::int32_t> gates;
+    gates.reserve(ts.held.size());
+    for (const HeldLock& h : ts.held) {
+      if (h.id == id) recursive = true;
+      gates.push_back(h.id);
+    }
+    if (!recursive) {
+      std::sort(gates.begin(), gates.end());
+      gates.erase(std::unique(gates.begin(), gates.end()), gates.end());
+      // Lazy frame entry: materialize this frame's structural epoch on
+      // first use, so frames that never lock never pay the O(slot)
+      // resize (slots are per-frame and monotonically allocated).
+      if (ts.sp_vc.get(ts.slot) == 0) ts.sp_vc.set(ts.slot, 1);
+      const std::uint64_t tag = (static_cast<std::uint64_t>(ts.slot) << 32) |
+                                ts.sp_vc.get(ts.slot);
+      lockgraph_->record_acquire(
+          id, gates, ts.chain, tag, [&ts](std::uint64_t other) {
+            const auto slot = static_cast<std::size_t>(other >> 32);
+            const auto clock = static_cast<Clock>(other & 0xFFFFFFFFULL);
+            return clock > ts.sp_vc.get(slot);
+          });
+    }
+  }
+  ts.held.push_back(HeldLock{lock, id, std::move(label)});
   refresh_locks(ts);
   std::lock_guard<std::mutex> g(locks_m_);
   const auto it = lock_vcs_.find(lock);
@@ -189,7 +256,7 @@ void FastTrack::lock_acquire(ThreadState& ts, const void* lock,
 void FastTrack::lock_release(ThreadState& ts, const void* lock) {
   bool held = false;
   for (auto it = ts.held.rbegin(); it != ts.held.rend(); ++it) {
-    if (it->first == lock) {
+    if (it->addr == lock) {
       ts.held.erase(std::next(it).base());
       held = true;
       break;
@@ -352,6 +419,21 @@ std::uint64_t FastTrack::read_promotions() const noexcept {
 std::size_t FastTrack::threads_seen() const {
   std::lock_guard<std::mutex> lock(states_m_);
   return states_.size();
+}
+
+std::size_t FastTrack::locks_seen() const {
+  std::lock_guard<std::mutex> lock(locks_m_);
+  return lock_id_names_.size();
+}
+
+DeadlockAnalysis FastTrack::analyze_deadlocks() const {
+  if (lockgraph_ == nullptr) return {};
+  // Post-session by contract, but take the interning lock anyway so the
+  // name resolver can't race a stray late acquire.
+  std::lock_guard<std::mutex> lock(locks_m_);
+  return lockgraph_->analyze([this](std::int32_t id) {
+    return lock_id_names_[static_cast<std::size_t>(id)];
+  });
 }
 
 }  // namespace dws::race

@@ -82,6 +82,7 @@
 #include <utility>
 #include <vector>
 
+#include "race/lockgraph.hpp"
 #include "race/report.hpp"
 #include "runtime/race_hook.hpp"
 
@@ -89,7 +90,15 @@ namespace dws::race {
 
 class FastTrack final : public ParallelHook {
  public:
-  FastTrack();
+  /// `check_deadlocks` additionally feeds nested lock acquisitions into
+  /// a lock-order graph (race/lockgraph.hpp). Parallelism between
+  /// acquisition points uses a second, *structural* vector clock per
+  /// frame that joins only the fork-join edges (publish/begin/end/wait)
+  /// and never the lock edges: the full HB clock would order the two
+  /// halves of an AB/BA inversion along whichever lock-edge sequence the
+  /// observed schedule happened to produce and hide the cycle, while the
+  /// structural relation is schedule-independent and matches SP-bags.
+  explicit FastTrack(bool check_deadlocks = true);
   ~FastTrack() override;
 
   // ParallelHook (called by the runtime; see race_hook.hpp)
@@ -121,6 +130,17 @@ class FastTrack final : public ParallelHook {
   /// Thread slots allocated (workers that executed annotated work, plus
   /// the session root thread).
   [[nodiscard]] std::size_t threads_seen() const;
+  /// Distinct locks observed through lock_acquire.
+  [[nodiscard]] std::size_t locks_seen() const;
+
+  /// Run cycle detection + certification over the lock-order graph.
+  /// Returns a disabled (empty) analysis when constructed with
+  /// check_deadlocks = false.
+  [[nodiscard]] DeadlockAnalysis analyze_deadlocks() const;
+  /// The lock-order graph, or nullptr when deadlock checking is off.
+  [[nodiscard]] const LockGraph* lock_graph() const noexcept {
+    return lockgraph_.get();
+  }
 
   /// At most this many distinct reports are materialized.
   static constexpr std::size_t kMaxReports = 64;
@@ -191,14 +211,34 @@ class FastTrack final : public ParallelHook {
   /// current frame's clock); `deque` storage keeps addresses stable as
   /// threads are added. `slot` is the CURRENT frame's vector-clock
   /// index — fresh per task, so it changes at task begin/end.
+  /// One held lock: the annotation address plus the session-interned id
+  /// and display name (ids feed the lock-order graph; names feed race
+  /// reports).
+  struct HeldLock {
+    const void* addr = nullptr;
+    std::int32_t id = 0;
+    std::string name;
+  };
+
   struct ThreadState {
     std::uint32_t slot = 0;
     VC vc;
+    /// Structural (fork-join-only) clock for the deadlock analysis:
+    /// maintained alongside `vc` across publish/begin/end/wait but NOT
+    /// joined at lock edges, so "can these two acquisition points run in
+    /// parallel?" is independent of the observed lock order. Only
+    /// maintained while deadlock checking is on, and lazily populated:
+    /// a frame's own entry is materialized at its first lock acquire
+    /// (slots are per-frame, so an eager entry would cost an O(slot)
+    /// resize per task), which keeps the analysis near-free for
+    /// lock-free programs — entries exist only for locking frames and
+    /// whatever inherits them across fork-join edges.
+    VC sp_vc;
     std::vector<std::string> chain{std::string("root")};
     std::vector<const char*> regions;
     /// Held locks, acquisition-ordered (multiset: recursive and
     /// hand-over-hand locking stay representable).
-    std::vector<std::pair<const void*, std::string>> held;
+    std::vector<HeldLock> held;
     std::uint32_t prov = 0;
     std::uint32_t locks = 0;
     std::unique_ptr<Sink> sink;
@@ -208,14 +248,16 @@ class FastTrack final : public ParallelHook {
   /// the interrupted frame (help-first nesting) saved across the body.
   struct Token {
     VC msg;
+    VC msg_sp;  ///< structural clock at the spawn site (deadlock mode)
     std::vector<std::string> chain;
     std::vector<const char*> regions;
 
     std::uint32_t saved_slot = 0;
     VC saved_vc;
+    VC saved_sp;
     std::vector<std::string> saved_chain;
     std::vector<const char*> saved_regions;
-    std::vector<std::pair<const void*, std::string>> saved_held;
+    std::vector<HeldLock> saved_held;
     std::uint32_t saved_prov = 0;
     std::uint32_t saved_locks = 0;
     MemorySink* prev_sink = nullptr;
@@ -231,6 +273,11 @@ class FastTrack final : public ParallelHook {
   [[nodiscard]] ThreadState& my_state();
   void refresh_prov(ThreadState& ts);
   void refresh_locks(ThreadState& ts);
+  /// Intern a lock address to a session id + display name; caller holds
+  /// locks_m_. Anonymous locks are named "lock#N" by first-seen order
+  /// within the session (never by address — heap reuse across sessions
+  /// would alias distinct locks under one name).
+  std::int32_t intern_lock_locked(const void* lock, const char* name);
   void check_granule(ThreadState& ts, std::uintptr_t granule, bool is_write);
   void record(std::uintptr_t addr, const Epoch& prior, Access prior_kind,
               Access current_kind, const ThreadState& ts);
@@ -257,15 +304,26 @@ class FastTrack final : public ParallelHook {
   std::vector<std::vector<std::string>> lock_lists_{{}};
   std::unordered_map<std::string, std::uint32_t> lock_list_ids_;
 
-  // Lock clocks (release publishes, acquire joins).
-  std::mutex locks_m_;
+  // Lock clocks (release publishes, acquire joins) and the lock
+  // interning tables (id by address, display name by id).
+  mutable std::mutex locks_m_;
   std::unordered_map<const void*, VC> lock_vcs_;
+  std::unordered_map<const void*, std::int32_t> lock_ids_;
+  std::vector<std::string> lock_id_names_;
 
   // TaskGroup join clocks; an entry lives from the group's first task
   // completion to its wait (mirrors SpBags::live_finishes_, so
-  // stack-reused groups get fresh clocks).
+  // stack-reused groups get fresh clocks). The structural clock `sp`
+  // rides along for the deadlock analysis (empty when it is off).
+  struct GroupClocks {
+    VC vc;
+    VC sp;
+  };
   std::mutex groups_m_;
-  std::unordered_map<const rt::TaskGroup*, VC> group_vcs_;
+  std::unordered_map<const rt::TaskGroup*, GroupClocks> group_vcs_;
+
+  /// Lock-order graph for deadlock analysis (null when off).
+  std::unique_ptr<LockGraph> lockgraph_;
 
   std::mutex report_m_;
   std::vector<RaceReport> races_;

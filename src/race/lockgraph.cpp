@@ -1,0 +1,250 @@
+#include "race/lockgraph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace dws::race {
+
+void LockGraph::record_acquire(
+    std::int32_t acquired, const std::vector<std::int32_t>& held,
+    std::vector<std::string> chain, std::uint64_t tag,
+    const std::function<bool(std::uint64_t)>& parallel_with_earlier) {
+  if (held.empty()) return;
+  std::lock_guard<std::mutex> lock(m_);
+  if (!dedup_.emplace(acquired, tag, held).second) return;
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  Event ev;
+  ev.acquired = acquired;
+  ev.held = held;
+  ev.chain = std::move(chain);
+  ev.tag = tag;
+  ev.parallel.reserve(events_.size());
+  // Parallelism is evaluated now, against every earlier event: the
+  // detectors' series/parallel relations are not queryable after the
+  // session (SP-bags merges everything serial by the final wait), and
+  // the relation between two completed execution points never changes
+  // after the later one runs — so bits taken here are final.
+  for (const Event& e : events_) ev.parallel.push_back(parallel_with_earlier(e.tag));
+  events_.push_back(std::move(ev));
+}
+
+bool LockGraph::parallel(std::size_t a, std::size_t b) const {
+  return a < b ? events_[b].parallel[a] : events_[a].parallel[b];
+}
+
+bool LockGraph::gates_disjoint(std::size_t a, std::size_t b) const {
+  const auto& sa = events_[a].held;
+  const auto& sb = events_[b].held;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    if (sa[i] == sb[j]) return false;
+    if (sa[i] < sb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return true;
+}
+
+DeadlockAnalysis LockGraph::analyze(
+    const std::function<std::string(std::int32_t)>& name_of) const {
+  std::lock_guard<std::mutex> lock(m_);
+  DeadlockAnalysis out;
+  out.enabled = true;
+
+  // Dense node ids over the locks that appear in events, and the edge
+  // multimap (source, target) -> contributing event indices. One event
+  // holding {H1, H2} and acquiring L contributes both H1→L and H2→L.
+  std::map<std::int32_t, int> node_of;
+  std::vector<std::int32_t> lock_of;
+  const auto node = [&](std::int32_t l) {
+    const auto [it, inserted] =
+        node_of.emplace(l, static_cast<int>(lock_of.size()));
+    if (inserted) lock_of.push_back(l);
+    return it->second;
+  };
+  std::map<std::pair<int, int>, std::vector<std::size_t>> edge_events;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const int to = node(events_[i].acquired);
+    for (const std::int32_t h : events_[i].held) {
+      edge_events[{node(h), to}].push_back(i);
+    }
+  }
+  const int n = static_cast<int>(lock_of.size());
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (const auto& [key, evs] : edge_events) {
+    adj[static_cast<std::size_t>(key.first)].push_back(key.second);
+  }
+
+  // Tarjan SCC. Cycles cannot cross components, so enumeration below
+  // only walks within one component at a time.
+  std::vector<int> comp(static_cast<std::size_t>(n), -1);
+  {
+    std::vector<int> index(static_cast<std::size_t>(n), -1);
+    std::vector<int> low(static_cast<std::size_t>(n), 0);
+    std::vector<char> on_stack(static_cast<std::size_t>(n), 0);
+    std::vector<int> stack;
+    int next_index = 0;
+    int next_comp = 0;
+    // Iterative DFS: frames of (node, next-neighbor position).
+    std::vector<std::pair<int, std::size_t>> frames;
+    for (int s = 0; s < n; ++s) {
+      if (index[static_cast<std::size_t>(s)] != -1) continue;
+      frames.emplace_back(s, 0);
+      while (!frames.empty()) {
+        auto& [u, pos] = frames.back();
+        const auto ui = static_cast<std::size_t>(u);
+        if (pos == 0) {
+          index[ui] = low[ui] = next_index++;
+          stack.push_back(u);
+          on_stack[ui] = 1;
+        }
+        if (pos < adj[ui].size()) {
+          const int v = adj[ui][pos++];
+          const auto vi = static_cast<std::size_t>(v);
+          if (index[vi] == -1) {
+            frames.emplace_back(v, 0);
+          } else if (on_stack[vi] != 0) {
+            low[ui] = std::min(low[ui], index[vi]);
+          }
+        } else {
+          if (low[ui] == index[ui]) {
+            int w;
+            do {
+              w = stack.back();
+              stack.pop_back();
+              on_stack[static_cast<std::size_t>(w)] = 0;
+              comp[static_cast<std::size_t>(w)] = next_comp;
+            } while (w != u);
+            ++next_comp;
+          }
+          frames.pop_back();
+          if (!frames.empty()) {
+            const auto pi = static_cast<std::size_t>(frames.back().first);
+            low[pi] = std::min(low[pi], low[ui]);
+          }
+        }
+      }
+    }
+  }
+
+  // Certify one enumerated cycle: search for an assignment of one event
+  // per edge with pairwise-parallel tasks and pairwise-disjoint gates.
+  // Tracks whether an all-parallel assignment existed at all, so a cycle
+  // killed only by the gate rule is counted as gate-suppressed.
+  const auto certify = [&](const std::vector<int>& cycle) {
+    const std::size_t k = cycle.size();
+    std::vector<const std::vector<std::size_t>*> cands(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      cands[i] = &edge_events.at({cycle[i], cycle[(i + 1) % k]});
+    }
+    bool viable = false;
+    bool parallel_only = false;  // all-parallel assignment, gates shared
+    std::vector<std::size_t> chosen;
+    std::vector<std::size_t> witness;
+    std::size_t steps = 0;
+    const std::function<void(std::size_t, bool)> pick = [&](std::size_t ei,
+                                                            bool gates_ok) {
+      if (viable || steps > kMaxAssignmentSteps) return;
+      if (ei == k) {
+        if (gates_ok) {
+          viable = true;
+          witness = chosen;
+        } else {
+          parallel_only = true;
+        }
+        return;
+      }
+      for (const std::size_t cand : *cands[ei]) {
+        if (viable || ++steps > kMaxAssignmentSteps) return;
+        bool par_ok = true;
+        bool g_ok = gates_ok;
+        for (const std::size_t prev : chosen) {
+          if (!parallel(prev, cand)) {
+            par_ok = false;
+            break;
+          }
+          if (g_ok && !gates_disjoint(prev, cand)) g_ok = false;
+        }
+        if (!par_ok) continue;
+        chosen.push_back(cand);
+        pick(ei + 1, g_ok);
+        chosen.pop_back();
+      }
+    };
+    pick(0, true);
+
+    if (viable) {
+      if (out.reports.size() < kMaxReports) {
+        DeadlockReport r;
+        for (std::size_t i = 0; i < k; ++i) {
+          const Event& ev = events_[witness[i]];
+          DeadlockEdge e;
+          e.held = name_of(lock_of[static_cast<std::size_t>(cycle[i])]);
+          e.acquired =
+              name_of(lock_of[static_cast<std::size_t>(cycle[(i + 1) % k])]);
+          e.chain = ev.chain;
+          for (const std::int32_t g : ev.held) e.gates.push_back(name_of(g));
+          r.cycle.push_back(std::move(e));
+        }
+        out.reports.push_back(std::move(r));
+      }
+    } else if (parallel_only) {
+      ++out.cycles_gate_suppressed;
+    } else {
+      ++out.cycles_serial_suppressed;
+    }
+  };
+
+  // Enumerate simple cycles: DFS from each start node s, restricted to
+  // s's component and to nodes ≥ s (each cycle is found exactly once,
+  // rooted at its minimum node — the Johnson-style restriction).
+  std::vector<int> path;
+  std::vector<char> on_path(static_cast<std::size_t>(n), 0);
+  bool capped = false;
+  const std::function<void(int, int)> dfs = [&](int s, int u) {
+    if (capped) return;
+    const auto ui = static_cast<std::size_t>(u);
+    path.push_back(u);
+    on_path[ui] = 1;
+    for (const int v : adj[ui]) {
+      if (capped) break;
+      if (comp[static_cast<std::size_t>(v)] != comp[static_cast<std::size_t>(s)])
+        continue;
+      if (v == s) {
+        if (path.size() >= 2) {
+          if (++out.cycles_found > kMaxCycles) {
+            capped = true;
+            break;
+          }
+          certify(path);
+        }
+      } else if (v > s && on_path[static_cast<std::size_t>(v)] == 0 &&
+                 path.size() < kMaxCycleLen) {
+        dfs(s, v);
+      }
+    }
+    on_path[ui] = 0;
+    path.pop_back();
+  };
+  for (int s = 0; s < n && !capped; ++s) dfs(s, s);
+  return out;
+}
+
+std::uint64_t LockGraph::events_recorded() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return events_.size();
+}
+
+std::uint64_t LockGraph::events_dropped() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return dropped_;
+}
+
+}  // namespace dws::race

@@ -1,0 +1,118 @@
+// Lock-order-graph deadlock detection (the Goodlock family: Havelund's
+// analysis from Java PathFinder, refined per Bensalem & Havelund,
+// "Dynamic deadlock analysis of multi-threaded programs") over the
+// annotation stream both race detectors already consume.
+//
+// Every dws::race::lock_acquire performed while the acquiring task
+// already holds locks contributes edges to a directed graph over locks:
+// acquiring L while holding {H1..Hk} records Hi → L for each held Hi,
+// stamped with the acquiring task's spawn-chain provenance, the full
+// gate-lock set held at the acquire, and an opaque task tag the owning
+// detector can answer series/parallel queries about. After the session,
+// analyze() runs Tarjan's SCC decomposition and enumerates the simple
+// cycles inside each non-trivial component; a cycle is a *potential
+// deadlock* — some schedule exists where every participant holds its
+// edge's source lock and blocks on its target — only if an assignment of
+// one recorded event per edge exists such that
+//
+//   (1) the acquiring execution points are pairwise logically parallel
+//       (the series/parallel filter: an inversion between serially
+//       ordered code, or within one task, can never block on itself —
+//       the refinement plain lock-order graphs get wrong), and
+//   (2) the events' gate sets are pairwise disjoint (the gate-lock
+//       filter: a common outer lock serializes the inner inversion in
+//       every schedule, so the cycle can never close).
+//
+// Cycles killed by exactly one of the two filters are counted
+// (cycles_gate_suppressed / cycles_serial_suppressed) so tests can
+// assert a seeded false positive was seen *and* suppressed, not merely
+// missed.
+//
+// The graph is mode-agnostic: SpBags feeds it during serial replay
+// (tags are task ids, parallelism is the P-bag query) and FastTrack
+// feeds it from the live schedule (tags are (frame, clock) pairs,
+// parallelism is the structural fork-join-only vector clock — NOT the
+// full HB clock, which lock edges would collapse along the one observed
+// schedule and hide the classic AB/BA inversion). Parallelism bits are
+// evaluated eagerly at record time against all earlier events, because
+// neither detector can answer historical queries once the session ends.
+#pragma once
+
+#ifdef DWS_RACE_DISABLED
+#error "src/race requires a build without DWS_RACE_DISABLED (-DDWS_RACE=ON)"
+#endif
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "race/report.hpp"
+
+namespace dws::race {
+
+/// The graph. Thread-safe: FastTrack records from every worker (SpBags,
+/// single-threaded, pays one uncontended mutex per *nested* acquire —
+/// acquires with nothing held never reach the graph).
+class LockGraph {
+ public:
+  /// Record one nested acquisition: `acquired` taken while `held` (the
+  /// owning detector's interned lock ids, sorted + deduplicated,
+  /// non-empty, not containing `acquired` — recursive re-acquisition
+  /// creates no ordering edge) was owned. `chain` is the acquiring
+  /// task's spawn-site provenance, `tag` an opaque task identity.
+  /// `parallel_with_earlier(t)` must answer, at call time, whether the
+  /// acquiring execution point is logically parallel with the earlier
+  /// recorded event tagged `t`; it is invoked once per earlier event to
+  /// fill this event's parallelism bits (events and bits are capped —
+  /// see kMaxEvents — with drops counted, never silent).
+  void record_acquire(
+      std::int32_t acquired, const std::vector<std::int32_t>& held,
+      std::vector<std::string> chain, std::uint64_t tag,
+      const std::function<bool(std::uint64_t)>& parallel_with_earlier);
+
+  /// Cycle detection + certification over everything recorded so far.
+  /// `name_of` resolves the owning detector's lock ids for reports.
+  [[nodiscard]] DeadlockAnalysis analyze(
+      const std::function<std::string(std::int32_t)>& name_of) const;
+
+  /// Distinct nested acquisitions recorded (post-dedup).
+  [[nodiscard]] std::uint64_t events_recorded() const;
+  /// Acquisitions dropped past kMaxEvents (0 in any healthy session).
+  [[nodiscard]] std::uint64_t events_dropped() const;
+
+  /// Caps. Events: distinct (acquired, held, task) triples — repeated
+  /// acquisitions from loops dedup to one, so real sessions sit far
+  /// below this. Cycle enumeration and per-cycle assignment search are
+  /// bounded too: analysis stays cheap even on adversarial graphs.
+  static constexpr std::size_t kMaxEvents = 4096;
+  static constexpr std::size_t kMaxCycleLen = 8;
+  static constexpr std::size_t kMaxCycles = 256;
+  static constexpr std::size_t kMaxAssignmentSteps = 4096;
+  static constexpr std::size_t kMaxReports = 16;
+
+ private:
+  struct Event {
+    std::int32_t acquired = 0;
+    std::vector<std::int32_t> held;  ///< sorted, deduplicated gate set
+    std::vector<std::string> chain;
+    std::uint64_t tag = 0;
+    /// parallel[i]: this event is logically parallel with events_[i]
+    /// (defined for i < this event's own index only).
+    std::vector<bool> parallel;
+  };
+
+  [[nodiscard]] bool parallel(std::size_t a, std::size_t b) const;
+  [[nodiscard]] bool gates_disjoint(std::size_t a, std::size_t b) const;
+
+  mutable std::mutex m_;
+  std::vector<Event> events_;
+  std::set<std::tuple<std::int32_t, std::uint64_t, std::vector<std::int32_t>>>
+      dedup_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dws::race

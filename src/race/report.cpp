@@ -62,6 +62,24 @@ std::string RaceReport::to_string() const {
   return os.str();
 }
 
+std::string DeadlockReport::to_string() const {
+  std::ostringstream os;
+  os << "potential deadlock: lock-order cycle ";
+  for (const DeadlockEdge& e : cycle) os << e.held << " -> ";
+  if (!cycle.empty()) os << cycle.front().held;
+  for (const DeadlockEdge& e : cycle) {
+    os << "\n  task holds " << e.held << ", acquires " << e.acquired
+       << "\n    at: ";
+    for (std::size_t i = 0; i < e.chain.size(); ++i) {
+      if (i != 0) os << " > ";
+      os << e.chain[i];
+    }
+    os << "\n    locks held: ";
+    append_lock_list(os, e.gates);
+  }
+  return os.str();
+}
+
 const char* mode_name(Mode m) noexcept {
   return m == Mode::kFastTrack ? "fasttrack" : "spbags";
 }

@@ -38,6 +38,48 @@ struct RaceReport {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// One edge of a potential-deadlock cycle: some task acquired `acquired`
+/// while already holding `held` (a lock-order edge held → acquired).
+struct DeadlockEdge {
+  std::string held;      ///< the cycle lock this edge departs from
+  std::string acquired;  ///< the cycle lock this edge arrives at
+  /// Spawn-site chain, root first, of the task that created the edge.
+  std::vector<std::string> chain;
+  /// Every lock the task held at the acquire (gate locks): the full
+  /// context the edge was taken under, a superset of {held}.
+  std::vector<std::string> gates;
+};
+
+/// One certified lock-order cycle: k acquisition events, pairwise from
+/// logically parallel tasks, with pairwise-disjoint gate sets — i.e. a
+/// schedule exists in which every task holds its `held` lock and blocks
+/// on its `acquired` lock simultaneously.
+struct DeadlockReport {
+  std::vector<DeadlockEdge> cycle;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Result of the post-session lock-order-graph analysis (race::Replay
+/// option check_deadlocks; see src/race/lockgraph.hpp).
+struct DeadlockAnalysis {
+  std::vector<DeadlockReport> reports;
+  /// Simple cycles found in the lock-order graph, before certification.
+  std::uint64_t cycles_found = 0;
+  /// Cycles suppressed because every viable event assignment shares a
+  /// gate lock between at least two edges (a common outer lock
+  /// serializes the inner inversion in every schedule).
+  std::uint64_t cycles_gate_suppressed = 0;
+  /// Cycles suppressed because no assignment of pairwise-parallel tasks
+  /// exists (the inversion only happens between serially ordered code,
+  /// which can never block on itself).
+  std::uint64_t cycles_serial_suppressed = 0;
+  /// False when the session ran with check_deadlocks off.
+  bool enabled = false;
+
+  [[nodiscard]] bool clean() const noexcept { return reports.empty(); }
+};
+
 /// Which detector a race::Replay session drives (see docs/CHECKING.md
 /// for the trade-off):
 ///  - kSpBags: one serial depth-first execution, certifies the whole

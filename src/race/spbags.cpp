@@ -16,11 +16,12 @@ constexpr unsigned kGranuleShift = 3;  // 8-byte shadow granules
 
 }  // namespace
 
-SpBags::SpBags() {
+SpBags::SpBags(bool check_deadlocks) {
   // Element 0: the root task (the thread driving the replay), in its own
   // S-bag. Everything it did before any spawn is a serial predecessor of
   // all tasks.
   cur_task_ = new_elem(-1, "root", /*is_finish=*/false, /*is_p=*/false);
+  if (check_deadlocks) lockgraph_ = std::make_unique<LockGraph>();
 }
 
 std::int32_t SpBags::new_elem(std::int32_t parent, std::string label,
@@ -226,8 +227,10 @@ std::int32_t SpBags::lock_id(const void* lock, const char* name) {
     if (name != nullptr) {
       os << name;
     } else {
-      os << "lock#" << it->second << "@0x" << std::hex
-         << reinterpret_cast<std::uintptr_t>(lock);
+      // Anonymous locks are named by first-seen order within the
+      // session, never by address: heap reuse across sessions would
+      // otherwise alias two distinct locks under one report name.
+      os << "lock#" << it->second;
     }
     lock_names_.push_back(os.str());
   } else if (name != nullptr &&
@@ -298,6 +301,22 @@ void SpBags::recompute_cur_lockset() {
 
 void SpBags::on_lock_acquire(const void* lock, const char* name) {
   const std::int32_t id = lock_id(lock, name);
+  // Deadlock edge: acquiring `id` while already holding others orders
+  // them before it. Recorded against the PRE-acquire held set; a
+  // recursive re-acquisition (id already held) creates no edge. The
+  // acquiring task's parallelism with each earlier recorded event is the
+  // P-bag query, taken now — at this point of the serial replay it is
+  // exactly the final series/parallel relation between the two points.
+  if (lockgraph_ != nullptr && !held_.empty() &&
+      !std::binary_search(held_.begin(), held_.end(), id)) {
+    std::vector<std::int32_t> gates(held_);
+    gates.erase(std::unique(gates.begin(), gates.end()), gates.end());
+    lockgraph_->record_acquire(
+        id, gates, chain_of(cur_task_), static_cast<std::uint64_t>(cur_task_),
+        [this](std::uint64_t tag) {
+          return in_p_bag(static_cast<std::int32_t>(tag));
+        });
+  }
   held_.insert(std::upper_bound(held_.begin(), held_.end(), id), id);
   recompute_cur_lockset();
 }
@@ -311,14 +330,22 @@ void SpBags::on_lock_release(const void* lock) {
   recompute_cur_lockset();
 }
 
-Replay::Replay(rt::Scheduler& sched, Mode mode) : sched_(sched), mode_(mode) {
+DeadlockAnalysis SpBags::analyze_deadlocks() const {
+  if (lockgraph_ == nullptr) return {};
+  return lockgraph_->analyze([this](std::int32_t id) {
+    return lock_names_[static_cast<std::size_t>(id)];
+  });
+}
+
+Replay::Replay(rt::Scheduler& sched, Mode mode, bool check_deadlocks)
+    : sched_(sched), mode_(mode) {
   prev_sink_ = detail::tl_sink();
   if (mode_ == Mode::kSpBags) {
-    det_ = std::make_unique<SpBags>();
+    det_ = std::make_unique<SpBags>(check_deadlocks);
     detail::tl_sink() = det_.get();
     sched_.set_exec_hook(det_.get());
   } else {
-    ft_ = std::make_unique<FastTrack>();
+    ft_ = std::make_unique<FastTrack>(check_deadlocks);
     // The constructing thread gets a sink immediately (annotations made
     // outside any task — e.g. serial reference phases — are attributed
     // to its root frame); worker threads install theirs per task body.
@@ -344,6 +371,16 @@ const std::vector<RaceReport>& Replay::finish() {
   return mode_ == Mode::kSpBags ? det_->races() : ft_->races();
 }
 
+const DeadlockAnalysis& Replay::deadlocks() {
+  finish();
+  if (!deadlocks_done_) {
+    deadlocks_ = mode_ == Mode::kSpBags ? det_->analyze_deadlocks()
+                                        : ft_->analyze_deadlocks();
+    deadlocks_done_ = true;
+  }
+  return deadlocks_;
+}
+
 Replay::~Replay() { finish(); }
 
 std::uint64_t Replay::races_found() const noexcept {
@@ -358,6 +395,10 @@ std::uint64_t Replay::tasks_executed() const noexcept {
 std::uint64_t Replay::granules_checked() const noexcept {
   return mode_ == Mode::kSpBags ? det_->granules_checked()
                                 : ft_->granules_checked();
+}
+
+std::size_t Replay::locks_seen() const {
+  return mode_ == Mode::kSpBags ? det_->locks_seen() : ft_->locks_seen();
 }
 
 }  // namespace dws::race

@@ -57,6 +57,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "race/lockgraph.hpp"
 #include "race/report.hpp"
 #include "runtime/race_hook.hpp"
 #include "runtime/scheduler.hpp"
@@ -70,7 +71,11 @@ class FastTrack;
 /// MemorySink (annotated-access checking). Use via Replay below.
 class SpBags final : public ExecHook, public MemorySink {
  public:
-  SpBags();
+  /// `check_deadlocks` additionally feeds every nested lock acquisition
+  /// into a lock-order graph (race/lockgraph.hpp) for post-session
+  /// deadlock analysis; parallelism between acquisition points is the
+  /// P-bag query, evaluated at record time.
+  explicit SpBags(bool check_deadlocks = true);
 
   // ExecHook
   void on_spawn(rt::Scheduler& sched, rt::TaskGroup& group,
@@ -111,6 +116,15 @@ class SpBags final : public ExecHook, public MemorySink {
 
   /// Spawn-site chain (root first) of a task id from a report.
   [[nodiscard]] std::vector<std::string> chain_of(std::int32_t task) const;
+
+  /// Run cycle detection + certification over the lock-order graph.
+  /// Returns a disabled (empty) analysis when constructed with
+  /// check_deadlocks = false.
+  [[nodiscard]] DeadlockAnalysis analyze_deadlocks() const;
+  /// The lock-order graph, or nullptr when deadlock checking is off.
+  [[nodiscard]] const LockGraph* lock_graph() const noexcept {
+    return lockgraph_.get();
+  }
 
   /// At most this many distinct reports are materialized.
   static constexpr std::size_t kMaxReports = 64;
@@ -185,6 +199,10 @@ class SpBags final : public ExecHook, public MemorySink {
   std::vector<std::int32_t> held_;
   std::int32_t cur_lockset_ = 0;
 
+  /// Lock-order graph for deadlock analysis (null when off). Fed from
+  /// on_lock_acquire with the pre-acquire held set.
+  std::unique_ptr<LockGraph> lockgraph_;
+
   std::vector<RaceReport> races_;
   std::set<std::tuple<std::int32_t, std::int32_t, std::uint8_t>> reported_;
   std::uint64_t races_found_ = 0;
@@ -213,7 +231,11 @@ class SpBags final : public ExecHook, public MemorySink {
 /// hook is global — it observes every scheduler in the process).
 class Replay {
  public:
-  explicit Replay(rt::Scheduler& sched, Mode mode = Mode::kSpBags);
+  /// `check_deadlocks` (on by default) records every nested lock
+  /// acquisition into a lock-order graph; deadlocks() then reports
+  /// certified acquisition-order cycles (see race/lockgraph.hpp).
+  explicit Replay(rt::Scheduler& sched, Mode mode = Mode::kSpBags,
+                  bool check_deadlocks = true);
   Replay(const Replay&) = delete;
   Replay& operator=(const Replay&) = delete;
   ~Replay();
@@ -222,6 +244,11 @@ class Replay {
   /// detector (and the returned reference) stays valid until the Replay
   /// object is destroyed.
   const std::vector<RaceReport>& finish();
+
+  /// Deadlock verdict for the session: detaches (as finish()) and runs
+  /// the lock-order-graph analysis on first call; cached after that.
+  /// Disabled (empty, enabled == false) when check_deadlocks was off.
+  const DeadlockAnalysis& deadlocks();
 
   [[nodiscard]] Mode mode() const noexcept { return mode_; }
 
@@ -234,6 +261,10 @@ class Replay {
   [[nodiscard]] std::uint64_t races_found() const noexcept;
   [[nodiscard]] std::uint64_t tasks_executed() const noexcept;
   [[nodiscard]] std::uint64_t granules_checked() const noexcept;
+  /// Distinct locks observed through lock_acquire (vacuity guard for
+  /// deadlock-certification tests: a clean verdict over zero locks
+  /// proves nothing).
+  [[nodiscard]] std::size_t locks_seen() const;
 
  private:
   rt::Scheduler& sched_;
@@ -242,6 +273,8 @@ class Replay {
   std::unique_ptr<FastTrack> ft_;
   MemorySink* prev_sink_ = nullptr;
   bool attached_ = false;
+  DeadlockAnalysis deadlocks_;
+  bool deadlocks_done_ = false;
 };
 
 }  // namespace dws::race

@@ -85,7 +85,11 @@ inline void lock_release(const void* lock) {
 ///
 /// The real mutex is always acquired (also under -DDWS_RACE=OFF, where
 /// only the annotations compile out) — the guard changes checking, never
-/// synchronization.
+/// synchronization. Nested acquisitions additionally feed the deadlock
+/// analysis (src/race/lockgraph.hpp), and scripts/lint.sh requires every
+/// call site to declare its lock's order class on the same line with a
+/// `// lock-order: CLASS` tag registered in scripts/lock_order.txt (see
+/// that file for the tag grammar).
 template <typename Mutex>
 class scoped_lock {
  public:
@@ -373,8 +377,8 @@ T parallel_reduce(Scheduler& sched, std::int64_t begin, std::int64_t end,
   parallel_for(sched, begin, end, grain,
                [&](std::int64_t b, std::int64_t e) {
                  T partial = map(b, e);
-                 race::scoped_lock<std::mutex> lock(result_m,
-                                                    "parallel_reduce.combine");
+                 race::scoped_lock<std::mutex> lock(  // lock-order: reduce.combine
+                     result_m, "parallel_reduce.combine");
                  result = combine(std::move(result), std::move(partial));
                });
   return result;

@@ -75,7 +75,10 @@ class MemorySink {
   /// serial-elision order, so the sink sees the exact lockset each
   /// annotated access was performed under. Locks are identified by
   /// address; `name` is an optional human-readable label for provenance
-  /// (the first non-null name given for an address wins). Default no-ops
+  /// (the first non-null name given for an address wins). The same
+  /// stream also feeds the lock-order-graph deadlock analysis
+  /// (src/race/lockgraph.hpp): an acquire performed while other locks
+  /// are held orders them before the acquired lock. Default no-ops
   /// keep sinks that predate the lockset extension source-compatible.
   virtual void on_lock_acquire(const void* lock, const char* name) {
     (void)lock;

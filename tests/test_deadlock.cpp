@@ -1,0 +1,542 @@
+// Deadlock-analysis tests (ctest label: race-deadlock).
+//
+// The lock-order graph (src/race/lockgraph) rides both race-detector
+// modes — SP-bags serial replay and FastTrack on the live schedule —
+// recording an edge H → L whenever a task acquires L while holding H,
+// and certifying post-session cycles with two suppression rules: a
+// common gate lock between two edges serializes the inversion in every
+// schedule, and edges whose tasks cannot run in parallel (the SP-bags
+// series/parallel query / FastTrack's structural fork-join clock) can
+// never block on each other.
+//
+// Layers:
+//  1. seeded mutants against hand-built spawn trees — the classic AB/BA
+//     inversion and a 3-cycle must be flagged with full cycle
+//     provenance; the gated inversion and the serial-only inversion
+//     must stay SILENT, each leaving its suppression counter as the
+//     proof the cycle was seen and killed rather than missed. Mutants
+//     only annotate (no real mutexes): under FastTrack the tasks run on
+//     real workers, where a real inversion could actually hang the
+//     suite.
+//  2. clean certification — every lock-using kernel (PNN's locked
+//     combine, rt::parallel_reduce, the Table-2 corpus, every DagProfile
+//     replay) runs deadlock-free in both modes.
+//  3. mode agreement — at one worker both modes see the same logical
+//     DAG, so deadlock verdicts must match on the full mutant set.
+//  4. naming — anonymous locks intern as "lock#N" by first-seen session
+//     order, stable across sessions (address-based names alias when the
+//     heap reuses a freed mutex's storage).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "apps/dag_replay.hpp"
+#include "apps/profiles.hpp"
+#include "race/fasttrack.hpp"
+#include "race/spbags.hpp"
+#include "runtime/api.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace dws {
+namespace {
+
+Config make_config(unsigned cores) {
+  Config cfg;
+  cfg.mode = SchedMode::kDws;
+  cfg.num_cores = cores;
+  cfg.pin_threads = false;
+  return cfg;
+}
+
+constexpr race::Mode kBothModes[] = {race::Mode::kSpBags,
+                                     race::Mode::kFastTrack};
+
+bool mode_enabled(race::Mode m) {
+  static const std::vector<race::Mode> enabled = race::modes_from_env();
+  return std::find(enabled.begin(), enabled.end(), m) != enabled.end();
+}
+
+std::string mode_tag(race::Mode m) {
+  return m == race::Mode::kFastTrack ? "FastTrack" : "SpBags";
+}
+
+Config config_for(race::Mode m) {
+  return make_config(m == race::Mode::kFastTrack ? 4 : 2);
+}
+
+std::string dump(const race::DeadlockAnalysis& dl) {
+  std::string out;
+  for (const auto& r : dl.reports) {
+    out += r.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+/// True if any edge of any report mentions `needle` in its chain.
+bool any_chain_mentions(const race::DeadlockAnalysis& dl,
+                        const std::string& needle) {
+  for (const auto& r : dl.reports) {
+    for (const auto& e : r.cycle) {
+      for (const auto& hop : e.chain) {
+        if (hop.find(needle) != std::string::npos) return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// The lock names on a report's cycle (both ends of every edge).
+std::set<std::string> cycle_locks(const race::DeadlockReport& r) {
+  std::set<std::string> names;
+  for (const auto& e : r.cycle) {
+    names.insert(e.held);
+    names.insert(e.acquired);
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------
+// Seeded mutants. Annotation-only: lock identities are plain stack
+// ints, never real mutexes (see file comment).
+// ---------------------------------------------------------------------
+
+void mutant_ab_ba(rt::Scheduler& sched) {
+  race::region scope("ab-ba-mutant");
+  int a = 0;
+  int b = 0;
+  rt::TaskGroup g;
+  sched.spawn(g, [&] {
+    race::lock_acquire(&a, "lock-a");
+    race::lock_acquire(&b, "lock-b");
+    race::lock_release(&b);
+    race::lock_release(&a);
+  });
+  sched.spawn(g, [&] {
+    race::lock_acquire(&b, "lock-b");
+    race::lock_acquire(&a, "lock-a");
+    race::lock_release(&a);
+    race::lock_release(&b);
+  });
+  sched.wait(g);
+}
+
+void mutant_three_cycle(rt::Scheduler& sched) {
+  race::region scope("three-cycle-mutant");
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  const auto nested = [](const void* outer, const char* outer_name,
+                         const void* inner, const char* inner_name) {
+    race::lock_acquire(outer, outer_name);
+    race::lock_acquire(inner, inner_name);
+    race::lock_release(inner);
+    race::lock_release(outer);
+  };
+  rt::TaskGroup g;
+  sched.spawn(g, [&] { nested(&a, "lock-a", &b, "lock-b"); });
+  sched.spawn(g, [&] { nested(&b, "lock-b", &c, "lock-c"); });
+  sched.spawn(g, [&] { nested(&c, "lock-c", &a, "lock-a"); });
+  sched.wait(g);
+}
+
+/// Inner AB/BA inversion, but both tasks take gate G first: the common
+/// outer lock serializes the inversion in every schedule — must be
+/// suppressed by the gate rule, not reported.
+void mutant_gated(rt::Scheduler& sched) {
+  race::region scope("gated-mutant");
+  int gate = 0;
+  int a = 0;
+  int b = 0;
+  const auto gated = [&](const void* first, const char* first_name,
+                         const void* second, const char* second_name) {
+    race::lock_acquire(&gate, "lock-gate");
+    race::lock_acquire(first, first_name);
+    race::lock_acquire(second, second_name);
+    race::lock_release(second);
+    race::lock_release(first);
+    race::lock_release(&gate);
+  };
+  rt::TaskGroup g;
+  sched.spawn(g, [&] { gated(&a, "lock-a", &b, "lock-b"); });
+  sched.spawn(g, [&] { gated(&b, "lock-b", &a, "lock-a"); });
+  sched.wait(g);
+}
+
+/// AB then BA, but the wait between them serializes the two tasks: the
+/// cycle exists in the graph yet can never block — must be suppressed by
+/// the series/parallel rule.
+void mutant_serial_only(rt::Scheduler& sched) {
+  race::region scope("serial-mutant");
+  int a = 0;
+  int b = 0;
+  rt::TaskGroup g1;
+  sched.spawn(g1, [&] {
+    race::lock_acquire(&a, "lock-a");
+    race::lock_acquire(&b, "lock-b");
+    race::lock_release(&b);
+    race::lock_release(&a);
+  });
+  sched.wait(g1);
+  rt::TaskGroup g2;
+  sched.spawn(g2, [&] {
+    race::lock_acquire(&b, "lock-b");
+    race::lock_acquire(&a, "lock-a");
+    race::lock_release(&a);
+    race::lock_release(&b);
+  });
+  sched.wait(g2);
+}
+
+/// Both orders inside ONE task: a task is serial with itself, so the
+/// inversion can never block — series/parallel suppression again.
+void mutant_same_task(rt::Scheduler& sched) {
+  race::region scope("same-task-mutant");
+  int a = 0;
+  int b = 0;
+  rt::TaskGroup g;
+  sched.spawn(g, [&] {
+    race::lock_acquire(&a, "lock-a");
+    race::lock_acquire(&b, "lock-b");
+    race::lock_release(&b);
+    race::lock_release(&a);
+    race::lock_acquire(&b, "lock-b");
+    race::lock_acquire(&a, "lock-a");
+    race::lock_release(&a);
+    race::lock_release(&b);
+  });
+  sched.wait(g);
+}
+
+/// Consistent A-before-B nesting from parallel tasks: an acyclic graph,
+/// nothing to report.
+void kernel_consistent_order(rt::Scheduler& sched) {
+  race::region scope("consistent-order");
+  int a = 0;
+  int b = 0;
+  rt::TaskGroup g;
+  for (int i = 0; i < 3; ++i) {
+    sched.spawn(g, [&] {
+      race::lock_acquire(&a, "lock-a");
+      race::lock_acquire(&b, "lock-b");
+      race::lock_release(&b);
+      race::lock_release(&a);
+    });
+  }
+  sched.wait(g);
+}
+
+// ---------------------------------------------------------------------
+// 1. Mutants: flagged inversions with full cycle provenance, silent
+//    suppressions with their counters as witnesses.
+// ---------------------------------------------------------------------
+
+class DeadlockMutantTest : public ::testing::TestWithParam<race::Mode> {};
+
+TEST_P(DeadlockMutantTest, AbBaInversionFlagged) {
+  const race::Mode mode = GetParam();
+  if (!mode_enabled(mode)) GTEST_SKIP() << "disabled by DWS_RACE_MODE";
+  rt::Scheduler sched(config_for(mode));
+  race::Replay replay(sched, mode);
+  mutant_ab_ba(sched);
+  const auto& dl = replay.deadlocks();
+  ASSERT_TRUE(dl.enabled);
+  ASSERT_EQ(dl.reports.size(), 1u) << dump(dl);
+  EXPECT_EQ(dl.cycles_found, 1u);
+  const race::DeadlockReport& r = dl.reports.front();
+  ASSERT_EQ(r.cycle.size(), 2u) << r.to_string();
+  EXPECT_EQ(cycle_locks(r), (std::set<std::string>{"lock-a", "lock-b"}));
+  // Full provenance: the two edges traverse the cycle (each edge's
+  // target is the next edge's source), every edge carries its gate set
+  // and a root-first spawn chain naming the mutant's region.
+  for (std::size_t i = 0; i < r.cycle.size(); ++i) {
+    const race::DeadlockEdge& e = r.cycle[i];
+    EXPECT_EQ(e.acquired, r.cycle[(i + 1) % r.cycle.size()].held);
+    ASSERT_FALSE(e.chain.empty());
+    EXPECT_EQ(e.chain.front(), "root");
+    EXPECT_EQ(e.gates, std::vector<std::string>{e.held});
+  }
+  EXPECT_TRUE(any_chain_mentions(dl, "ab-ba-mutant")) << dump(dl);
+}
+
+TEST_P(DeadlockMutantTest, ThreeCycleFlagged) {
+  const race::Mode mode = GetParam();
+  if (!mode_enabled(mode)) GTEST_SKIP() << "disabled by DWS_RACE_MODE";
+  rt::Scheduler sched(config_for(mode));
+  race::Replay replay(sched, mode);
+  mutant_three_cycle(sched);
+  const auto& dl = replay.deadlocks();
+  ASSERT_EQ(dl.reports.size(), 1u) << dump(dl);
+  const race::DeadlockReport& r = dl.reports.front();
+  ASSERT_EQ(r.cycle.size(), 3u) << r.to_string();
+  EXPECT_EQ(cycle_locks(r),
+            (std::set<std::string>{"lock-a", "lock-b", "lock-c"}));
+  EXPECT_TRUE(any_chain_mentions(dl, "three-cycle-mutant")) << dump(dl);
+}
+
+TEST_P(DeadlockMutantTest, GatedInversionStaysSilent) {
+  const race::Mode mode = GetParam();
+  if (!mode_enabled(mode)) GTEST_SKIP() << "disabled by DWS_RACE_MODE";
+  rt::Scheduler sched(config_for(mode));
+  race::Replay replay(sched, mode);
+  mutant_gated(sched);
+  const auto& dl = replay.deadlocks();
+  EXPECT_TRUE(dl.clean()) << dump(dl);
+  // Not vacuously silent: the A/B cycle was found, then killed by the
+  // gate rule (the only viable assignments share lock-gate).
+  EXPECT_EQ(dl.cycles_found, 1u);
+  EXPECT_EQ(dl.cycles_gate_suppressed, 1u);
+  EXPECT_EQ(dl.cycles_serial_suppressed, 0u);
+}
+
+TEST_P(DeadlockMutantTest, SerialInversionStaysSilent) {
+  const race::Mode mode = GetParam();
+  if (!mode_enabled(mode)) GTEST_SKIP() << "disabled by DWS_RACE_MODE";
+  rt::Scheduler sched(config_for(mode));
+  race::Replay replay(sched, mode);
+  mutant_serial_only(sched);
+  const auto& dl = replay.deadlocks();
+  EXPECT_TRUE(dl.clean()) << dump(dl);
+  EXPECT_EQ(dl.cycles_found, 1u);
+  EXPECT_EQ(dl.cycles_serial_suppressed, 1u);
+  EXPECT_EQ(dl.cycles_gate_suppressed, 0u);
+}
+
+TEST_P(DeadlockMutantTest, SameTaskInversionStaysSilent) {
+  const race::Mode mode = GetParam();
+  if (!mode_enabled(mode)) GTEST_SKIP() << "disabled by DWS_RACE_MODE";
+  rt::Scheduler sched(config_for(mode));
+  race::Replay replay(sched, mode);
+  mutant_same_task(sched);
+  const auto& dl = replay.deadlocks();
+  EXPECT_TRUE(dl.clean()) << dump(dl);
+  EXPECT_EQ(dl.cycles_found, 1u);
+  EXPECT_EQ(dl.cycles_serial_suppressed, 1u);
+}
+
+TEST_P(DeadlockMutantTest, ConsistentOrderHasNoCycle) {
+  const race::Mode mode = GetParam();
+  if (!mode_enabled(mode)) GTEST_SKIP() << "disabled by DWS_RACE_MODE";
+  rt::Scheduler sched(config_for(mode));
+  race::Replay replay(sched, mode);
+  kernel_consistent_order(sched);
+  const auto& dl = replay.deadlocks();
+  EXPECT_TRUE(dl.clean()) << dump(dl);
+  EXPECT_EQ(dl.cycles_found, 0u);
+  EXPECT_EQ(replay.locks_seen(), 2u);
+}
+
+TEST_P(DeadlockMutantTest, RecursiveAcquireCreatesNoEdge) {
+  const race::Mode mode = GetParam();
+  if (!mode_enabled(mode)) GTEST_SKIP() << "disabled by DWS_RACE_MODE";
+  rt::Scheduler sched(config_for(mode));
+  race::Replay replay(sched, mode);
+  {
+    int a = 0;
+    rt::TaskGroup g;
+    sched.spawn(g, [&] {
+      race::lock_acquire(&a, "lock-a");
+      race::lock_acquire(&a, "lock-a");  // recursive: no self-edge
+      race::lock_release(&a);
+      race::lock_release(&a);
+    });
+    sched.wait(g);
+  }
+  const auto& dl = replay.deadlocks();
+  EXPECT_TRUE(dl.clean()) << dump(dl);
+  EXPECT_EQ(dl.cycles_found, 0u);
+  const race::LockGraph* graph = mode == race::Mode::kSpBags
+                                     ? replay.detector().lock_graph()
+                                     : replay.fasttrack().lock_graph();
+  ASSERT_NE(graph, nullptr);
+  EXPECT_EQ(graph->events_recorded(), 0u);
+}
+
+TEST_P(DeadlockMutantTest, CheckDeadlocksOffRecordsNothing) {
+  const race::Mode mode = GetParam();
+  if (!mode_enabled(mode)) GTEST_SKIP() << "disabled by DWS_RACE_MODE";
+  rt::Scheduler sched(config_for(mode));
+  race::Replay replay(sched, mode, /*check_deadlocks=*/false);
+  mutant_ab_ba(sched);
+  const auto& dl = replay.deadlocks();
+  EXPECT_FALSE(dl.enabled);
+  EXPECT_TRUE(dl.clean());
+  EXPECT_EQ(dl.cycles_found, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, DeadlockMutantTest,
+                         ::testing::ValuesIn(kBothModes),
+                         [](const ::testing::TestParamInfo<race::Mode>& info) {
+                           return mode_tag(info.param);
+                         });
+
+// ---------------------------------------------------------------------
+// 2. Clean certification: every lock-using kernel is deadlock-free in
+//    both modes.
+// ---------------------------------------------------------------------
+
+class DeadlockCleanTest : public ::testing::TestWithParam<race::Mode> {};
+
+TEST_P(DeadlockCleanTest, PnnLockedCombineCertifies) {
+  const race::Mode mode = GetParam();
+  if (!mode_enabled(mode)) GTEST_SKIP() << "disabled by DWS_RACE_MODE";
+  auto app = apps::make_app("PNN", apps::Scale::kSmall);
+  ASSERT_NE(app, nullptr);
+  rt::Scheduler sched(config_for(mode));
+  race::Replay replay(sched, mode);
+  app->run(sched);
+  const auto& dl = replay.deadlocks();
+  EXPECT_TRUE(dl.clean()) << dump(dl);
+  EXPECT_GE(replay.locks_seen(), 1u)
+      << "PNN's combine lock was not observed — the verdict is vacuous";
+  EXPECT_EQ(app->verify(), "");
+}
+
+TEST_P(DeadlockCleanTest, ParallelReduceCertifies) {
+  const race::Mode mode = GetParam();
+  if (!mode_enabled(mode)) GTEST_SKIP() << "disabled by DWS_RACE_MODE";
+  rt::Scheduler sched(config_for(mode));
+  race::Replay replay(sched, mode);
+  const std::int64_t n = 1000;
+  const std::int64_t sum = rt::parallel_reduce(
+      sched, std::int64_t{0}, n, std::int64_t{16}, std::int64_t{0},
+      [](std::int64_t b, std::int64_t e) {
+        std::int64_t s = 0;
+        for (std::int64_t i = b; i < e; ++i) s += i;
+        return s;
+      },
+      [](std::int64_t x, std::int64_t y) { return x + y; });
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+  const auto& dl = replay.deadlocks();
+  EXPECT_TRUE(dl.clean()) << dump(dl);
+  EXPECT_GE(replay.locks_seen(), 1u);
+}
+
+TEST_P(DeadlockCleanTest, Table2CorpusCertifies) {
+  const race::Mode mode = GetParam();
+  if (!mode_enabled(mode)) GTEST_SKIP() << "disabled by DWS_RACE_MODE";
+  for (const char* name : apps::kAppNames) {
+    auto app = apps::make_app(name, apps::Scale::kTiny);
+    ASSERT_NE(app, nullptr) << name;
+    rt::Scheduler sched(config_for(mode));
+    race::Replay replay(sched, mode);
+    app->run(sched);
+    const auto& dl = replay.deadlocks();
+    EXPECT_TRUE(dl.clean()) << name << "\n" << dump(dl);
+    EXPECT_EQ(app->verify(), "") << name;
+  }
+}
+
+TEST_P(DeadlockCleanTest, SimDagReplaysCertify) {
+  const race::Mode mode = GetParam();
+  if (!mode_enabled(mode)) GTEST_SKIP() << "disabled by DWS_RACE_MODE";
+  for (const apps::SimAppProfile& profile : apps::make_all_sim_profiles()) {
+    rt::Scheduler sched(config_for(mode));
+    race::Replay replay(sched, mode);
+    const apps::DagReplayStats stats = apps::replay_dag(sched, profile.dag);
+    ASSERT_TRUE(stats.clean()) << stats.defects.front();
+    const auto& dl = replay.deadlocks();
+    EXPECT_TRUE(dl.clean()) << profile.name << "\n" << dump(dl);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, DeadlockCleanTest,
+                         ::testing::ValuesIn(kBothModes),
+                         [](const ::testing::TestParamInfo<race::Mode>& info) {
+                           return mode_tag(info.param);
+                         });
+
+// ---------------------------------------------------------------------
+// 3. Mode agreement: at one worker both modes see the same logical DAG,
+//    so deadlock verdicts must match over the full mutant set.
+// ---------------------------------------------------------------------
+
+TEST(DeadlockModeAgreementTest, VerdictsAgreeAtOneWorker) {
+  struct Case {
+    const char* name;
+    void (*kernel)(rt::Scheduler&);
+    bool expect_flagged;
+  };
+  const Case cases[] = {
+      {"ab_ba", mutant_ab_ba, true},
+      {"three_cycle", mutant_three_cycle, true},
+      {"gated", mutant_gated, false},
+      {"serial_only", mutant_serial_only, false},
+      {"same_task", mutant_same_task, false},
+      {"consistent_order", kernel_consistent_order, false},
+  };
+  for (const Case& c : cases) {
+    std::size_t reports[2] = {0, 0};
+    std::uint64_t gate[2] = {0, 0};
+    std::uint64_t serial[2] = {0, 0};
+    for (race::Mode mode : kBothModes) {
+      rt::Scheduler sched(make_config(1));
+      race::Replay replay(sched, mode);
+      c.kernel(sched);
+      const auto& dl = replay.deadlocks();
+      const auto i = static_cast<std::size_t>(mode);
+      reports[i] = dl.reports.size();
+      gate[i] = dl.cycles_gate_suppressed;
+      serial[i] = dl.cycles_serial_suppressed;
+    }
+    EXPECT_EQ(reports[0] > 0, c.expect_flagged) << c.name;
+    EXPECT_EQ(reports[0], reports[1]) << c.name;
+    EXPECT_EQ(gate[0], gate[1]) << c.name;
+    EXPECT_EQ(serial[0], serial[1]) << c.name;
+  }
+}
+
+// ---------------------------------------------------------------------
+// 4. Naming: anonymous locks intern by first-seen session order.
+// ---------------------------------------------------------------------
+
+TEST(DeadlockNamingTest, AnonymousLockNamesAreStableAcrossSessions) {
+  // Two sessions over the same program but different lock addresses
+  // (fresh heap allocations, plus a spacer so the second session's
+  // layout differs). Fallback names must come out identical — they
+  // depend only on first-seen order — and must not embed the address.
+  std::set<std::string> names[2];
+  std::vector<std::unique_ptr<int>> keep;  // hold allocations across runs
+  for (int s = 0; s < 2; ++s) {
+    keep.push_back(std::make_unique<int>(0));  // spacer shifts layout
+    auto lock1 = std::make_unique<int>(0);
+    auto lock2 = std::make_unique<int>(0);
+    rt::Scheduler sched(make_config(1));
+    race::Replay replay(sched);  // SP-bags: deterministic serial order
+    rt::TaskGroup g;
+    sched.spawn(g, [&] {
+      race::lock_acquire(lock1.get());
+      race::lock_acquire(lock2.get());
+      race::lock_release(lock2.get());
+      race::lock_release(lock1.get());
+    });
+    sched.spawn(g, [&] {
+      race::lock_acquire(lock2.get());
+      race::lock_acquire(lock1.get());
+      race::lock_release(lock1.get());
+      race::lock_release(lock2.get());
+    });
+    sched.wait(g);
+    const auto& dl = replay.deadlocks();
+    ASSERT_EQ(dl.reports.size(), 1u) << dump(dl);
+    names[s] = cycle_locks(dl.reports.front());
+    keep.push_back(std::move(lock1));
+    keep.push_back(std::move(lock2));
+  }
+  EXPECT_EQ(names[0], (std::set<std::string>{"lock#1", "lock#2"}));
+  EXPECT_EQ(names[0], names[1]);
+  for (const std::string& n : names[0]) {
+    EXPECT_EQ(n.find("0x"), std::string::npos)
+        << n << " embeds an address — unstable across sessions";
+  }
+}
+
+}  // namespace
+}  // namespace dws
