@@ -1,79 +1,264 @@
-// Microbenchmarks of the runtime's task-management primitives
-// (google-benchmark): spawn+wait round trips, parallel_for overhead at
-// several grain sizes, and scheduler construction cost per mode.
-#include <benchmark/benchmark.h>
-
+// Spawn/steal hot-path benchmark and perf guardrail: measures ns-per-spawn
+// and ns-per-steal with pooled task storage (Config::pool_tasks, the
+// default) against the heap-allocating fallback, plus raw ChaseLevDeque
+// push/pop/steal costs, and emits BENCH_spawn_steal.json (same shape as
+// BENCH_deadlock_overhead.json).
+//
+// Legs:
+//  - spawn-batch (1 core): the spawner pushes `tasks` empty tasks, then
+//    waits. With one worker nothing executes concurrently, so the pool's
+//    high-water mark is exactly `tasks` on every rep — after warm-up the
+//    pooled leg's slab count must not move at all. This is the
+//    deterministic zero-alloc steady-state check; ns_per_spawn times just
+//    the spawn loop (allocate + construct + push), ns_per_task the full
+//    spawn/run/recycle cycle.
+//  - spawn-steal (2 cores): the same batch with a second worker stealing
+//    and remote-freeing concurrently — the cross-thread half of the
+//    recycle protocol at benchmark rates. Allocation counts are reported
+//    but not gated to exactly zero (the high-water mark is
+//    schedule-dependent); the per-task allocation rate still must be
+//    ~zero.
+//  - deque-push-pop / deque-steal: the raw ChaseLevDeque primitives
+//    underneath, owner-only and thief-drain respectively.
+//
+// Heap/pooled reps alternate (heap, pooled, heap, ...) so drift lands on
+// both legs equally; `--warmup` reps per leg are discarded, absorbing the
+// cold-allocator jitter of the first iterations (slab carving on the
+// pooled side, allocator warm-up on the heap side). The guardrail per
+// spawn leg is
+//   pooled_mean <= heap_mean * (1 + 3*cv + tolerance),  cv = max leg cv,
+// plus a pooled allocation rate of <= 0.01 heap allocations per task.
+//
+// Usage: bench_spawn [--reps=9] [--warmup=2] [--tasks=20000]
+//          [--deque-items=200000] [--tolerance=0.25]
+//          [--out=BENCH_spawn_steal.json]
+//
+// Exit status: 0 when every gated leg is within bound, 1 otherwise. The
+// JSON artifact records every leg either way.
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
 
-#include "runtime/api.hpp"
+#include "runtime/deque.hpp"
 #include "runtime/scheduler.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
-using dws::Config;
-using dws::SchedMode;
-using dws::rt::Scheduler;
-using dws::rt::TaskGroup;
+using namespace dws;
 
-Config bench_config(SchedMode mode) {
+Config spawn_config(unsigned cores, bool pooled) {
   Config cfg;
-  cfg.mode = mode;
-  cfg.num_cores = 2;  // keep thread churn sane on small CI hosts
+  cfg.mode = SchedMode::kDws;
+  cfg.num_cores = cores;
   cfg.pin_threads = false;
+  cfg.pool_tasks = pooled;
   return cfg;
 }
 
-void BM_SpawnWaitRoundTrip(benchmark::State& state) {
-  Scheduler sched(bench_config(SchedMode::kDws));
-  for (auto _ : state) {
-    sched.run([] {});
-  }
-  state.SetItemsProcessed(state.iterations());
+double cv(const util::Samples& s) {
+  return s.mean() > 0.0 ? s.stddev() / s.mean() : 0.0;
 }
-BENCHMARK(BM_SpawnWaitRoundTrip);
 
-void BM_SpawnBatchFromWorker(benchmark::State& state) {
-  const std::int64_t batch = state.range(0);
-  Scheduler sched(bench_config(SchedMode::kDws));
-  for (auto _ : state) {
-    sched.run([&] {
-      TaskGroup g;
-      for (std::int64_t i = 0; i < batch; ++i) {
-        sched.spawn(g, [] { benchmark::DoNotOptimize(0); });
-      }
-      sched.wait(g);
-    });
-  }
-  state.SetItemsProcessed(state.iterations() * batch);
+void json_stats(std::ostream& os, const char* key, const util::Samples& s) {
+  os << "    \"" << key << "\": {\"mean\": " << s.mean()
+     << ", \"stddev\": " << s.stddev() << ", \"cv\": " << cv(s)
+     << ", \"n\": " << s.count() << "}";
 }
-BENCHMARK(BM_SpawnBatchFromWorker)->Arg(16)->Arg(256);
 
-void BM_ParallelForGrain(benchmark::State& state) {
-  const std::int64_t grain = state.range(0);
-  Scheduler sched(bench_config(SchedMode::kDws));
-  constexpr std::int64_t kN = 1 << 14;
-  std::atomic<std::int64_t> sink{0};
-  for (auto _ : state) {
-    dws::rt::parallel_for(sched, 0, kN, grain,
-                          [&](std::int64_t b, std::int64_t e) {
-                            sink.fetch_add(e - b,
-                                           std::memory_order_relaxed);
-                          });
-  }
-  state.SetItemsProcessed(state.iterations() * kN);
-}
-BENCHMARK(BM_ParallelForGrain)->Arg(16)->Arg(256)->Arg(4096);
+/// One timed rep on `sched`: spawn `tasks` empty tasks from a root task,
+/// then wait for them. Returns {spawn-loop ns/task, full-cycle ns/task}.
+struct RepTimes {
+  double spawn_ns = 0.0;
+  double task_ns = 0.0;
+};
 
-void BM_SchedulerStartup(benchmark::State& state) {
-  const auto mode = static_cast<SchedMode>(state.range(0));
-  for (auto _ : state) {
-    Scheduler sched(bench_config(mode));
-    benchmark::DoNotOptimize(sched.num_workers());
-  }
-  state.SetItemsProcessed(state.iterations());
+RepTimes spawn_batch_rep(rt::Scheduler& sched, long tasks) {
+  RepTimes t;
+  sched.run([&sched, tasks, &t] {
+    rt::TaskGroup g;
+    util::Stopwatch sw;
+    for (long i = 0; i < tasks; ++i) sched.spawn(g, [] {});
+    t.spawn_ns = sw.elapsed_ms() * 1e6 / static_cast<double>(tasks);
+    sched.wait(g);
+    t.task_ns = sw.elapsed_ms() * 1e6 / static_cast<double>(tasks);
+  });
+  return t;
 }
-BENCHMARK(BM_SchedulerStartup)
-    ->Arg(static_cast<int>(SchedMode::kAbp))
-    ->Arg(static_cast<int>(SchedMode::kDws));
+
+/// A/B samples plus allocation accounting for one spawn leg.
+struct SpawnLeg {
+  std::string workload;
+  unsigned cores = 1;
+  util::Samples heap_spawn_ns, pooled_spawn_ns;
+  util::Samples heap_task_ns, pooled_task_ns;
+  double heap_allocs_per_task = 0.0;
+  double pooled_allocs_per_task = 0.0;
+  std::uint64_t pooled_steady_slab_allocs = 0;  // over all measured reps
+  bool zero_alloc_steady_state = false;
+  double speedup = 0.0;  // heap_spawn_ns / pooled_spawn_ns
+  double bound = 0.0;
+  bool within = false;
+  bool alloc_ok = false;
+};
+
+SpawnLeg run_spawn_leg(const char* name, unsigned cores, int reps,
+                       int warmup, long tasks, double tolerance) {
+  SpawnLeg leg;
+  leg.workload = name;
+  leg.cores = cores;
+  rt::Scheduler heap_sched(spawn_config(cores, /*pooled=*/false));
+  rt::Scheduler pooled_sched(spawn_config(cores, /*pooled=*/true));
+
+  for (int r = 0; r < warmup; ++r) {
+    spawn_batch_rep(heap_sched, tasks);
+    spawn_batch_rep(pooled_sched, tasks);
+  }
+  // Post-warm-up baseline: everything from here on is steady state.
+  const rt::TaskAllocStats heap0 = heap_sched.alloc_stats();
+  const rt::TaskAllocStats pooled0 = pooled_sched.alloc_stats();
+
+  for (int r = 0; r < reps; ++r) {
+    const RepTimes h = spawn_batch_rep(heap_sched, tasks);
+    leg.heap_spawn_ns.add(h.spawn_ns);
+    leg.heap_task_ns.add(h.task_ns);
+    const RepTimes p = spawn_batch_rep(pooled_sched, tasks);
+    leg.pooled_spawn_ns.add(p.spawn_ns);
+    leg.pooled_task_ns.add(p.task_ns);
+  }
+
+  const rt::TaskAllocStats heap1 = heap_sched.alloc_stats();
+  const rt::TaskAllocStats pooled1 = pooled_sched.alloc_stats();
+  const double n = static_cast<double>(reps) * static_cast<double>(tasks);
+  leg.heap_allocs_per_task =
+      static_cast<double>(heap1.heap_spawns - heap0.heap_spawns) / n;
+  leg.pooled_steady_slab_allocs = pooled1.slab_allocs - pooled0.slab_allocs;
+  leg.pooled_allocs_per_task =
+      static_cast<double>(leg.pooled_steady_slab_allocs) / n;
+  leg.zero_alloc_steady_state = leg.pooled_steady_slab_allocs == 0;
+
+  const double band =
+      3.0 * std::max(cv(leg.heap_spawn_ns), cv(leg.pooled_spawn_ns));
+  leg.bound = 1.0 + band + tolerance;
+  leg.speedup = leg.pooled_spawn_ns.mean() > 0.0
+                    ? leg.heap_spawn_ns.mean() / leg.pooled_spawn_ns.mean()
+                    : 0.0;
+  leg.within =
+      leg.pooled_spawn_ns.mean() <= leg.heap_spawn_ns.mean() * leg.bound;
+  leg.alloc_ok = leg.pooled_allocs_per_task <= 0.01;
+
+  std::cout << leg.workload << " (cores=" << cores << "): heap "
+            << leg.heap_spawn_ns.summary() << " ns/spawn, pooled "
+            << leg.pooled_spawn_ns.summary() << " ns/spawn, speedup "
+            << leg.speedup << " (bound " << leg.bound << ") "
+            << (leg.within ? "ok" : "EXCEEDED") << "; pooled allocs/task "
+            << leg.pooled_allocs_per_task
+            << (leg.zero_alloc_steady_state ? " [steady-state zero-alloc]"
+                                            : "")
+            << (leg.alloc_ok ? "" : " [alloc rate EXCEEDED]") << "\n";
+  return leg;
+}
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const int reps = static_cast<int>(args.get_int("reps", 9));
+  const int warmup = static_cast<int>(args.get_int("warmup", 2));
+  const long tasks = args.get_int("tasks", 20000);
+  const long deque_items = args.get_int("deque-items", 200000);
+  const double tolerance = args.get_double("tolerance", 0.25);
+  const std::string out_path = args.get_str("out", "BENCH_spawn_steal.json");
+
+  std::cout << "=== Spawn/steal hot-path guardrail (reps=" << reps
+            << ", warmup=" << warmup << ", tasks=" << tasks
+            << ", deque-items=" << deque_items
+            << ", tolerance=" << tolerance << ") ===\n";
+
+  std::vector<SpawnLeg> spawn_legs;
+  spawn_legs.push_back(
+      run_spawn_leg("spawn-batch", 1, reps, warmup, tasks, tolerance));
+  spawn_legs.push_back(
+      run_spawn_leg("spawn-steal", 2, reps, warmup, tasks, tolerance));
+
+  // Raw deque primitives underneath the scheduler paths.
+  util::Samples push_pop_ns;
+  util::Samples steal_ns;
+  for (int r = 0; r < warmup + reps; ++r) {
+    rt::ChaseLevDeque<std::intptr_t> d(64);
+    {
+      util::Stopwatch sw;
+      for (long i = 0; i < deque_items; ++i) d.push(i);
+      while (d.pop()) {
+      }
+      if (r >= warmup) {
+        push_pop_ns.add(sw.elapsed_ms() * 1e6 /
+                        static_cast<double>(2 * deque_items));
+      }
+    }
+    {
+      for (long i = 0; i < deque_items; ++i) d.push(i);
+      util::Stopwatch sw;
+      std::thread thief([&d] {
+        while (d.steal()) {
+        }
+      });
+      thief.join();
+      if (r >= warmup) {
+        steal_ns.add(sw.elapsed_ms() * 1e6 /
+                     static_cast<double>(deque_items));
+      }
+    }
+  }
+  std::cout << "deque-push-pop: " << push_pop_ns.summary()
+            << " ns/op; deque-steal: " << steal_ns.summary()
+            << " ns/steal\n";
+
+  bool pass = true;
+  for (const auto& leg : spawn_legs) pass = pass && leg.within && leg.alloc_ok;
+  // The 1-core leg's high-water mark is deterministic: steady state must
+  // be allocation-free outright, not merely low-rate.
+  pass = pass && spawn_legs[0].zero_alloc_steady_state;
+
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"spawn_steal\",\n"
+      << "  \"reps\": " << reps << ",\n  \"warmup\": " << warmup << ",\n"
+      << "  \"tasks\": " << tasks << ",\n"
+      << "  \"deque_items\": " << deque_items << ",\n"
+      << "  \"tolerance\": " << tolerance << ",\n  \"legs\": [\n";
+  for (const auto& leg : spawn_legs) {
+    out << "   {\"workload\": \"" << leg.workload << "\", \"cores\": "
+        << leg.cores << ",\n";
+    json_stats(out, "heap_ns_per_spawn", leg.heap_spawn_ns);
+    out << ",\n";
+    json_stats(out, "pooled_ns_per_spawn", leg.pooled_spawn_ns);
+    out << ",\n";
+    json_stats(out, "heap_ns_per_task", leg.heap_task_ns);
+    out << ",\n";
+    json_stats(out, "pooled_ns_per_task", leg.pooled_task_ns);
+    out << ",\n    \"heap_allocs_per_task\": " << leg.heap_allocs_per_task
+        << ", \"pooled_allocs_per_task\": " << leg.pooled_allocs_per_task
+        << ",\n    \"pooled_steady_slab_allocs\": "
+        << leg.pooled_steady_slab_allocs << ", \"zero_alloc_steady_state\": "
+        << (leg.zero_alloc_steady_state ? "true" : "false")
+        << ",\n    \"speedup\": " << leg.speedup << ", \"bound\": "
+        << leg.bound << ", \"within_bound\": "
+        << (leg.within ? "true" : "false") << ", \"alloc_rate_ok\": "
+        << (leg.alloc_ok ? "true" : "false") << "},\n";
+  }
+  out << "   {\"workload\": \"deque-push-pop\",\n";
+  json_stats(out, "ns_per_op", push_pop_ns);
+  out << "},\n   {\"workload\": \"deque-steal\",\n";
+  json_stats(out, "ns_per_steal", steal_ns);
+  out << "}\n  ],\n  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+  out.close();
+  std::cout << (pass ? "PASS" : "FAIL") << " — wrote " << out_path << "\n";
+  return pass ? 0 : 1;
+}

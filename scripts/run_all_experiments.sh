@@ -93,7 +93,7 @@ run bench_adaptive_tsleep
 run bench_blocked_linalg
 run bench_timeline --out="$OUT"
 run bench_deque --benchmark_min_time=0.1
-run bench_spawn --benchmark_min_time=0.1
+run bench_spawn --out="$OUT/BENCH_spawn_steal.json"
 run bench_deadlock_overhead --out="$OUT/BENCH_deadlock_overhead.json"
 
 echo "all experiment outputs written to $OUT/"

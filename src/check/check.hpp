@@ -40,4 +40,21 @@ struct WeakenSeqCstFences {
   }
 };
 
+/// Fault-injection policy adapter: downgrades every release fence to
+/// relaxed, erasing the publication edge ChaseLevDeque::push relies on
+/// (payload writes -> bottom_ store). With it, a thief may legitimately
+/// read a *stale* value out of a deque slot or a recycled pool slot —
+/// exactly the bug class the task-recycle scenarios certify against. See
+/// TaskPoolCheck.WeakenedPublishFenceIsCaught.
+template <typename Base = CheckAtomicsPolicy>
+struct WeakenReleaseFences {
+  template <typename T>
+  using atomic = typename Base::template atomic<T>;
+
+  static void fence(std::memory_order mo) {
+    Base::fence(mo == std::memory_order_release ? std::memory_order_relaxed
+                                                : mo);
+  }
+};
+
 }  // namespace dws::check

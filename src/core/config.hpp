@@ -41,6 +41,14 @@ struct Config {
   /// Seed for victim-selection and core-selection randomness.
   std::uint64_t seed = 0x5eed5eed5eedULL;
 
+  /// Pooled task storage: spawns from a worker thread placement-construct
+  /// their task into the worker's recycled slab pool (runtime/task_pool.hpp)
+  /// instead of heap-allocating, when the closure fits a slot. Off means
+  /// every spawn pays new/delete — kept as a switch so the spawn benchmark
+  /// can measure the pooled-vs-heap delta (BENCH_spawn_steal.json) and as
+  /// an escape hatch while the pool protocol is young.
+  bool pool_tasks = true;
+
   /// §4.4 extension: run this program under *work-sharing* — every spawn
   /// goes to the scheduler's central queue instead of the spawning
   /// worker's deque. The sleep/wake policy and coordinator operate

@@ -5,10 +5,21 @@
 // top. All operations are lock-free; only the owner may call push()/pop().
 // The buffer grows geometrically on overflow. Old buffers cannot be freed
 // while concurrent thieves might still be reading them, so they are parked
-// on a retire list owned by the deque and reclaimed in the destructor —
-// the total leaked-by-delay memory is bounded by 2x the high-water mark
-// (the retired capacities form a geometric series summing to less than the
-// live buffer's capacity; see retired_capacity_total()).
+// on a retire list and reclaimed by the owner once steal traffic
+// quiesces (try_reclaim; thieves announce themselves in an in-flight
+// counter whose ordering shares steal()'s existing seq_cst fence), or at
+// latest in the destructor. While parked, the delayed memory is bounded
+// by 2x the high-water mark (the retired capacities form a geometric
+// series summing to less than the live buffer's capacity; see
+// retired_capacity_total()).
+//
+// Fence budget on the owner's hot path (audited against the model
+// checker, tests/test_check_deque.cpp): push() is one release fence plus
+// a relaxed store — the acquire load of the thief-contended top_ is
+// skipped via an owner-local cached lower bound (top_ is monotonic, so a
+// stale cache can only make the fullness test conservative) and paid
+// only when the cache says the buffer may be full. pop() keeps the one
+// unavoidable seq_cst fence of the take/steal arbitration.
 //
 // The atomics are named through an injectable policy (core/atomics_policy.hpp)
 // so the model checker in src/check can compile the *same* algorithm over
@@ -72,13 +83,19 @@ class ChaseLevDeque {
     for (Buffer* b : retired_) delete b;
   }
 
-  /// Owner only: push one element at the bottom.
+  /// Owner only: push one element at the bottom. The common case touches
+  /// no thief-shared cache line before the publication store: top_cache_
+  /// is an owner-local lower bound on top_ (top_ only grows), so a pass
+  /// of the cached fullness test is definitive and the acquire refresh
+  /// happens only when the deque looks full.
   void push(T item) {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
-    const std::int64_t t = top_.load(std::memory_order_acquire);
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
-    if (b - t > static_cast<std::int64_t>(buf->capacity) - 1) {
-      buf = grow(buf, t, b);
+    if (b - top_cache_ > static_cast<std::int64_t>(buf->capacity) - 1) {
+      top_cache_ = top_.load(std::memory_order_acquire);
+      if (b - top_cache_ > static_cast<std::int64_t>(buf->capacity) - 1) {
+        buf = grow(buf, top_cache_, b);
+      }
     }
     buf->put(b, item);
     Policy::fence(std::memory_order_release);
@@ -92,6 +109,7 @@ class ChaseLevDeque {
     bottom_.store(b, std::memory_order_relaxed);
     Policy::fence(std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_relaxed);
+    top_cache_ = t;  // read-read coherence: never older than a prior read
     if (t > b) {
       // Deque was already empty; restore bottom.
       bottom_.store(b + 1, std::memory_order_relaxed);
@@ -113,15 +131,27 @@ class ChaseLevDeque {
 
   /// Any thread: steal from the top (FIFO end — steals the oldest, which
   /// in divide-and-conquer DAGs is the largest subtree).
+  ///
+  /// The in-flight announcement brackets every buffer access so the
+  /// owner's try_reclaim() can prove quiescence. The increment costs one
+  /// relaxed RMW and needs no fence of its own: it is sequenced before
+  /// steal()'s existing seq_cst fence, which pairs with the one in
+  /// try_reclaim() (see there for the two-case argument).
   std::optional<T> steal() {
+    inflight_thieves_.fetch_add(1, std::memory_order_relaxed);
     std::int64_t t = top_.load(std::memory_order_acquire);
     Policy::fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
-    if (t >= b) return std::nullopt;  // observed empty
+    if (t >= b) {  // observed empty
+      inflight_thieves_.fetch_add(-1, std::memory_order_release);
+      return std::nullopt;
+    }
     Buffer* buf = buffer_.load(std::memory_order_consume);
     T item = buf->get(t);
-    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
-                                      std::memory_order_relaxed)) {
+    const bool won = top_.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+    inflight_thieves_.fetch_add(-1, std::memory_order_release);
+    if (!won) {
       return std::nullopt;  // lost the race to the owner or another thief
     }
     return item;
@@ -140,8 +170,40 @@ class ChaseLevDeque {
     return buffer_.load(std::memory_order_relaxed)->capacity;
   }
 
-  /// Buffers parked by grow() awaiting destructor reclamation. Quiescent
-  /// use only (tests/diagnostics): the list is owner-mutated inside push().
+  /// Owner only: free retired buffers if no thief can still hold a
+  /// pointer into one. Returns true when the retire list is empty on
+  /// exit. Called by grow() (bounding the list across repeated growth)
+  /// and by the worker's cold idle path; the destructor remains the
+  /// backstop.
+  ///
+  /// Safety is a store-buffering pairing on the two seq_cst fences. A
+  /// thief is dangerous only if its buffer_ load (after its fence)
+  /// returned a retired buffer. Order the thief's fence F_t and the
+  /// owner's fence below F_o in the fences' total order:
+  ///  - F_o before F_t: the thief's load must see buffer_'s current
+  ///    value (stored before F_o in the owner's program order) or newer
+  ///    — it reads the live buffer, not a retired one.
+  ///  - F_t before F_o: the owner's relaxed load below must see the
+  ///    thief's announcement increment (sequenced before F_t) or a later
+  ///    value in the counter's modification order. Decrements only
+  ///    follow the thief's last buffer access, so any later value that
+  ///    nets to zero already includes that thief's decrement — if the
+  ///    thief were still mid-steal the owner would read >= 1 and back
+  ///    off.
+  /// The acquire on the counter read additionally synchronizes with each
+  /// release decrement, making "last access happens-before free" direct
+  /// (and visible to TSan, which does not model the fences).
+  bool try_reclaim() {
+    if (retired_.empty()) return true;
+    Policy::fence(std::memory_order_seq_cst);
+    if (inflight_thieves_.load(std::memory_order_acquire) != 0) return false;
+    for (Buffer* b : retired_) delete b;
+    retired_.clear();
+    return true;
+  }
+
+  /// Buffers parked by grow() awaiting reclamation. Quiescent use only
+  /// (tests/diagnostics): the list is owner-mutated inside push().
   [[nodiscard]] std::size_t retired_count() const noexcept {
     return retired_.size();
   }
@@ -180,16 +242,21 @@ class ChaseLevDeque {
   }
 
   Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    // Bound the retire list: earlier generations are reclaimable as soon
+    // as steal traffic has quiesced once since they were parked.
+    try_reclaim();
     auto* bigger = new Buffer(old->capacity * 2);
     for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
     buffer_.store(bigger, std::memory_order_release);
-    retired_.push_back(old);  // thieves may still read it; free at dtor
+    retired_.push_back(old);  // thieves may still read it
     return bigger;
   }
 
   alignas(64) Atomic<std::int64_t> top_;
   alignas(64) Atomic<std::int64_t> bottom_;
+  std::int64_t top_cache_ = 0;  // owner-local lower bound on top_
   alignas(64) Atomic<Buffer*> buffer_;
+  alignas(64) Atomic<std::int64_t> inflight_thieves_{0};
   std::vector<Buffer*> retired_;  // owner-only mutation (inside push)
 };
 

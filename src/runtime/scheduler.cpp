@@ -67,18 +67,19 @@ Scheduler::~Scheduler() {
 
   // Contract: all submitted work was waited for. Anything still queued is
   // destroyed without running (and without touching its — possibly
-  // already destroyed — group).
-  while (TaskBase* t = try_pop_inbox()) delete t;
+  // already destroyed — group). destroy() routes pooled tasks back to
+  // their home pools, which outlive this drain (workers_ is destroyed
+  // after the destructor body).
+  while (TaskBase* t = try_pop_inbox()) t->destroy();
   for (auto& w : workers_) {
-    while (auto t = w->deque().pop()) delete *t;
+    while (auto t = w->deque().pop()) (*t)->destroy();
   }
 }
 
-void Scheduler::enqueue(TaskBase* task) {
+void Scheduler::enqueue(TaskBase* task, Worker* w) {
   const std::int64_t prev =
       total_pending_.fetch_add(1, std::memory_order_acq_rel);
-  Worker* w = current_worker();
-  if (!cfg_.work_sharing && w != nullptr && &w->sched_ == this) {
+  if (!cfg_.work_sharing && w != nullptr) {
     // Algorithm 1's common case: spawn onto the spawning worker's deque.
     w->deque().push(task);
     return;
@@ -87,7 +88,13 @@ void Scheduler::enqueue(TaskBase* task) {
   // extension), where the inbox doubles as the program's central queue.
   {
     std::lock_guard<std::mutex> lock(inbox_m_);
-    inbox_.push_back(task);
+    task->set_inbox_next(nullptr);
+    if (inbox_tail_ != nullptr) {
+      inbox_tail_->set_inbox_next(task);
+    } else {
+      inbox_head_ = task;
+    }
+    inbox_tail_ = task;
   }
   inbox_size_.fetch_add(1, std::memory_order_release);
   if (prev == 0) {
@@ -109,9 +116,10 @@ void Scheduler::execute(TaskBase* task) noexcept {
 TaskBase* Scheduler::try_pop_inbox() {
   if (inbox_size_.load(std::memory_order_acquire) == 0) return nullptr;
   std::lock_guard<std::mutex> lock(inbox_m_);
-  if (inbox_.empty()) return nullptr;
-  TaskBase* t = inbox_.front();
-  inbox_.pop_front();
+  TaskBase* t = inbox_head_;
+  if (t == nullptr) return nullptr;
+  inbox_head_ = t->inbox_next();
+  if (inbox_head_ == nullptr) inbox_tail_ = nullptr;
   inbox_size_.fetch_sub(1, std::memory_order_release);
   return t;
 }
@@ -245,6 +253,7 @@ SchedulerStats Scheduler::stats() const {
     s.totals.sleeps += ws.sleeps;
     s.totals.wakes += ws.wakes;
     s.totals.evictions += ws.evictions;
+    s.totals.heap_spawns += ws.heap_spawns;
   }
   if (coordinator_) {
     s.coordinator_ticks = coordinator_->ticks();
@@ -255,6 +264,21 @@ SchedulerStats Scheduler::stats() const {
     s.cores_recovered = coordinator_->cores_recovered();
   }
   return s;
+}
+
+TaskAllocStats Scheduler::alloc_stats() const {
+  TaskAllocStats a;
+  a.external_spawns = external_spawns_.load(std::memory_order_relaxed);
+  for (const auto& w : workers_) {
+    const TaskPoolStats p = w->pool_.stats();
+    a.pooled_spawns += p.slot_allocs;
+    a.slab_allocs += p.slab_allocs;
+    a.local_frees += p.local_frees;
+    a.remote_frees += p.remote_frees;
+    a.remote_drains += p.remote_drains;
+    a.heap_spawns += w->stats_.heap_spawns;
+  }
+  return a;
 }
 
 }  // namespace dws::rt

@@ -13,7 +13,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -40,6 +39,21 @@ struct SchedulerStats {
   std::uint64_t cores_recovered = 0;       ///< their cores returned to free
 };
 
+/// Where task storage came from, aggregated across the workers' pools.
+/// `pooled_spawns + heap_spawns + external_spawns` counts every spawn;
+/// `slab_allocs` is the number of actual heap allocations the pooled ones
+/// cost (one per TaskSlabPool slab — zero in steady state). The spawn
+/// benchmark asserts the zero-alloc steady-state claim against this.
+struct TaskAllocStats {
+  std::uint64_t pooled_spawns = 0;    ///< worker spawns served by a pool slot
+  std::uint64_t heap_spawns = 0;      ///< worker spawns that fell back to new
+  std::uint64_t external_spawns = 0;  ///< non-worker spawns (always heap)
+  std::uint64_t slab_allocs = 0;
+  std::uint64_t local_frees = 0;
+  std::uint64_t remote_frees = 0;
+  std::uint64_t remote_drains = 0;
+};
+
 class Scheduler {
  public:
   /// `shared_table`, when given, must outlive the scheduler and have been
@@ -57,25 +71,52 @@ class Scheduler {
   // ---- Work submission ----
 
   /// Spawn `fn` into `group`. Callable from a worker of this scheduler
-  /// (pushes to its own deque, Algorithm 1's common case) or from any
-  /// external thread (goes through the injection inbox). Under an
-  /// installed race-replay hook the task instead executes inline,
-  /// depth-first, before this call returns; under the live-schedule
-  /// parallel hook (FastTrack mode) it runs normally but carries a
-  /// happens-before token captured here, at the spawn site.
+  /// (placement-constructs the task in the worker's slab pool and pushes
+  /// to its own deque, Algorithm 1's common case) or from any external
+  /// thread (heap task through the injection inbox). Under an installed
+  /// race-replay hook the task instead executes inline, depth-first,
+  /// before this call returns; under the live-schedule parallel hook
+  /// (FastTrack mode) it runs normally but carries a happens-before
+  /// token captured here, at the spawn site.
   template <typename F>
   void spawn(TaskGroup& group, F&& fn) {
+    using Task = TaskImpl<std::decay_t<F>>;
     group.strict_on_spawn();
 #ifndef DWS_RACE_DISABLED
     if (race::ExecHook* h = exec_hook_.load(std::memory_order_acquire);
         h != nullptr) {
+      // Serial replay consumes the task inline at the spawn site; its
+      // storage stays on the heap (replay is not a perf path, and the
+      // spawning thread is typically not a worker of this scheduler).
       group.add_pending();
-      h->on_spawn(*this, group,
-                  new TaskImpl<std::decay_t<F>>(&group, std::forward<F>(fn)));
+      external_spawns_.fetch_add(1, std::memory_order_relaxed);
+      h->on_spawn(*this, group, new Task(&group, std::forward<F>(fn)));
       return;
     }
+#endif
     group.add_pending();
-    auto* task = new TaskImpl<std::decay_t<F>>(&group, std::forward<F>(fn));
+    Worker* w = current_worker();
+    if (w != nullptr && &w->sched_ != this) w = nullptr;
+    TaskBase* task;
+    if constexpr (TaskSlabPool::fits<Task>()) {
+      if (w != nullptr && cfg_.pool_tasks) {
+        // Hot path: recycled slot, placement-new. Construction resets
+        // every TaskBase field (race token, lineage, links) — a reused
+        // slot cannot leak its previous occupant's state.
+        TaskSlabPool::Slot* slot = w->pool_.allocate();
+        task = new (TaskSlabPool::storage(slot))
+            Task(&group, std::forward<F>(fn));
+        task->set_pool_slot(slot);
+      } else {
+        task = new Task(&group, std::forward<F>(fn));
+        count_heap_spawn(w);
+      }
+    } else {
+      // Closure too large (or over-aligned) for a slot: heap fallback.
+      task = new Task(&group, std::forward<F>(fn));
+      count_heap_spawn(w);
+    }
+#ifndef DWS_RACE_DISABLED
     if (race::ParallelHook* ph =
             race::detail::parallel_hook().load(std::memory_order_acquire);
         ph != nullptr) {
@@ -85,11 +126,8 @@ class Scheduler {
       // release/acquire ordering makes it safely visible to the thief.
       task->set_race_token(ph->on_task_published(group));
     }
-    enqueue(task);
-#else
-    group.add_pending();
-    enqueue(new TaskImpl<std::decay_t<F>>(&group, std::forward<F>(fn)));
 #endif
+    enqueue(task, w);
   }
 
   /// Help-first join: the calling worker executes/steals tasks until the
@@ -124,6 +162,10 @@ class Scheduler {
   [[nodiscard]] unsigned sleeping_workers() const noexcept;
 
   [[nodiscard]] SchedulerStats stats() const;
+
+  /// Task-storage provenance counters (racily readable while running;
+  /// exact after quiescence). See TaskAllocStats.
+  [[nodiscard]] TaskAllocStats alloc_stats() const;
 
   /// The worker affiliated with core `core` (0-based, < num_workers()).
   [[nodiscard]] Worker& worker_at(unsigned core) noexcept {
@@ -168,9 +210,18 @@ class Scheduler {
   friend class Worker;
   friend class Coordinator;
 
-  void enqueue(TaskBase* task);
+  /// `w` is the spawning worker when it belongs to this scheduler (saves
+  /// a second TLS lookup on the hot path), nullptr for external callers.
+  void enqueue(TaskBase* task, Worker* w);
   void execute(TaskBase* task) noexcept;
   TaskBase* try_pop_inbox();
+  void count_heap_spawn(Worker* w) noexcept {
+    if (w != nullptr) {
+      ++w->stats_.heap_spawns;
+    } else {
+      external_spawns_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   [[nodiscard]] bool shutdown_requested() const noexcept {
     return shutdown_.load(std::memory_order_acquire);
   }
@@ -183,10 +234,14 @@ class Scheduler {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<Coordinator> coordinator_;
 
-  // Injection inbox for external submissions (run() from the main thread).
+  // Injection inbox for external submissions (run() from the main
+  // thread): an intrusive FIFO through TaskBase::inbox_next, so the cold
+  // path allocates nothing beyond the task itself.
   std::mutex inbox_m_;
-  std::deque<TaskBase*> inbox_;
+  TaskBase* inbox_head_ = nullptr;  // guarded by inbox_m_
+  TaskBase* inbox_tail_ = nullptr;  // guarded by inbox_m_
   std::atomic<std::size_t> inbox_size_{0};
+  std::atomic<std::uint64_t> external_spawns_{0};
 
   // Unfinished-task count for the idle gate: workers block here when the
   // program has no work at all instead of spinning per-policy.

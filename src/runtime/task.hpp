@@ -1,6 +1,12 @@
-// Task representation for the DWS runtime: a heap-allocated, type-erased
-// closure plus the bookkeeping hooks the scheduler needs (per-group join
-// counting, exception propagation).
+// Task representation for the DWS runtime: a type-erased closure plus the
+// bookkeeping hooks the scheduler needs (per-group join counting,
+// exception propagation). Task storage is pooled on the hot path: a task
+// whose closure fits a TaskSlabPool slot is placement-constructed into
+// per-worker recycled storage (see task_pool.hpp); oversized closures and
+// external-thread spawns fall back to plain new/delete. Recycling never
+// leaks state between occupants — a slot is reused only through a fresh
+// placement-new, so the race token, lineage, and links below start from
+// their constructed defaults every time.
 #pragma once
 
 #include <atomic>
@@ -14,13 +20,15 @@
 
 #include "runtime/race_hook.hpp"
 #include "runtime/strict.hpp"
+#include "runtime/task_pool.hpp"
 
 namespace dws::rt {
 
 class TaskGroup;
 
 /// Type-erased unit of work. Owned by the deque/scheduler from push until
-/// execution; `run_and_destroy` is the single consumption point.
+/// execution; `run_and_destroy` is the single consumption point for tasks
+/// that run, `destroy` for tasks discarded without running.
 class TaskBase {
  public:
   explicit TaskBase(TaskGroup* group) : group_(group) {
@@ -33,15 +41,41 @@ class TaskBase {
   TaskBase& operator=(const TaskBase&) = delete;
   virtual ~TaskBase() = default;
 
-  /// Execute the payload, complete the group, delete `this`.
+  /// Execute the payload, complete the group, destroy `this`.
   void run_and_destroy() noexcept;
 
+  /// Destroy without running: virtual-destruct, then return the storage
+  /// to wherever it came from (home pool slot, or the heap for tasks
+  /// built with plain new — tests and fallback paths construct those
+  /// directly and never call set_pool_slot).
+  void destroy() noexcept {
+    void* slot = pool_slot_;
+    if (slot == nullptr) {
+      delete this;
+      return;
+    }
+    this->~TaskBase();
+    TaskSlabPool::release(slot);
+  }
+
   [[nodiscard]] TaskGroup* group() const noexcept { return group_; }
+
+  /// Mark this task as living in pooled storage. Called by the scheduler
+  /// right after placement-construction; never touched again until
+  /// destroy()/run_and_destroy() release the slot.
+  void set_pool_slot(TaskSlabPool::Slot* slot) noexcept { pool_slot_ = slot; }
+
+  // Intrusive injection-inbox link (guarded by the scheduler's inbox
+  // mutex), so external submission needs no container allocation.
+  [[nodiscard]] TaskBase* inbox_next() const noexcept { return inbox_next_; }
+  void set_inbox_next(TaskBase* n) noexcept { inbox_next_ = n; }
 
 #ifndef DWS_RACE_DISABLED
   /// Opaque happens-before token from race::ParallelHook::on_task_published
   /// (FastTrack mode). Set by Scheduler::spawn before the task becomes
-  /// stealable; consumed by run_and_destroy around the body.
+  /// stealable; consumed by run_and_destroy around the body. Recycled
+  /// slots cannot inherit a stale token: every occupancy is a fresh
+  /// placement-new, which resets this to nullptr.
   void set_race_token(void* token) noexcept { race_token_ = token; }
 #endif
 
@@ -51,6 +85,8 @@ class TaskBase {
  private:
   TaskGroup* group_;
   strict::Lineage lineage_;  // empty unless strictness was on at spawn
+  void* pool_slot_ = nullptr;     // TaskSlabPool::Slot*, or null for heap
+  TaskBase* inbox_next_ = nullptr;
 #ifndef DWS_RACE_DISABLED
   void* race_token_ = nullptr;
 #endif
@@ -279,7 +315,7 @@ inline void TaskBase::run_and_destroy() noexcept {
 #endif
   if (framed) strict::swap_current_lineage(prev);
   if (g != nullptr) g->complete_one();
-  delete this;
+  destroy();
 }
 
 }  // namespace dws::rt

@@ -1,0 +1,199 @@
+// Pooled task storage for the spawn/steal hot path: a per-worker slab
+// allocator with LIFO recycling, so steady-state spawns never touch the
+// global allocator (ROADMAP: "tens-of-nanoseconds spawn"; the pbbslib
+// scheduler shape, SNIPPETS.md Snippet 2).
+//
+// Shape:
+//  - Slots are fixed-size, cache-line-aligned blocks carved from slabs.
+//    A TaskImpl whose closure fits is placement-new'd into a slot; larger
+//    (or externally spawned) tasks fall back to plain new/delete.
+//  - Each pool has ONE owner thread (the worker), which is the only
+//    caller of allocate(). The owner recycles through a plain LIFO
+//    freelist — the hottest slot is the most recently executed one, so
+//    its lines are still in cache.
+//  - release() may be called from ANY thread: a thief that stole and ran
+//    a task returns the slot through a Treiber push-only stack
+//    (remote_head_). Remote pushes race only with each other and with
+//    the owner's drain, which takes the whole chain at once with a
+//    single exchange(nullptr, acquire) — there is no remote pop, so the
+//    classic Treiber ABA case cannot arise. The recycle protocol *as a
+//    whole* (a slot reused while a stale thief still holds a pointer
+//    from the deque) is the ABA shape the model checker certifies; see
+//    tests/test_check_pool.cpp and docs/CHECKING.md.
+//
+// Memory ordering: the releasing thread's last writes to the slot (the
+// task destructor) are published by the release CAS on remote_head_; the
+// owner's acquire exchange in allocate() synchronizes with every pushed
+// slot in the chain, so the owner's placement-new happens-after the
+// previous occupant's destruction. Owner-local recycling needs no
+// ordering (same thread). The slot-to-consumer handoff after a push is
+// the deque's release fence, exactly as for heap tasks.
+//
+// The atomics are named through the same injectable policy as
+// ChaseLevDeque so the model checker compiles this exact protocol over
+// instrumented atomics.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "core/atomics_policy.hpp"
+
+namespace dws::rt {
+
+/// Owner-written allocation counters (racily readable, relaxed). The
+/// zero-alloc steady-state claim in BENCH_spawn_steal.json is "slab_allocs
+/// stops growing once the freelist reaches the spawn-depth high-water
+/// mark, and slot_allocs keeps growing without it".
+struct TaskPoolStats {
+  std::uint64_t slab_allocs = 0;    ///< slabs carved (actual heap allocations)
+  std::uint64_t slot_allocs = 0;    ///< pooled slots handed out
+  std::uint64_t local_frees = 0;    ///< owner-thread recycles (LIFO freelist)
+  std::uint64_t remote_frees = 0;   ///< cross-thread recycles (Treiber push)
+  std::uint64_t remote_drains = 0;  ///< owner drains of the remote chain
+};
+
+template <std::size_t SlotBytes = 192, std::size_t SlabSlots = 64,
+          typename Policy = StdAtomicsPolicy>
+class TaskPool {
+  template <typename U>
+  using Atomic = typename Policy::template atomic<U>;
+
+ public:
+  /// Alignment guaranteed for slot storage. Over-aligned closures (e.g.
+  /// alignas(32) SIMD state) take the heap fallback in Scheduler::spawn.
+  static constexpr std::size_t kStorageAlign = alignof(std::max_align_t);
+
+  /// One unit of task storage. `next` links free slots (local freelist or
+  /// remote chain) and is dead while the slot holds a live task.
+  struct alignas(64) Slot {
+    TaskPool* home = nullptr;
+    alignas(kStorageAlign) unsigned char storage[SlotBytes];
+    Atomic<Slot*> next{nullptr};
+  };
+
+  /// Whether a task type can live in a slot (size and alignment).
+  template <typename T>
+  [[nodiscard]] static constexpr bool fits() noexcept {
+    return sizeof(T) <= SlotBytes && alignof(T) <= kStorageAlign;
+  }
+
+  TaskPool() = default;
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+  /// All outstanding slots must have been released (the scheduler drains
+  /// deques before workers are destroyed); slabs free wholesale here.
+  ~TaskPool() = default;
+
+  /// Claim ownership for the calling thread. Must happen before the first
+  /// allocate(); releases from other threads synchronize with the owner
+  /// through the slot's journey (pool -> deque -> thief), never by
+  /// reading owner_tag_ concurrently with this write.
+  void bind_owner() noexcept { owner_tag_ = this_thread_tag(); }
+
+  /// Owner only: take a free slot (local freelist, then remote chain,
+  /// then a fresh slab). Never fails; never touches the allocator in
+  /// steady state.
+  Slot* allocate() {
+    assert(owner_tag_ == this_thread_tag() &&
+           "TaskPool::allocate is owner-thread only");
+    slot_allocs_.fetch_add(1, std::memory_order_relaxed);
+    Slot* s = local_head_;
+    if (s != nullptr) {
+      local_head_ = s->next.load(std::memory_order_relaxed);
+      return s;
+    }
+    // Local list dry: adopt everything thieves returned since the last
+    // drain. Acquire pairs with the release CAS of every push in the
+    // chain — the previous occupants' destructors happened-before our
+    // reuse of their bytes.
+    if (Slot* chain = remote_head_.exchange(nullptr,
+                                            std::memory_order_acquire);
+        chain != nullptr) {
+      remote_drains_.fetch_add(1, std::memory_order_relaxed);
+      local_head_ = chain->next.load(std::memory_order_relaxed);
+      return chain;
+    }
+    return carve_slab();
+  }
+
+  /// The task-storage bytes of a slot.
+  [[nodiscard]] static void* storage(Slot* s) noexcept { return s->storage; }
+
+  /// Any thread: return a slot to its home pool. The caller must already
+  /// have destroyed the occupant.
+  static void release(void* opaque) {
+    auto* s = static_cast<Slot*>(opaque);
+    TaskPool* p = s->home;
+    if (p->owner_tag_ == this_thread_tag()) {
+      s->next.store(p->local_head_, std::memory_order_relaxed);
+      p->local_head_ = s;
+      p->local_frees_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    p->remote_frees_.fetch_add(1, std::memory_order_relaxed);
+    Slot* h = p->remote_head_.load(std::memory_order_relaxed);
+    do {
+      s->next.store(h, std::memory_order_relaxed);
+    } while (!p->remote_head_.compare_exchange_weak(
+        h, s, std::memory_order_release, std::memory_order_relaxed));
+  }
+
+  [[nodiscard]] TaskPoolStats stats() const noexcept {
+    TaskPoolStats st;
+    st.slab_allocs = slab_allocs_.load(std::memory_order_relaxed);
+    st.slot_allocs = slot_allocs_.load(std::memory_order_relaxed);
+    st.local_frees = local_frees_.load(std::memory_order_relaxed);
+    st.remote_frees = remote_frees_.load(std::memory_order_relaxed);
+    st.remote_drains = remote_drains_.load(std::memory_order_relaxed);
+    return st;
+  }
+
+ private:
+  static std::uintptr_t this_thread_tag() noexcept {
+    thread_local char tag;
+    return reinterpret_cast<std::uintptr_t>(&tag);
+  }
+
+  Slot* carve_slab() {
+    slab_allocs_.fetch_add(1, std::memory_order_relaxed);
+    slabs_.push_back(std::make_unique<Slot[]>(SlabSlots));
+    Slot* slab = slabs_.back().get();
+    for (std::size_t i = 0; i < SlabSlots; ++i) slab[i].home = this;
+    // Slot 0 is handed out; the rest chain onto the local freelist in
+    // ascending address order (first reuse walks the slab forward).
+    for (std::size_t i = SlabSlots - 1; i >= 1; --i) {
+      slab[i].next.store(local_head_, std::memory_order_relaxed);
+      local_head_ = &slab[i];
+    }
+    return &slab[0];
+  }
+
+  // Owner-side state on its own line; the remote chain head is the only
+  // cross-thread-written word, padded so thief pushes never bounce the
+  // owner's freelist line.
+  alignas(64) Slot* local_head_ = nullptr;
+  std::uintptr_t owner_tag_ = 0;
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  alignas(64) Atomic<Slot*> remote_head_{nullptr};
+
+  std::atomic<std::uint64_t> slab_allocs_{0};
+  std::atomic<std::uint64_t> slot_allocs_{0};
+  std::atomic<std::uint64_t> local_frees_{0};
+  std::atomic<std::uint64_t> remote_frees_{0};
+  std::atomic<std::uint64_t> remote_drains_{0};
+};
+
+/// The production instantiation used for task storage. 192 bytes leaves
+/// ~120 bytes of inline closure after the TaskBase header — comfortably
+/// above the capture size of the runtime's hot lambdas — at 4 slots per
+/// KiB; 64-slot slabs amortize the carve to one allocation per 64 spawns
+/// even before recycling kicks in.
+using TaskSlabPool = TaskPool<192, 64, StdAtomicsPolicy>;
+
+}  // namespace dws::rt

@@ -122,6 +122,10 @@ void Worker::idle_gate_block() {
 
 void Worker::thread_main() {
   g_tls_worker = this;
+  // Task-pool ownership belongs to this thread: every allocate() happens
+  // inside Scheduler::spawn called from task bodies running here, which
+  // is necessarily after this bind.
+  pool_.bind_owner();
   if (sched_.config().pin_threads) util::pin_this_thread(id_);
 
   // EP: workers outside the static home partition never run (§2.2 —
@@ -159,6 +163,12 @@ void Worker::thread_main() {
       sched_.execute(t);
       continue;
     }
+
+    // Out of work: the cold path is the natural point to reclaim deque
+    // buffers retired by grow() — steal traffic on our deque has usually
+    // quiesced by the time we are idle (two loads when there is nothing
+    // to reclaim).
+    deque_.try_reclaim();
 
     // Nothing anywhere. If the program as a whole has no in-flight work,
     // park on the idle gate instead of burning the core (non-sleeping

@@ -14,6 +14,7 @@
 #include "core/types.hpp"
 #include "runtime/deque.hpp"
 #include "runtime/task.hpp"
+#include "runtime/task_pool.hpp"
 #include "util/rng.hpp"
 
 namespace dws::rt {
@@ -62,6 +63,7 @@ struct WorkerStats {
   RelaxedCounter sleeps;
   RelaxedCounter wakes;
   RelaxedCounter evictions;  ///< times this worker vacated a reclaimed core
+  RelaxedCounter heap_spawns;  ///< spawns that fell back to new (see pool)
 };
 
 class Worker {
@@ -103,6 +105,10 @@ class Worker {
   }
   [[nodiscard]] const WorkerStats& stats() const noexcept { return stats_; }
 
+  /// This worker's task-storage pool (allocation is worker-thread-only;
+  /// release may come from any thread via TaskSlabPool::release).
+  [[nodiscard]] TaskSlabPool& pool() noexcept { return pool_; }
+
   /// One help-first scheduling step on behalf of a nested wait: pop own
   /// deque, poll the inbox, or attempt one steal. Returns nullptr when no
   /// task was found. Only callable from this worker's own thread.
@@ -126,6 +132,7 @@ class Worker {
   util::Xoshiro256 rng_;
   StealPolicy policy_;
   ChaseLevDeque<TaskBase*> deque_;
+  TaskSlabPool pool_;
   WorkerStats stats_;
 
   std::thread thread_;

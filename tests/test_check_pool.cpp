@@ -1,0 +1,247 @@
+// Model checks for the task-pool recycle protocol (runtime/task_pool.hpp)
+// composed with the production ChaseLevDeque: the real TaskPool and deque
+// compiled over check::atomic, explored exhaustively.
+//
+// The property is generation exactly-once: each pool slot carries a
+// persistent atomic "generation" cell in its storage; every occupancy
+// stores a fresh generation before the slot is pushed, and every consumer
+// (owner pop or thief steal) must read back exactly the generation that
+// was published for it — never a stale one from a previous occupant. This
+// is the ABA shape of task recycling: a slot can be popped, released,
+// re-allocated, and re-pushed while a stale thief still holds its pointer
+// from an earlier read of the deque buffer; the thief's CAS on top_ must
+// lose, or — if it wins a later generation fairly — the publication fence
+// must make the new occupant's bytes visible.
+//
+// The generation cell is deliberately constructed ONCE per slot and
+// re-stored per occupancy (not destroyed/reconstructed): the model
+// checker explores stale reads out of one location's store history, so
+// the cell must keep one history across occupancies for staleness to be
+// representable at all.
+//
+// WeakenedPublishFenceIsCaught is the acceptance test: downgrading the
+// deque's release fence to relaxed erases the payload-publication edge,
+// and the checker must find an interleaving where a consumer reads a
+// stale (or never-published) slot value — proving these scenarios can see
+// the bug class they exist to prevent.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "check/check.hpp"
+#include "runtime/deque.hpp"
+#include "runtime/task_pool.hpp"
+
+namespace dws {
+namespace {
+
+using check::Options;
+using check::Result;
+using check::Sim;
+
+Options exhaustive(int preemption_bound = 2, long max_executions = 400000) {
+  Options o;
+  o.mode = Options::Mode::kExhaustive;
+  o.preemption_bound = preemption_bound;
+  o.max_executions = max_executions;
+  return o;
+}
+
+// One generation cell per slot, living inside the slot's storage bytes.
+using Gen = check::atomic<long long>;
+
+// Recycle-under-steal scenario over an injectable policy. Tiny pool
+// (2-slot slabs) and deque so slot reuse happens within a handful of
+// operations. The owner allocates/publishes `generations` slots,
+// interleaving `owner_pops` own-side pops (each pop releases the slot
+// locally, so the next allocate reuses it — the recycle edge under test);
+// one thief races `thief_steals` steals, releasing remotely.
+template <typename Policy>
+struct RecycleScenario {
+  using Pool = rt::TaskPool<sizeof(Gen), 2, Policy>;
+  using Deque = rt::ChaseLevDeque<void*, Policy>;
+  using Slot = typename Pool::Slot;
+
+  int generations = 3;
+  int owner_pops = 1;
+  int thief_steals = 2;
+  std::size_t capacity = 4;
+
+  struct State {
+    explicit State(std::size_t cap) : dq(cap) {}
+    ~State() {
+      for (auto& [mem, cell] : cells) cell->~Gen();
+    }
+    Pool pool;
+    Deque dq;
+    std::map<void*, Gen*> cells;      // plain: threads are serialized
+    std::vector<long long> consumed;  // -1 records a null/stale pointer
+  };
+
+  static Gen* cell(State& st, Slot* slot) {
+    void* mem = Pool::storage(slot);
+    auto it = st.cells.find(mem);
+    if (it != st.cells.end()) return it->second;
+    Gen* g = new (mem) Gen(0);
+    return st.cells.emplace(mem, g).first->second;
+  }
+
+  static void consume(State& st, void* stolen) {
+    if (stolen == nullptr) {
+      // Unpublished buffer cell observed — only reachable with a broken
+      // publication fence; recorded so the exactly-once check fails.
+      st.consumed.push_back(-1);
+      return;
+    }
+    auto* slot = static_cast<Slot*>(stolen);
+    st.consumed.push_back(cell(st, slot)->load(std::memory_order_relaxed));
+    Pool::release(slot);
+  }
+
+  void operator()(Sim& sim) const {
+    auto st = std::make_shared<State>(capacity);
+
+    sim.spawn([st, gens = generations, pops = owner_pops] {
+      st->pool.bind_owner();
+      int popped = 0;
+      for (int g = 1; g <= gens; ++g) {
+        Slot* slot = st->pool.allocate();
+        // Occupancy: a fresh generation value, published to consumers
+        // only by the deque push's release fence.
+        cell(*st, slot)->store(g, std::memory_order_relaxed);
+        st->dq.push(slot);
+        if (popped < pops) {
+          ++popped;
+          if (auto v = st->dq.pop()) consume(*st, *v);
+        }
+      }
+    });
+    sim.spawn([st, n = thief_steals] {
+      for (int i = 0; i < n; ++i) {
+        if (auto v = st->dq.steal()) consume(*st, *v);
+      }
+    });
+
+    sim.on_exit([st, total = generations] {
+      while (auto v = st->dq.pop()) consume(*st, *v);
+      check::expect(static_cast<int>(st->consumed.size()) == total,
+                    "generation count mismatch: slot lost or duplicated");
+      std::map<long long, int> seen;
+      for (long long v : st->consumed) ++seen[v];
+      for (int g = 1; g <= total; ++g) {
+        check::expect(seen.count(g) == 1 && seen[g] == 1,
+                      "generation not consumed exactly once — a recycled "
+                      "slot leaked a stale occupant to a consumer");
+      }
+    });
+  }
+};
+
+using CheckedRecycle = RecycleScenario<check::CheckAtomicsPolicy>;
+using WeakRecycle = RecycleScenario<check::WeakenReleaseFences<>>;
+
+// Slot reuse racing a stale thief: the owner recycles through pop +
+// re-allocate while the thief holds deque positions from before the
+// recycle. Exactly-once over generations certifies both the deque's
+// arbitration and the pool's exclusive-handout invariant.
+TEST(TaskPoolCheck, RecycleRacingStaleSteal) {
+  CheckedRecycle s;
+  s.generations = 3;
+  s.owner_pops = 1;
+  s.thief_steals = 2;
+  const Result r = check::explore(exhaustive(2), s);
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+  EXPECT_FALSE(r.truncated) << "execution budget exhausted";
+  EXPECT_GT(r.executions, 1);
+}
+
+// Same shape, owner recycling every slot it can (pops == generations):
+// maximal reuse pressure on a deeper history per cell.
+TEST(TaskPoolCheck, RecycleEveryGeneration) {
+  CheckedRecycle s;
+  s.generations = 3;
+  s.owner_pops = 3;
+  s.thief_steals = 2;
+  const Result r = check::explore(exhaustive(2), s);
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+  EXPECT_FALSE(r.truncated);
+}
+
+// Two thieves remote-freeing concurrently (racing CAS pushes on the
+// Treiber chain) while nothing else runs: conservation — the owner must
+// recover every slot from the remote chain without carving a new slab.
+TEST(TaskPoolCheck, RemoteFreeConservation) {
+  using Pool = rt::TaskPool<sizeof(Gen), 2, check::CheckAtomicsPolicy>;
+  using Deque = rt::ChaseLevDeque<void*, check::CheckAtomicsPolicy>;
+  using Slot = Pool::Slot;
+
+  const Result r = check::explore(exhaustive(3), [](Sim& sim) {
+    struct State {
+      State() : dq(4) {}
+      Pool pool;
+      Deque dq;
+    };
+    auto st = std::make_shared<State>();
+    st->pool.bind_owner();
+    Slot* a = st->pool.allocate();
+    Slot* b = st->pool.allocate();  // slab 0 fully handed out
+    st->dq.push(a);
+    st->dq.push(b);
+
+    for (int th = 0; th < 2; ++th) {
+      sim.spawn([st] {
+        if (auto v = st->dq.steal()) Pool::release(static_cast<Slot*>(*v));
+      });
+    }
+
+    sim.on_exit([st] {
+      while (auto v = st->dq.pop()) Pool::release(static_cast<Slot*>(*v));
+      st->pool.bind_owner();  // on_exit runs on the controller thread
+      Slot* s1 = st->pool.allocate();
+      Slot* s2 = st->pool.allocate();
+      check::expect(s1 != nullptr && s2 != nullptr && s1 != s2,
+                    "pool handed out a duplicate slot");
+      check::expect(st->pool.stats().slab_allocs == 1,
+                    "remote-freed slot lost — reallocation carved a slab");
+    });
+  });
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+  EXPECT_FALSE(r.truncated);
+}
+
+// Acceptance: erase the publish fence on (recycled) pushes and the
+// checker must observe a consumer reading a stale or unpublished slot —
+// with a deterministically replayable schedule — while the control run
+// with real fences stays clean.
+TEST(TaskPoolCheck, WeakenedPublishFenceIsCaught) {
+  WeakRecycle weak;
+  weak.generations = 3;
+  weak.owner_pops = 1;
+  weak.thief_steals = 2;
+
+  const Result r = check::explore(exhaustive(2), weak);
+  ASSERT_TRUE(r.failed)
+      << "checker failed to find the seeded publication-fence bug";
+  EXPECT_FALSE(r.schedule.empty());
+  EXPECT_FALSE(r.trace.empty());
+
+  Options replay = exhaustive(2);
+  replay.replay = r.schedule;
+  const Result again = check::explore(replay, weak);
+  EXPECT_TRUE(again.failed);
+  EXPECT_EQ(again.message, r.message);
+  EXPECT_EQ(again.executions, 1);
+
+  CheckedRecycle sound;
+  sound.generations = 3;
+  sound.owner_pops = 1;
+  sound.thief_steals = 2;
+  const Result ok = check::explore(exhaustive(2), sound);
+  EXPECT_FALSE(ok.failed) << ok.message << "\n" << ok.trace;
+}
+
+}  // namespace
+}  // namespace dws
