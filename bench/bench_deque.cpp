@@ -60,7 +60,7 @@ void BM_OwnerVsThief(benchmark::State& state) {
   // top/bottom contention on the same deque.
   ChaseLevDeque<std::intptr_t> deque(1024);
   std::atomic<bool> stop{false};
-  std::thread thief([&] {
+  std::thread thief([&] {  // dws-lint-sanction: bench drives the thief side of the deque directly, below the scheduler
     while (!stop.load(std::memory_order_acquire)) {
       benchmark::DoNotOptimize(deque.steal());
     }

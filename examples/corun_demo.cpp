@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
   observer.start();
 
   std::atomic<bool> stop_b{false};
-  std::thread thread_b([&] {
+  std::thread thread_b([&] {  // dws-lint-sanction: demo pins program B to its own OS thread to show co-running
     while (!stop_b.load(std::memory_order_acquire)) {
       rt::parallel_for_each_index(prog_b, 0, 20000, 1,
                                   [](std::int64_t) { spin(300); });

@@ -96,6 +96,72 @@ run bench_deque --benchmark_min_time=0.1
 run bench_spawn --out="$OUT/BENCH_spawn_steal.json"
 run bench_deadlock_overhead --out="$OUT/BENCH_deadlock_overhead.json"
 
+# Guardrail-artifact schema validation: BENCH_*.json files are consumed
+# by the perf-guardrail CI job and by cross-PR comparisons, so a bench
+# that silently changes its output shape corrupts every downstream
+# reader. Fail fast here, at generation time, instead.
+#
+# Shared schema: top-level `bench` (string), `reps`, `tolerance`,
+# `pass` (bool), `legs` (array); every leg carries `workload` plus at
+# least one metric object with `mean`, `cv` and `n`; a leg declaring a
+# `bound` must also record `within_bound`.
+validate_bench_schema() {
+  local py
+  py=$(command -v python3 || command -v python || true)
+  if [ -z "$py" ]; then
+    echo "WARNING: python3 not found — BENCH_*.json schema not validated" >&2
+    return 0
+  fi
+  "$py" - "$@" <<'PYEOF'
+import json, sys
+
+def err(path, msg):
+    print(f"BENCH schema drift in {path}: {msg}", file=sys.stderr)
+    return 1
+
+def is_metric(v):
+    return isinstance(v, dict) and {"mean", "cv", "n"} <= v.keys()
+
+failures = 0
+for path in sys.argv[1:]:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        failures += err(path, f"unreadable or invalid JSON ({e})")
+        continue
+    for key, typ in (("bench", str), ("reps", (int, float)),
+                     ("tolerance", (int, float)), ("pass", bool),
+                     ("legs", list)):
+        if not isinstance(doc.get(key), typ):
+            failures += err(path, f"missing or mistyped top-level '{key}'")
+    for i, leg in enumerate(doc.get("legs") or []):
+        if not isinstance(leg, dict):
+            failures += err(path, f"legs[{i}] is not an object")
+            continue
+        if not isinstance(leg.get("workload"), str):
+            failures += err(path, f"legs[{i}] missing 'workload'")
+        if not any(is_metric(v) for v in leg.values()):
+            failures += err(
+                path, f"legs[{i}] has no metric object with mean/cv/n")
+        if "bound" in leg and "within_bound" not in leg:
+            failures += err(
+                path, f"legs[{i}] declares 'bound' without 'within_bound'")
+sys.exit(1 if failures else 0)
+PYEOF
+}
+
+shopt -s nullglob
+BENCH_ARTIFACTS=("$OUT"/BENCH_*.json)
+shopt -u nullglob
+if [ "${#BENCH_ARTIFACTS[@]}" -gt 0 ]; then
+  echo "== validating ${#BENCH_ARTIFACTS[@]} BENCH_*.json artifact(s)"
+  validate_bench_schema "${BENCH_ARTIFACTS[@]}"
+  echo "   schema ok"
+else
+  echo "WARNING: no BENCH_*.json artifacts found in $OUT/" >&2
+fi
+
 echo "all experiment outputs written to $OUT/"
 if [ "${DWS_SKIP_CHECKS:-0}" != "1" ]; then
   echo "ctest labels exercised: ${LABELS_RUN[*]:-none}"

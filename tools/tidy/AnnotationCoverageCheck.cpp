@@ -1,0 +1,360 @@
+#include "AnnotationCoverageCheck.h"
+
+#include <map>
+#include <vector>
+
+#include "DwsTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/DenseSet.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace dws {
+
+AnnotationCoverageCheck::AnnotationCoverageCheck(StringRef Name,
+                                                ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      AppsPathsRaw(Options.get("AppsPaths", "src/apps/")) {
+  AppsPaths = splitPathList(AppsPathsRaw);
+}
+
+void AnnotationCoverageCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AppsPaths", AppsPathsRaw);
+}
+
+namespace {
+
+// The entry points whose callable argument runs as a task. Unqualified
+// "spawn" deliberately matches any Scheduler-like spawn member.
+internal::Matcher<NamedDecl> spawnEntryDecl() {
+  return namedDecl(hasAnyName("spawn", "::dws::rt::parallel_for",
+                              "::dws::rt::parallel_for_split",
+                              "::dws::rt::parallel_invoke",
+                              "::dws::rt::parallel_reduce"));
+}
+
+bool isRaceCallee(const FunctionDecl *FD, StringRef Leaf) {
+  if (FD == nullptr || FD->getName() != Leaf)
+    return false;
+  std::string QN = FD->getQualifiedNameAsString();
+  return QN.find("race::") != std::string::npos;
+}
+
+bool isRegionType(QualType QT) {
+  if (QT.isNull())
+    return false;
+  const auto *RD = QT.getCanonicalType()->getAsCXXRecordDecl();
+  if (RD == nullptr)
+    return false;
+  if (RD->getName() != "region")
+    return false;
+  std::string QN = RD->getQualifiedNameAsString();
+  return QN.find("race::") != std::string::npos;
+}
+
+// First variable or member an expression reaches shared memory through:
+// peels parens/casts, nested subscripts and derefs down to the decl.
+const ValueDecl *baseEntity(const Expr *E) {
+  while (E != nullptr) {
+    E = E->IgnoreParenImpCasts();
+    if (const auto *DRE = dyn_cast<DeclRefExpr>(E))
+      return DRE->getDecl();
+    if (const auto *ME = dyn_cast<MemberExpr>(E))
+      return ME->getMemberDecl();
+    if (const auto *ASE = dyn_cast<ArraySubscriptExpr>(E)) {
+      E = ASE->getBase();
+      continue;
+    }
+    if (const auto *UO = dyn_cast<UnaryOperator>(E)) {
+      if (UO->getOpcode() == UO_Deref || UO->getOpcode() == UO_AddrOf) {
+        E = UO->getSubExpr();
+        continue;
+      }
+      return nullptr;
+    }
+    if (const auto *OC = dyn_cast<CXXOperatorCallExpr>(E)) {
+      if (OC->getOperator() == OO_Subscript && OC->getNumArgs() >= 1) {
+        E = OC->getArg(0);
+        continue;
+      }
+      return nullptr;
+    }
+    return nullptr;
+  }
+  return nullptr;
+}
+
+// Does this type plausibly address shared storage (pointer, array,
+// reference-to-pointer, or a container-ish record)?
+bool isBufferish(QualType QT) {
+  if (QT.isNull())
+    return false;
+  QualType C = QT.getCanonicalType();
+  if (C->isReferenceType())
+    C = C.getNonReferenceType().getCanonicalType();
+  return C->isAnyPointerType() || C->isArrayType() || C->isRecordType();
+}
+
+struct SharedAccess {
+  const ValueDecl *Base;
+  SourceLocation Loc;
+};
+
+// One walk over the spawn-lambda body collecting everything the
+// coverage decision needs. Plain recursion over Stmt::children() keeps
+// this independent of matcher-library differences across LLVM releases.
+struct BodyScan {
+  const LambdaExpr *Lam;
+
+  bool HasRegion = false;
+  llvm::DenseSet<const Decl *> Annotated;  // entities mentioned in race calls
+  std::vector<const VarDecl *> Locals;     // body locals, declaration order
+  std::map<const Decl *, const ValueDecl *> DerivedFrom;
+  std::vector<SharedAccess> Accesses;
+
+  void collectMentions(const Expr *E) {
+    if (E == nullptr)
+      return;
+    if (const auto *DRE = dyn_cast<DeclRefExpr>(E))
+      Annotated.insert(DRE->getDecl()->getCanonicalDecl());
+    if (const auto *ME = dyn_cast<MemberExpr>(E))
+      Annotated.insert(ME->getMemberDecl()->getCanonicalDecl());
+    for (const Stmt *C : E->children())
+      if (const auto *CE = dyn_cast_or_null<Expr>(C))
+        collectMentions(CE);
+  }
+
+  void recordLocal(const VarDecl *VD) {
+    if (isRegionType(VD->getType())) {
+      HasRegion = true;
+      return;
+    }
+    Locals.push_back(VD);
+    if (const Expr *Init = VD->getInit()) {
+      // Prefer the buffer-typed entity in the initializer as the
+      // derivation source: in `const double* up = &cur[(r-1)*cols_]`
+      // the root is `cur`, not the extent member `cols_`.
+      const ValueDecl *Best = nullptr;
+      const ValueDecl *First = nullptr;
+      scanInitForSource(Init, Best, First);
+      if (const ValueDecl *Src = (Best != nullptr ? Best : First))
+        DerivedFrom[VD->getCanonicalDecl()] = Src;
+    }
+  }
+
+  void scanInitForSource(const Expr *E, const ValueDecl *&Best,
+                         const ValueDecl *&First) {
+    if (E == nullptr)
+      return;
+    if (const auto *DRE = dyn_cast<DeclRefExpr>(E)) {
+      noteSource(DRE->getDecl(), Best, First);
+    } else if (const auto *ME = dyn_cast<MemberExpr>(E)) {
+      noteSource(ME->getMemberDecl(), Best, First);
+      return;  // don't descend into the member's base (`this`)
+    }
+    for (const Stmt *C : E->children())
+      if (const auto *CE = dyn_cast_or_null<Expr>(C))
+        scanInitForSource(CE, Best, First);
+  }
+
+  static void noteSource(const ValueDecl *D, const ValueDecl *&Best,
+                         const ValueDecl *&First) {
+    if (D == nullptr || isa<FunctionDecl>(D) || isa<EnumConstantDecl>(D))
+      return;
+    if (First == nullptr)
+      First = D;
+    if (Best == nullptr && isBufferish(D->getType()))
+      Best = D;
+  }
+
+  void scan(const Stmt *S, bool InAnnotation, bool InAddrOf) {
+    if (S == nullptr)
+      return;
+    // A nested lambda is its own spawn (or plain callable) body; its
+    // accesses are judged against *its* annotations, not ours.
+    if (isa<LambdaExpr>(S) && S != Lam)
+      return;
+
+    if (const auto *DS = dyn_cast<DeclStmt>(S)) {
+      for (const Decl *D : DS->decls())
+        if (const auto *VD = dyn_cast<VarDecl>(D))
+          recordLocal(VD);
+      // still fall through to children: initializers may contain
+      // accesses (e.g. `double v = src[i];`) that need coverage.
+    }
+
+    if (const auto *CE = dyn_cast<CallExpr>(S)) {
+      const FunctionDecl *FD = CE->getDirectCallee();
+      if (isRaceCallee(FD, "read") || isRaceCallee(FD, "write")) {
+        for (const Expr *Arg : CE->arguments())
+          collectMentions(Arg);
+        for (const Stmt *C : CE->children())
+          scan(C, /*InAnnotation=*/true, InAddrOf);
+        return;
+      }
+    }
+
+    if (const auto *UO = dyn_cast<UnaryOperator>(S)) {
+      if (UO->getOpcode() == UO_AddrOf) {
+        scan(UO->getSubExpr(), InAnnotation, /*InAddrOf=*/true);
+        return;
+      }
+      if (UO->getOpcode() == UO_Deref && !InAnnotation && !InAddrOf) {
+        if (const ValueDecl *B = baseEntity(UO->getSubExpr()))
+          Accesses.push_back({B, UO->getBeginLoc()});
+        scan(UO->getSubExpr(), InAnnotation, InAddrOf);
+        return;
+      }
+    }
+
+    if (const auto *ASE = dyn_cast<ArraySubscriptExpr>(S)) {
+      if (!InAnnotation && !InAddrOf)
+        if (const ValueDecl *B = baseEntity(ASE->getBase()))
+          Accesses.push_back({B, ASE->getBeginLoc()});
+      // The index expression is an ordinary rvalue context even when
+      // the subscript itself sits under & (pure address arithmetic).
+      scan(ASE->getBase(), InAnnotation, InAddrOf);
+      scan(ASE->getIdx(), InAnnotation, /*InAddrOf=*/false);
+      return;
+    }
+
+    if (const auto *OC = dyn_cast<CXXOperatorCallExpr>(S)) {
+      if (OC->getOperator() == OO_Subscript && OC->getNumArgs() >= 1) {
+        if (!InAnnotation && !InAddrOf)
+          if (const ValueDecl *B = baseEntity(OC->getArg(0)))
+            Accesses.push_back({B, OC->getBeginLoc()});
+        for (unsigned I = 0; I < OC->getNumArgs(); ++I)
+          scan(OC->getArg(I), InAnnotation,
+               /*InAddrOf=*/I == 0 ? InAddrOf : false);
+        return;
+      }
+    }
+
+    for (const Stmt *C : S->children())
+      scan(C, InAnnotation, InAddrOf);
+  }
+
+  // Follows local-pointer derivations to the entity the storage actually
+  // belongs to (cycle-guarded; derivation chains are tiny).
+  const ValueDecl *rootOf(const ValueDecl *D) const {
+    const ValueDecl *Cur = D;
+    for (int Hops = 0; Hops < 16; ++Hops) {
+      auto It = DerivedFrom.find(Cur->getCanonicalDecl());
+      if (It == DerivedFrom.end() || It->second == Cur)
+        return Cur;
+      Cur = It->second;
+    }
+    return Cur;
+  }
+};
+
+}  // namespace
+
+void AnnotationCoverageCheck::registerMatchers(MatchFinder *Finder) {
+  // Form 1: lambda written directly at the spawn site.
+  Finder->addMatcher(
+      lambdaExpr(hasAncestor(callExpr(callee(spawnEntryDecl()))),
+                 unless(isInTemplateInstantiation()))
+          .bind("lam"),
+      this);
+  // Form 2: the named-body idiom — `auto row_body = [&](...){...};`
+  // handed to spawn/parallel_* later in the same function. The use is
+  // verified in check() so an unrelated lambda-typed local never trips.
+  Finder->addMatcher(
+      varDecl(hasInitializer(ignoringParenImpCasts(
+                  lambdaExpr(unless(isInTemplateInstantiation())).bind("lam"))),
+              hasAncestor(functionDecl().bind("encl")))
+          .bind("lamvar"),
+      this);
+}
+
+void AnnotationCoverageCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Lam = Result.Nodes.getNodeAs<LambdaExpr>("lam");
+  if (Lam == nullptr)
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+  SourceLocation LamLoc = SM.getExpansionLoc(Lam->getBeginLoc());
+  if (LamLoc.isInvalid() || SM.isInSystemHeader(LamLoc))
+    return;
+  if (!AppsPaths.empty() && !locInAnyPath(SM, LamLoc, AppsPaths))
+    return;
+  // A sanction on the lambda-introducer line waives the whole body.
+  if (lineHasSanction(SM, LamLoc))
+    return;
+
+  if (const auto *LamVar = Result.Nodes.getNodeAs<VarDecl>("lamvar")) {
+    const auto *Encl = Result.Nodes.getNodeAs<FunctionDecl>("encl");
+    if (Encl == nullptr || Encl->getBody() == nullptr)
+      return;
+    auto RefToVar = declRefExpr(to(varDecl(equalsNode(LamVar))));
+    auto Uses = match(
+        functionDecl(hasDescendant(callExpr(
+            callee(spawnEntryDecl()),
+            hasAnyArgument(anyOf(ignoringParenImpCasts(RefToVar),
+                                 hasDescendant(RefToVar)))))),
+        *Encl, *Result.Context);
+    if (Uses.empty())
+      return;  // lambda-typed local never spawned — not our contract
+  }
+
+  if (Analyzed.count(Lam) != 0)
+    return;  // both matchers (or several ancestors) can yield one lambda
+  Analyzed.insert(Lam);
+
+  const CompoundStmt *Body = Lam->getBody();
+  if (Body == nullptr)
+    return;
+
+  BodyScan Scan;
+  Scan.Lam = Lam;
+  Scan.scan(Body, /*InAnnotation=*/false, /*InAddrOf=*/false);
+  if (Scan.HasRegion)
+    return;  // a race::region labels the whole body's provenance
+
+  // What the lambda can legitimately share: captured variables, and
+  // members reached through a captured `this`.
+  llvm::DenseSet<const Decl *> CapturedVars;
+  bool CapturesThis = false;
+  for (const LambdaCapture &C : Lam->captures()) {
+    if (C.capturesThis())
+      CapturesThis = true;
+    else if (C.capturesVariable())
+      CapturedVars.insert(C.getCapturedVar()->getCanonicalDecl());
+  }
+
+  llvm::DenseSet<const Decl *> CoveredRoots;
+  for (const Decl *D : Scan.Annotated)
+    CoveredRoots.insert(
+        Scan.rootOf(cast<ValueDecl>(D))->getCanonicalDecl());
+
+  llvm::DenseSet<const Decl *> Reported;
+  for (const SharedAccess &A : Scan.Accesses) {
+    const ValueDecl *Root = Scan.rootOf(A.Base);
+    const Decl *Canon = Root->getCanonicalDecl();
+    bool Shared = CapturedVars.count(Canon) != 0 ||
+                  (CapturesThis && isa<FieldDecl>(Root));
+    if (!Shared)
+      continue;  // task-local storage needs no annotation
+    if (CoveredRoots.count(Canon) != 0)
+      continue;
+    if (Reported.count(Canon) != 0)
+      continue;
+    SourceLocation Loc = SM.getExpansionLoc(A.Loc);
+    if (Loc.isInvalid() || lineHasSanction(SM, Loc))
+      continue;
+    Reported.insert(Canon);
+    diag(Loc, "access through captured '%0' has no dws::race::read/write/"
+              "region annotation covering it in this spawn body; the race "
+              "detectors cannot see unannotated accesses (or sanction the "
+              "line with '// dws-lint-sanction: <justification>')")
+        << Root->getName();
+  }
+}
+
+}  // namespace dws
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,67 @@
+// dws-annotation-coverage: inside spawn-lambda bodies in src/apps/,
+// reads/writes through captured pointers/references to shared buffers
+// must be covered by a dws::race::read/write/region annotation in the
+// same body. The race detectors only see annotated accesses — an
+// unannotated kernel access is invisible to SP-bags, ALL-SETS and
+// FastTrack alike, which silently shrinks the replay certificate.
+//
+// Coverage granularity (encoding the in-tree annotation idiom):
+//
+//  - an access is attributed to its *root entity*: the captured variable
+//    or (via a captured `this`) member it reaches shared memory through,
+//    following local pointer derivations (`const double* up =
+//    &cur[...]` makes `cur` the root of accesses through `up`);
+//  - a root is covered when any race::read/write call in the same lambda
+//    body mentions it or any local derived from it — so Heat's
+//    `race::read(up, 3 * cols_)` covers the sibling rows read through
+//    `mid` and `down` (same root `cur`), exactly as the kernel intends;
+//  - a race::region declared in the body covers the whole body (regions
+//    label coarse provenance scopes whose footprint is annotated at a
+//    different level);
+//  - task-local storage (locals not derived from a capture) needs no
+//    annotation.
+//
+// A spawn lambda is one passed (directly, or via a named local, like
+// SOR's `row_body`) to Scheduler::spawn or one of the parallel_*
+// algorithms. Only files under AppsPaths (default src/apps/) are
+// checked: kernels are the annotation contract; runtime and harness
+// code is not replayed under the detectors.
+//
+// Accesses inside nested spawn lambdas are analyzed with that nested
+// body, not the outer one; accesses performed by functions *called*
+// from the body are out of AST reach and remain the dynamic detectors'
+// job — this check closes the "never annotated at all" hole, it does
+// not re-prove footprint exactness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/ADT/DenseSet.h"
+
+namespace clang {
+
+class LambdaExpr;
+
+namespace tidy {
+namespace dws {
+
+class AnnotationCoverageCheck : public ClangTidyCheck {
+public:
+  AnnotationCoverageCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  std::string AppsPathsRaw;
+  std::vector<std::string> AppsPaths;
+  /// Lambdas already analyzed this TU — both matcher forms (and several
+  /// enclosing spawn calls) can surface the same LambdaExpr node.
+  llvm::DenseSet<const LambdaExpr *> Analyzed;
+};
+
+}  // namespace dws
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,124 @@
+#include "AtomicsPolicyCheck.h"
+
+#include "DwsTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclTemplate.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace dws {
+
+AtomicsPolicyCheck::AtomicsPolicyCheck(StringRef Name,
+                                       ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      PolicyParam(Options.get("PolicyParam", "Policy")) {}
+
+void AtomicsPolicyCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "PolicyParam", PolicyParam);
+}
+
+static bool listHasTypeParam(const TemplateParameterList *Params,
+                             StringRef Name) {
+  if (Params == nullptr)
+    return false;
+  for (const NamedDecl *P : *Params)
+    if (isa<TemplateTypeParmDecl>(P) && P->getName() == Name)
+      return true;
+  return false;
+}
+
+// Walks the declaration's context chain looking for a class or function
+// template whose parameter list names the injected policy. Returns the
+// template's name (for the diagnostic) or an empty ref.
+static StringRef enclosingPolicyTemplate(const Decl *D, StringRef Param) {
+  if (D == nullptr)
+    return {};
+  // The starting decl itself may be the described template's pattern
+  // (a function template like CoreOps-style free helpers).
+  if (const auto *FD = dyn_cast<FunctionDecl>(D)) {
+    if (const FunctionTemplateDecl *FT = FD->getDescribedFunctionTemplate())
+      if (listHasTypeParam(FT->getTemplateParameters(), Param))
+        return FT->getName();
+  }
+  for (const DeclContext *DC = D->getDeclContext(); DC != nullptr;
+       DC = DC->getParent()) {
+    if (const auto *RD = dyn_cast<CXXRecordDecl>(DC)) {
+      if (const ClassTemplateDecl *CT = RD->getDescribedClassTemplate())
+        if (listHasTypeParam(CT->getTemplateParameters(), Param))
+          return CT->getName();
+    }
+    if (const auto *FD = dyn_cast<FunctionDecl>(DC)) {
+      if (const FunctionTemplateDecl *FT = FD->getDescribedFunctionTemplate())
+        if (listHasTypeParam(FT->getTemplateParameters(), Param))
+          return FT->getName();
+    }
+  }
+  return {};
+}
+
+void AtomicsPolicyCheck::registerMatchers(MatchFinder *Finder) {
+  // A declaration whose *written* type resolves to std::atomic. Inside a
+  // Policy-templated body, `Atomic<U>` / `typename Policy::template
+  // atomic<U>` stays dependent and never desugars to a record, so only
+  // genuinely raw (or typedef'd-raw) atomics match. Instantiations are
+  // excluded — in TaskPool<..., StdAtomicsPolicy> the alias legitimately
+  // becomes std::atomic.
+  auto RawAtomicType = hasType(hasUnqualifiedDesugaredType(
+      recordType(hasDeclaration(classTemplateSpecializationDecl(
+          hasName("::std::atomic"))))));
+  Finder->addMatcher(
+      fieldDecl(RawAtomicType, unless(isInTemplateInstantiation()))
+          .bind("decl"),
+      this);
+  Finder->addMatcher(
+      varDecl(RawAtomicType, unless(isInTemplateInstantiation())).bind("decl"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::std::atomic_thread_fence",
+                                              "::std::atomic_signal_fence"))),
+               unless(isInTemplateInstantiation()),
+               hasAncestor(functionDecl().bind("fencefn")))
+          .bind("fence"),
+      this);
+}
+
+void AtomicsPolicyCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  if (const auto *D = Result.Nodes.getNodeAs<DeclaratorDecl>("decl")) {
+    StringRef Owner = enclosingPolicyTemplate(D, PolicyParam);
+    if (Owner.empty())
+      return;
+    SourceLocation Loc = D->getLocation();
+    if (Loc.isInvalid() || SM.isInSystemHeader(SM.getExpansionLoc(Loc)))
+      return;
+    if (lineHasSanction(SM, Loc))
+      return;
+    diag(Loc, "raw std::atomic declaration inside the %0-templated '%1'; "
+              "declare it as 'typename %0::template atomic<T>' so the model "
+              "checker can instrument it (or sanction the line with "
+              "'// dws-lint-sanction: <justification>')")
+        << PolicyParam << Owner;
+    return;
+  }
+  if (const auto *E = Result.Nodes.getNodeAs<CallExpr>("fence")) {
+    const auto *Fn = Result.Nodes.getNodeAs<FunctionDecl>("fencefn");
+    StringRef Owner = enclosingPolicyTemplate(Fn, PolicyParam);
+    if (Owner.empty())
+      return;
+    SourceLocation Loc = E->getBeginLoc();
+    if (Loc.isInvalid() || SM.isInSystemHeader(SM.getExpansionLoc(Loc)))
+      return;
+    if (lineHasSanction(SM, Loc))
+      return;
+    diag(Loc, "raw atomic fence inside the %0-templated '%1'; call "
+              "'%0::fence(order)' so the model checker can instrument it")
+        << PolicyParam << Owner;
+  }
+}
+
+}  // namespace dws
+}  // namespace tidy
+}  // namespace clang

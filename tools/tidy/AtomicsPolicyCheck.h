@@ -1,0 +1,44 @@
+// dws-atomics-policy: inside Policy-templated types (ChaseLevDeque,
+// CoreOps, TaskPool — anything whose class or function template has a
+// type parameter named `Policy`), atomics must be named through the
+// injected policy:
+//
+//   - declarations: `typename Policy::template atomic<T>` (usually via
+//     the local `Atomic<U>` alias), never raw `std::atomic<T>` — also
+//     matched through typedefs of std::atomic;
+//   - fences: `Policy::fence(order)`, never `std::atomic_thread_fence`.
+//
+// A raw atomic inside one of these types compiles and runs, but it is
+// invisible to the model checker (src/check), which substitutes
+// CheckAtomicsPolicy to explore interleavings and weak-memory read
+// choices — exactly the silent erosion this check exists to stop.
+//
+// std::memory_order *arguments* are not flagged: the Policy interface
+// itself is expressed in std::memory_order (StdAtomicsPolicy::fence
+// takes one), so order constants are the policy vocabulary, not a
+// bypass of it.
+#pragma once
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace dws {
+
+class AtomicsPolicyCheck : public ClangTidyCheck {
+public:
+  AtomicsPolicyCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  /// Name of the injected-policy template parameter ("Policy").
+  std::string PolicyParam;
+};
+
+}  // namespace dws
+}  // namespace tidy
+}  // namespace clang

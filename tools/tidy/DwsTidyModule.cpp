@@ -1,0 +1,43 @@
+// clang-tidy plugin module for the DWS concurrency discipline.
+//
+// Built as a shared object and loaded with `clang-tidy -load=...`; the
+// five checks below promote scripts/lint.sh's regex passes to
+// AST-accurate analyses (typedef-proof, macro-expansion-aware, immune
+// to doc-comment false positives) and add two audits regexes cannot
+// express at all (annotation coverage, TaskGroup escape).
+
+#include "AnnotationCoverageCheck.h"
+#include "AtomicsPolicyCheck.h"
+#include "LockOrderCheck.h"
+#include "RawSyncCheck.h"
+#include "TaskGroupEscapeCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace clang {
+namespace tidy {
+namespace dws {
+
+class DwsTidyModule : public ClangTidyModule {
+public:
+  void addCheckFactories(ClangTidyCheckFactories &Factories) override {
+    Factories.registerCheck<RawSyncCheck>("dws-raw-sync");
+    Factories.registerCheck<LockOrderCheck>("dws-lock-order");
+    Factories.registerCheck<AnnotationCoverageCheck>(
+        "dws-annotation-coverage");
+    Factories.registerCheck<AtomicsPolicyCheck>("dws-atomics-policy");
+    Factories.registerCheck<TaskGroupEscapeCheck>("dws-taskgroup-escape");
+  }
+};
+
+}  // namespace dws
+
+static ClangTidyModuleRegistry::Add<dws::DwsTidyModule>
+    X("dws-module", "DWS concurrency-discipline checks.");
+
+// Pull the registration object into the plugin image even under
+// aggressive dead-stripping.
+volatile int DwsTidyModuleAnchorSource = 0;
+
+}  // namespace tidy
+}  // namespace clang

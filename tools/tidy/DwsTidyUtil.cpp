@@ -1,0 +1,85 @@
+#include "DwsTidyUtil.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "llvm/ADT/SmallString.h"
+#include "llvm/ADT/SmallVector.h"
+
+namespace clang {
+namespace tidy {
+namespace dws {
+
+std::vector<std::string> splitPathList(llvm::StringRef List) {
+  std::vector<std::string> Out;
+  llvm::SmallVector<llvm::StringRef, 8> Parts;
+  List.split(Parts, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  for (llvm::StringRef P : Parts) {
+    P = P.trim();
+    if (!P.empty())
+      Out.push_back(P.str());
+  }
+  return Out;
+}
+
+std::string joinPathList(const std::vector<std::string> &Paths) {
+  std::string Out;
+  for (const std::string &P : Paths) {
+    if (!Out.empty())
+      Out += ';';
+    Out += P;
+  }
+  return Out;
+}
+
+llvm::StringRef lineText(const SourceManager &SM, SourceLocation Loc) {
+  Loc = SM.getExpansionLoc(Loc);
+  if (Loc.isInvalid())
+    return {};
+  FileID FID = SM.getFileID(Loc);
+  bool Invalid = false;
+  llvm::StringRef Buf = SM.getBufferData(FID, &Invalid);
+  if (Invalid)
+    return {};
+  unsigned Off = SM.getFileOffset(Loc);
+  if (Off >= Buf.size())
+    return {};
+  size_t Begin = Buf.rfind('\n', Off);
+  Begin = Begin == llvm::StringRef::npos ? 0 : Begin + 1;
+  size_t End = Buf.find('\n', Off);
+  if (End == llvm::StringRef::npos)
+    End = Buf.size();
+  return Buf.substr(Begin, End - Begin);
+}
+
+bool lineHasSanction(const SourceManager &SM, SourceLocation Loc) {
+  static const char Marker[] = "dws-lint-sanction:";
+  llvm::StringRef Line = lineText(SM, Loc);
+  size_t Pos = Line.find(Marker);
+  if (Pos == llvm::StringRef::npos)
+    return false;
+  llvm::StringRef Just = Line.substr(Pos + std::strlen(Marker)).trim();
+  return !Just.empty();
+}
+
+bool locInAnyPath(const SourceManager &SM, SourceLocation Loc,
+                  const std::vector<std::string> &Paths) {
+  llvm::StringRef File = SM.getFilename(SM.getExpansionLoc(Loc));
+  if (File.empty())
+    return false;
+  std::string F = File.str();
+  std::replace(F.begin(), F.end(), '\\', '/');
+  for (const std::string &P : Paths) {
+    if (P.empty())
+      continue;
+    if (F.compare(0, P.size(), P) == 0)
+      return true;
+    if (F.find("/" + P) != std::string::npos)
+      return true;
+  }
+  return false;
+}
+
+}  // namespace dws
+}  // namespace tidy
+}  // namespace clang

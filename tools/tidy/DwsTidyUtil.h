@@ -1,0 +1,50 @@
+// Shared helpers for the dws-* clang-tidy checks: sanction-comment
+// suppression, sanctioned-path matching, and raw line access.
+//
+// The dws-* checks enforce repo-wide concurrency discipline, so two
+// escape hatches recur across all of them:
+//
+//  - sanctioned paths: an option listing path fragments (directories or
+//    files, ';'-separated, as they appear in the repo: "src/runtime/")
+//    inside which the checked construct is legitimate;
+//  - sanction comments: a `// dws-lint-sanction: <justification>` on the
+//    flagged line suppresses the diagnostic. The justification is
+//    mandatory (an empty one does not suppress); scripts/lint.sh
+//    additionally rejects justifications shorter than three words.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clang/Basic/SourceLocation.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang {
+namespace tidy {
+namespace dws {
+
+/// Splits a ';'-separated option value into trimmed non-empty entries.
+std::vector<std::string> splitPathList(llvm::StringRef List);
+
+/// Re-joins entries for storeOptions round-tripping.
+std::string joinPathList(const std::vector<std::string> &Paths);
+
+/// Full text of the line containing the expansion location of `Loc`
+/// (empty on invalid/missing buffers).
+llvm::StringRef lineText(const SourceManager &SM, SourceLocation Loc);
+
+/// True when the line holding `Loc` carries a
+/// `dws-lint-sanction: <non-empty justification>` comment.
+bool lineHasSanction(const SourceManager &SM, SourceLocation Loc);
+
+/// True when the file containing `Loc` lies under any of `Paths`. A path
+/// entry matches if the file name starts with it or contains it preceded
+/// by a '/' — so entries work both as repo-relative prefixes
+/// ("src/runtime/") and against absolute compile-database paths.
+bool locInAnyPath(const SourceManager &SM, SourceLocation Loc,
+                  const std::vector<std::string> &Paths);
+
+}  // namespace dws
+}  // namespace tidy
+}  // namespace clang

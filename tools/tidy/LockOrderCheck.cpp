@@ -1,0 +1,202 @@
+#include "LockOrderCheck.h"
+
+#include <fstream>
+#include <set>
+
+#include "DwsTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/SmallString.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/Support/Path.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace dws {
+
+// Tests are deliberately excluded: the race/deadlock suites construct
+// inversions on purpose (hand-over-hand cycles, gate-lock shapes) to
+// exercise the *dynamic* lock-order graph, so statically enforcing the
+// registry there would outlaw the test corpus.
+static const char kDefaultEnforcedPaths[] = "src/";
+static const char kDefaultRegistry[] = "scripts/lock_order.txt";
+
+LockOrderCheck::LockOrderCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      RegistryOption(Options.get("Registry", kDefaultRegistry)),
+      EnforcedPathsRaw(Options.get("EnforcedPaths", kDefaultEnforcedPaths)) {
+  EnforcedPaths = splitPathList(EnforcedPathsRaw);
+}
+
+void LockOrderCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "Registry", RegistryOption);
+  Options.store(Opts, "EnforcedPaths", EnforcedPathsRaw);
+}
+
+static bool parseRegistryFile(const std::string &Path,
+                              std::vector<std::string> &Classes,
+                              std::vector<std::string> &Duplicates) {
+  std::ifstream In(Path);
+  if (!In.is_open())
+    return false;
+  std::set<std::string> Seen;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line.resize(Hash);
+    llvm::StringRef Cls = llvm::StringRef(Line).trim();
+    if (Cls.empty())
+      continue;
+    if (!Seen.insert(Cls.str()).second)
+      Duplicates.push_back(Cls.str());
+    else
+      Classes.push_back(Cls.str());
+  }
+  return true;
+}
+
+// Resolves the registry path: as given (absolute, or relative to the
+// tool's working directory), then walking up from the main file's
+// directory — clang-tidy changes cwd per compile-database entry, so a
+// repo-relative default like "scripts/lock_order.txt" must be findable
+// from any TU in the tree.
+bool LockOrderCheck::ensureRegistry(const SourceManager &SM) {
+  if (LoadAttempted)
+    return !LoadFailed;
+  LoadAttempted = true;
+  if (parseRegistryFile(RegistryOption, Classes, DuplicateClasses)) {
+    ResolvedRegistry = RegistryOption;
+    return true;
+  }
+  if (const FileEntry *FE = SM.getFileEntryForID(SM.getMainFileID())) {
+    llvm::SmallString<256> Dir(FE->getName());
+    llvm::sys::path::remove_filename(Dir);
+    for (int Depth = 0; Depth < 12 && !Dir.empty(); ++Depth) {
+      llvm::SmallString<256> Candidate(Dir);
+      llvm::sys::path::append(Candidate, RegistryOption);
+      if (parseRegistryFile(std::string(Candidate.str()), Classes,
+                            DuplicateClasses)) {
+        ResolvedRegistry = std::string(Candidate.str());
+        return true;
+      }
+      llvm::StringRef Parent = llvm::sys::path::parent_path(Dir);
+      if (Parent == Dir.str())
+        break;
+      Dir.assign(Parent.begin(), Parent.end());
+    }
+  }
+  LoadFailed = true;
+  return false;
+}
+
+int LockOrderCheck::indexOf(StringRef Cls) const {
+  for (size_t I = 0; I < Classes.size(); ++I)
+    if (Classes[I] == Cls)
+      return static_cast<int>(I);
+  return -1;
+}
+
+void LockOrderCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      varDecl(hasType(hasUnqualifiedDesugaredType(
+                  recordType(hasDeclaration(classTemplateSpecializationDecl(
+                      hasName("::dws::race::scoped_lock")))))),
+              unless(isInTemplateInstantiation()))
+          .bind("site"),
+      this);
+}
+
+void LockOrderCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *VD = Result.Nodes.getNodeAs<VarDecl>("site");
+  if (VD == nullptr)
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+  SourceLocation Begin = SM.getExpansionLoc(VD->getBeginLoc());
+  SourceLocation End = SM.getExpansionLoc(VD->getEndLoc());
+  if (Begin.isInvalid() || SM.isInSystemHeader(Begin))
+    return;
+  if (!EnforcedPaths.empty() && !locInAnyPath(SM, Begin, EnforcedPaths))
+    return;
+  if (lineHasSanction(SM, Begin))
+    return;
+
+  if (!ensureRegistry(SM)) {
+    if (!RegistryMissingReported) {
+      RegistryMissingReported = true;
+      diag(Begin, "lock-order registry '%0' not found (set the "
+                  "dws-lock-order.Registry option)")
+          << RegistryOption;
+    }
+    return;
+  }
+  if (!DuplicateClasses.empty()) {
+    diag(Begin, "lock-order registry '%0' has duplicate class '%1'")
+        << ResolvedRegistry << DuplicateClasses.front();
+    DuplicateClasses.clear();  // once per run is enough
+  }
+
+  // The tag may sit on any source line the declaration spans (multi-line
+  // sites put it after the open paren); macro-wrapped sites resolve to
+  // the expansion lines, so the tag lives at the invocation.
+  static const char Marker[] = "// lock-order:";
+  FileID FID = SM.getFileID(Begin);
+  unsigned FirstLine = SM.getExpansionLineNumber(Begin);
+  unsigned LastLine = SM.getExpansionLineNumber(End);
+  if (SM.getFileID(End) != FID || LastLine < FirstLine)
+    LastLine = FirstLine;
+  llvm::StringRef Tag;
+  for (unsigned Ln = FirstLine; Ln <= LastLine; ++Ln) {
+    SourceLocation LineLoc = SM.translateLineCol(FID, Ln, 1);
+    llvm::StringRef Text = lineText(SM, LineLoc);
+    size_t Pos = Text.find(Marker);
+    if (Pos != llvm::StringRef::npos) {
+      Tag = Text.substr(Pos + sizeof(Marker) - 1).trim();
+      break;
+    }
+  }
+  if (Tag.empty()) {
+    diag(Begin, "race::scoped_lock site without a '// lock-order: <class>' "
+                "tag (classes are registered in %0)")
+        << ResolvedRegistry;
+    return;
+  }
+
+  llvm::SmallVector<llvm::StringRef, 4> Tokens;
+  Tag.split(Tokens, ' ', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  llvm::StringRef Cls = Tokens.empty() ? llvm::StringRef() : Tokens[0];
+  int ClsIdx = indexOf(Cls);
+  if (ClsIdx < 0) {
+    diag(Begin, "lock-order class '%0' is not registered in %1")
+        << Cls << ResolvedRegistry;
+    return;
+  }
+  if (Tokens.size() == 1)
+    return;
+  if (Tokens[1] != "after" || Tokens.size() < 3) {
+    diag(Begin, "malformed tag '// lock-order: %0' (want 'CLASS' or "
+                "'CLASS after OUTER[,OUTER2]')")
+        << Tag;
+    return;
+  }
+  llvm::SmallVector<llvm::StringRef, 4> Outers;
+  Tokens[2].split(Outers, ',', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  for (llvm::StringRef Outer : Outers) {
+    Outer = Outer.trim();
+    int OuterIdx = indexOf(Outer);
+    if (OuterIdx < 0) {
+      diag(Begin, "'after %0' names a class not registered in %1")
+          << Outer << ResolvedRegistry;
+    } else if (OuterIdx >= ClsIdx) {
+      diag(Begin, "acquisition-order inversion: '%0' taken while holding "
+                  "'%1', but %2 orders '%1' at or below '%0'")
+          << Cls << Outer << ResolvedRegistry;
+    }
+  }
+}
+
+}  // namespace dws
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,49 @@
+// dws-lock-order: every dws::race::scoped_lock site must carry a
+// `// lock-order: CLASS [after OUTER[,OUTER2...]]` tag whose class is
+// registered in scripts/lock_order.txt, and whose declared `after`
+// edges are consistent with the registry's canonical outermost-first
+// order (the registry IS the topological order, so a back edge is an
+// acquisition-order inversion caught before any run).
+//
+// AST promotion of the "lock-order" regex pass in scripts/lint.sh: the
+// match is on the declared variable's canonical type, so typedef'd
+// guards and macro-wrapped sites are found (the tag is looked for on
+// every source line the site spans at its macro *expansion* location),
+// and doc-comment examples can never trip it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace dws {
+
+class LockOrderCheck : public ClangTidyCheck {
+public:
+  LockOrderCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  bool ensureRegistry(const SourceManager &SM);
+  int indexOf(StringRef Cls) const;
+
+  std::string RegistryOption;
+  std::string EnforcedPathsRaw;
+  std::vector<std::string> EnforcedPaths;
+
+  bool LoadAttempted = false;
+  bool LoadFailed = false;
+  bool RegistryMissingReported = false;
+  std::string ResolvedRegistry;
+  std::vector<std::string> Classes;  // registry order, outermost first
+  std::vector<std::string> DuplicateClasses;
+};
+
+}  // namespace dws
+}  // namespace tidy
+}  // namespace clang

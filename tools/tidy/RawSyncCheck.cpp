@@ -1,0 +1,139 @@
+#include "RawSyncCheck.h"
+
+#include "DwsTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace dws {
+
+// Defaults mirror the sanctioned call sites documented in
+// scripts/lint.sh: the worker pool spawns threads, the co-runner and
+// model-check harnesses drive their own, and tests exercise the
+// concurrent structures directly. ::kill() is sanctioned in exactly the
+// liveness probe and the fault-injection harness.
+static const char kDefaultThreadPaths[] =
+    "src/runtime/;src/harness/;src/check/;tests/";
+static const char kDefaultKillPaths[] =
+    "src/core/coordinator_policy.cpp;src/harness/faults.cpp";
+static const char kDefaultMutexPaths[] =
+    "src/runtime/;src/util/;src/harness/;src/check/;src/race/;"
+    "src/apps/dag_replay.cpp;tests/";
+
+RawSyncCheck::RawSyncCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      ThreadPathsRaw(Options.get("ThreadSanctionedPaths", kDefaultThreadPaths)),
+      KillPathsRaw(Options.get("KillSanctionedPaths", kDefaultKillPaths)),
+      MutexPathsRaw(Options.get("MutexSanctionedPaths", kDefaultMutexPaths)) {
+  ThreadPaths = splitPathList(ThreadPathsRaw);
+  KillPaths = splitPathList(KillPathsRaw);
+  MutexPaths = splitPathList(MutexPathsRaw);
+}
+
+void RawSyncCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "ThreadSanctionedPaths", ThreadPathsRaw);
+  Options.store(Opts, "KillSanctionedPaths", KillPathsRaw);
+  Options.store(Opts, "MutexSanctionedPaths", MutexPathsRaw);
+}
+
+void RawSyncCheck::registerMatchers(MatchFinder *Finder) {
+  // Thread spawns: any construction of std::thread/std::jthread. The
+  // constructed type is resolved through typedefs and using-aliases
+  // (the matcher looks at the constructor's class, not the spelling).
+  // std::thread::hardware_concurrency() is a core-count query, not a
+  // spawn, and constructs nothing — it never matches.
+  Finder->addMatcher(
+      cxxConstructExpr(hasDeclaration(cxxConstructorDecl(ofClass(
+                           cxxRecordDecl(hasAnyName("::std::thread",
+                                                    "::std::jthread"))))),
+                       unless(isInTemplateInstantiation()))
+          .bind("thread"),
+      this);
+  // OS-level escape hatches.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::pthread_create", "::kill"))),
+               unless(isInTemplateInstantiation()))
+          .bind("oscall"),
+      this);
+  // Raw mutex guards; the desugared type check resolves typedefs.
+  Finder->addMatcher(
+      varDecl(hasType(hasUnqualifiedDesugaredType(recordType(hasDeclaration(
+                  namedDecl(hasAnyName("::std::lock_guard",
+                                       "::std::unique_lock",
+                                       "::std::scoped_lock")))))),
+              unless(isInTemplateInstantiation()))
+          .bind("guard"),
+      this);
+  // Direct lock()/unlock()/try_lock() on a std mutex (guards aside, the
+  // regex pass also flagged bare .lock() calls).
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(
+              hasAnyName("lock", "unlock", "try_lock"),
+              ofClass(cxxRecordDecl(hasAnyName(
+                  "::std::mutex", "::std::timed_mutex",
+                  "::std::recursive_mutex", "::std::recursive_timed_mutex",
+                  "::std::shared_mutex", "::std::shared_timed_mutex"))))),
+          unless(isInTemplateInstantiation()))
+          .bind("lockcall"),
+      this);
+}
+
+void RawSyncCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  SourceLocation Loc;
+  const std::vector<std::string> *Paths = nullptr;
+  StringRef What;
+  StringRef Advice;
+  if (const auto *E = Result.Nodes.getNodeAs<CXXConstructExpr>("thread")) {
+    Loc = E->getBeginLoc();
+    Paths = &ThreadPaths;
+    What = "raw thread construction";
+    Advice = "spawn work through the scheduler so the work-stealing model "
+             "and the race detectors see it";
+  } else if (const auto *E = Result.Nodes.getNodeAs<CallExpr>("oscall")) {
+    Loc = E->getBeginLoc();
+    const FunctionDecl *FD = E->getDirectCallee();
+    if (FD != nullptr && FD->getName() == "kill") {
+      Paths = &KillPaths;
+      What = "raw ::kill()";
+      Advice = "route fault injection through src/harness/faults";
+    } else {
+      Paths = &ThreadPaths;
+      What = "raw pthread_create()";
+      Advice = "spawn work through the scheduler so the work-stealing model "
+               "and the race detectors see it";
+    }
+  } else if (const auto *D = Result.Nodes.getNodeAs<VarDecl>("guard")) {
+    Loc = D->getLocation();
+    Paths = &MutexPaths;
+    What = "raw mutex guard";
+    Advice = "use dws::race::scoped_lock so the ALL-SETS detector sees the "
+             "lock";
+  } else if (const auto *E =
+                 Result.Nodes.getNodeAs<CXXMemberCallExpr>("lockcall")) {
+    Loc = E->getBeginLoc();
+    Paths = &MutexPaths;
+    What = "raw mutex lock/unlock";
+    Advice = "use dws::race::scoped_lock so the ALL-SETS detector sees the "
+             "lock";
+  } else {
+    return;
+  }
+  if (Loc.isInvalid() || SM.isInSystemHeader(SM.getExpansionLoc(Loc)))
+    return;
+  if (locInAnyPath(SM, Loc, *Paths))
+    return;
+  if (lineHasSanction(SM, Loc))
+    return;
+  diag(Loc, "%0 outside the sanctioned directories; %1 (or sanction the "
+            "line with '// dws-lint-sanction: <justification>')")
+      << What << Advice;
+}
+
+}  // namespace dws
+}  // namespace tidy
+}  // namespace clang

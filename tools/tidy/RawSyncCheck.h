@@ -1,0 +1,48 @@
+// dws-raw-sync: raw std::thread / pthread_create / ::kill() /
+// std::mutex-guard usage outside the sanctioned directories.
+//
+// AST-accurate replacement for the "kill-sites", "raw-threads" and
+// "raw-mutex-guards" regex passes in scripts/lint.sh: the matchers
+// resolve through typedefs, using-aliases and macro wrappers, which the
+// line-oriented greps cannot (a `using worker_t = std::thread;` spawn
+// site sails straight past the regex).
+//
+// Rationale (mirrors scripts/lint.sh):
+//  - spawning OS threads is the scheduler's job: kernels and policy code
+//    that start their own threads bypass the work-stealing model, and the
+//    race detector's serial replay cannot see them;
+//  - raw ::kill() is crash-test scaffolding; outside the liveness probe
+//    and the fault harness it has no business in production code;
+//  - a raw std::mutex guard is invisible to the ALL-SETS lockset
+//    detector — take locks through dws::race::scoped_lock, which locks
+//    AND annotates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace dws {
+
+class RawSyncCheck : public ClangTidyCheck {
+public:
+  RawSyncCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  std::string ThreadPathsRaw;
+  std::string KillPathsRaw;
+  std::string MutexPathsRaw;
+  std::vector<std::string> ThreadPaths;
+  std::vector<std::string> KillPaths;
+  std::vector<std::string> MutexPaths;
+};
+
+}  // namespace dws
+}  // namespace tidy
+}  // namespace clang

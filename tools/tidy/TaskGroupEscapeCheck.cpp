@@ -1,0 +1,107 @@
+#include "TaskGroupEscapeCheck.h"
+
+#include "DwsTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace dws {
+
+static const char kDefaultExemptPaths[] =
+    "tests/;src/runtime/;src/check/;src/race/";
+
+TaskGroupEscapeCheck::TaskGroupEscapeCheck(StringRef Name,
+                                           ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      TaskGroupName(Options.get("TaskGroupName", "::dws::rt::TaskGroup")),
+      ExemptPathsRaw(Options.get("ExemptPaths", kDefaultExemptPaths)) {
+  ExemptPaths = splitPathList(ExemptPathsRaw);
+}
+
+void TaskGroupEscapeCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "TaskGroupName", TaskGroupName);
+  Options.store(Opts, "ExemptPaths", ExemptPathsRaw);
+}
+
+void TaskGroupEscapeCheck::registerMatchers(MatchFinder *Finder) {
+  // Canonical-type matching: `using Group = dws::rt::TaskGroup` cannot
+  // hide an escape.
+  auto TaskGroup = hasUnqualifiedDesugaredType(
+      recordType(hasDeclaration(cxxRecordDecl(hasName(TaskGroupName)))));
+  // Desugar the outer level as well: `using GroupPtr = TaskGroup*`
+  // must not hide the indirection.
+  auto TaskGroupIndirect = qualType(anyOf(
+      hasUnqualifiedDesugaredType(
+          pointerType(pointee(qualType(TaskGroup)))),
+      hasUnqualifiedDesugaredType(
+          referenceType(pointee(qualType(TaskGroup))))));
+
+  Finder->addMatcher(
+      cxxNewExpr(hasType(pointsTo(qualType(TaskGroup))),
+                 unless(isInTemplateInstantiation()))
+          .bind("new"),
+      this);
+  Finder->addMatcher(
+      varDecl(hasType(qualType(TaskGroup)),
+              unless(hasAutomaticStorageDuration()),
+              unless(parmVarDecl()), unless(isInTemplateInstantiation()))
+          .bind("staticvar"),
+      this);
+  Finder->addMatcher(
+      fieldDecl(hasType(qualType(TaskGroupIndirect)),
+                unless(isInTemplateInstantiation()))
+          .bind("field"),
+      this);
+  Finder->addMatcher(
+      varDecl(hasType(qualType(TaskGroupIndirect)), unless(parmVarDecl()),
+              unless(isInTemplateInstantiation()))
+          .bind("ptrvar"),
+      this);
+  Finder->addMatcher(
+      functionDecl(returns(qualType(TaskGroupIndirect)),
+                   unless(isInTemplateInstantiation()))
+          .bind("fn"),
+      this);
+}
+
+void TaskGroupEscapeCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  SourceLocation Loc;
+  const char *What = nullptr;
+  if (const auto *NE = Result.Nodes.getNodeAs<CXXNewExpr>("new")) {
+    Loc = NE->getBeginLoc();
+    What = "heap-allocating a TaskGroup";
+  } else if (const auto *VD = Result.Nodes.getNodeAs<VarDecl>("staticvar")) {
+    Loc = VD->getLocation();
+    What = "TaskGroup with static or thread_local storage";
+  } else if (const auto *FD = Result.Nodes.getNodeAs<FieldDecl>("field")) {
+    Loc = FD->getLocation();
+    What = "storing a TaskGroup pointer/reference in a member";
+  } else if (const auto *PV = Result.Nodes.getNodeAs<VarDecl>("ptrvar")) {
+    Loc = PV->getLocation();
+    What = "binding a TaskGroup pointer/reference to a local";
+  } else if (const auto *Fn = Result.Nodes.getNodeAs<FunctionDecl>("fn")) {
+    Loc = Fn->getLocation();
+    What = "returning a TaskGroup pointer/reference";
+  } else {
+    return;
+  }
+  SourceLocation Exp = SM.getExpansionLoc(Loc);
+  if (Exp.isInvalid() || SM.isInSystemHeader(Exp))
+    return;
+  if (!ExemptPaths.empty() && locInAnyPath(SM, Exp, ExemptPaths))
+    return;
+  if (lineHasSanction(SM, Exp))
+    return;
+  diag(Exp, "%0 lets the group escape its frame; TaskGroup must stay "
+            "automatic so wait() runs before unwind (or sanction the line "
+            "with '// dws-lint-sanction: <justification>')")
+      << What;
+}
+
+}  // namespace dws
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,49 @@
+// dws-taskgroup-escape: dws::rt::TaskGroup is a stack-discipline join
+// object — spawn() registers tasks against it and wait() must run
+// before the frame unwinds. Letting a group escape its frame (heap
+// allocation, static/thread_local storage, a stored pointer/reference
+// member, or returning its address) breaks the strict-computation
+// nesting that SP-bags and the deadlock certifier assume, and turns a
+// missed wait() into a use-after-free on the worker side.
+//
+// Flagged:
+//   - `new TaskGroup` (including via typedefs);
+//   - TaskGroup variables with static or thread_local storage;
+//   - non-parameter declarations of pointer/reference-to-TaskGroup
+//     (fields and locals that stash the address);
+//   - functions returning TaskGroup* or TaskGroup&.
+//
+// Parameters are exempt: passing `TaskGroup&` *down* the call tree
+// (spawn helpers, hooks) is the sanctioned borrowing idiom — the
+// callee's lifetime is nested inside the owner's frame. ExemptPaths
+// defaults to the runtime/instrumentation trees, which legitimately
+// traffic in group pointers (scheduler internals, race-detector hooks
+// keying shadow state by `const TaskGroup*`, tests poking lifecycle
+// edges).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace dws {
+
+class TaskGroupEscapeCheck : public ClangTidyCheck {
+public:
+  TaskGroupEscapeCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  std::string TaskGroupName;
+  std::string ExemptPathsRaw;
+  std::vector<std::string> ExemptPaths;
+};
+
+}  // namespace dws
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,121 @@
+// Fixture for dws-annotation-coverage (runner option:
+// AppsPaths=fixtures/). Spawn-lambda bodies must cover every access
+// through captured state with a race annotation; coverage follows
+// pointer derivations back to the captured root, so annotating one
+// derived pointer covers its siblings — the in-tree stencil idiom.
+#include "dws_stubs.hpp"
+
+namespace rt = dws::rt;
+namespace race = dws::race;
+
+struct Grid {
+  double *cur_;
+  double *nxt_;
+  std::size_t cols_;
+  rt::Scheduler sched_;
+
+  // POSITIVE: strided column write with no annotation anywhere.
+  void column_sweep(std::size_t rows, std::size_t c) {
+    rt::TaskGroup g;
+    sched_.spawn(g, [this, rows, c] {
+      for (std::size_t r = 0; r < rows; ++r)
+        nxt_[r * cols_ + c] = 1.0;  // expect: dws-annotation-coverage
+    });
+    g.wait();
+  }
+
+  // POSITIVE: both buffers touched, neither annotated — one diagnostic
+  // per uncovered root, at its first access.
+  void copy_row(std::size_t r) {
+    rt::TaskGroup g;
+    sched_.spawn(g, [this, r] {
+      const double *mid = &cur_[r * cols_];
+      double *out = &nxt_[r * cols_];
+      for (std::size_t c = 0; c < cols_; ++c) {
+        double v = mid[c];  // expect: dws-annotation-coverage
+        out[c] = v;         // expect: dws-annotation-coverage
+      }
+    });
+    g.wait();
+  }
+
+  // NEGATIVE: sibling-pointer coverage. race::read(up, 3*cols_) covers
+  // `mid` too — both derive from the same captured root `cur_`.
+  void stencil_row(std::size_t r) {
+    rt::TaskGroup g;
+    sched_.spawn(g, [this, r] {
+      const double *up = &cur_[(r - 1) * cols_];
+      const double *mid = &cur_[r * cols_];
+      double *out = &nxt_[r * cols_];
+      race::read(up, 3 * cols_);
+      race::write(out, cols_);
+      for (std::size_t c = 0; c < cols_; ++c)
+        out[c] = up[c] + mid[c];
+    });
+    g.wait();
+  }
+
+  // NEGATIVE: a race::region labels the whole body's provenance.
+  void bulk(std::size_t n) {
+    rt::TaskGroup g;
+    sched_.spawn(g, [this, n] {
+      race::region scope("grid.bulk");
+      for (std::size_t c = 0; c < n; ++c)
+        nxt_[c] = cur_[c];
+    });
+    g.wait();
+  }
+
+  // NEGATIVE: task-local scratch needs no annotation; the captured
+  // buffer is annotated directly.
+  void reduce_tile() {
+    rt::TaskGroup g;
+    sched_.spawn(g, [this] {
+      double acc[4] = {0.0, 0.0, 0.0, 0.0};
+      for (std::size_t c = 0; c < 4; ++c)
+        acc[c] = acc[c] + 1.0;
+      race::write(nxt_, 4);
+      nxt_[0] = acc[0] + acc[1] + acc[2] + acc[3];
+    });
+    g.wait();
+  }
+
+  // POSITIVE, named-body idiom: the lambda lives in a local handed to
+  // spawn later — still a spawn body.
+  void sor_sweep(std::size_t rows) {
+    rt::TaskGroup g;
+    auto row_body = [this](std::size_t r) {
+      double *row = &nxt_[r * cols_];
+      row[0] = 1.0;  // expect: dws-annotation-coverage
+    };
+    for (std::size_t r = 0; r < rows; ++r)
+      sched_.spawn(g, row_body);
+    g.wait();
+  }
+
+  // NEGATIVE: a lambda-typed local that is never spawned is not a task
+  // body; whatever it touches is the caller's (serial) business.
+  void helper_only() {
+    auto probe = [this] { return cur_[0]; };
+    (void)probe;
+  }
+
+  // NEGATIVE: direct parallel_for call site; annotated through the
+  // captured root itself.
+  void fill(std::size_t n) {
+    rt::parallel_for(sched_, 0, n, [this](std::size_t i) {
+      race::write(cur_, 1);
+      cur_[i] = 0.0;
+    });
+  }
+
+  // NEGATIVE: a sanction on the introducer line waives the whole body.
+  void waved(std::size_t n) {
+    rt::TaskGroup g;
+    sched_.spawn(g, [this, n] {  // dws-lint-sanction: footprint annotated by the caller one level up
+      for (std::size_t c = 0; c < n; ++c)
+        cur_[c] = 0.0;
+    });
+    g.wait();
+  }
+};

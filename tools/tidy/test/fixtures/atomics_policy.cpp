@@ -1,0 +1,49 @@
+// Fixture for dws-atomics-policy: raw std::atomic declarations and raw
+// fences inside Policy-templated code must diagnose; the dependent
+// Policy::atomic alias, non-Policy types, and std::memory_order
+// arguments must not.
+#include "dws_stubs.hpp"
+
+typedef std::atomic<unsigned long> stat_t;  // typedef must not hide rawness
+
+template <typename Policy>
+class PooledCounter {
+ public:
+  using Atomic64 = typename Policy::template atomic<unsigned long>;
+  Atomic64 good_;  // dependent alias: resolved by the injected policy
+  // expect-next-line: dws-atomics-policy
+  std::atomic<int> raw_;
+  // expect-next-line: dws-atomics-policy
+  stat_t typedefd_;
+  std::atomic<int> waved_;  // dws-lint-sanction: monitoring-only counter kept raw on purpose
+
+  void flush() {
+    // expect-next-line: dws-atomics-policy
+    std::atomic_thread_fence(std::memory_order_release);
+    // The policy fence takes a std::memory_order — order constants are
+    // the policy vocabulary, never flagged.
+    Policy::fence(std::memory_order_release);
+  }
+};
+
+template <typename Policy>
+void drain_with_fence() {
+  // Function templates with a Policy parameter are held to the same
+  // rule as class templates.
+  // expect-next-line: dws-atomics-policy
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+  Policy::fence(std::memory_order_acquire);
+}
+
+// Not Policy-templated: out of the check's scope entirely.
+class PlainCache {
+ public:
+  std::atomic<int> fine_;
+  void sync() { std::atomic_thread_fence(std::memory_order_seq_cst); }
+};
+
+stat_t global_stats;  // file scope, no Policy in sight: fine
+
+// Instantiating with the std policy legitimately materializes
+// std::atomic members — instantiations are excluded.
+PooledCounter<dws::rt::StdAtomicsPolicy> instantiated;

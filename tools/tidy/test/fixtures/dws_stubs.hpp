@@ -1,0 +1,151 @@
+// Hermetic declarations for the dws-* check fixtures. The fixtures are
+// parsed by clang-tidy, never compiled or linked, so this header mimics
+// just enough of <thread>/<mutex>/<atomic> and the dws runtime/race API
+// surface for the AST matchers to resolve qualified names — no system
+// headers, so the corpus parses identically on any host. (Declaring
+// into namespace std is fine here for the same reason: parse-only.)
+#pragma once
+
+typedef int dws_pid_t;
+typedef unsigned long pthread_t;
+struct pthread_attr_t {};
+extern "C" int kill(dws_pid_t pid, int sig);
+extern "C" int pthread_create(pthread_t *t, const pthread_attr_t *a,
+                              void *(*fn)(void *), void *arg);
+
+namespace std {
+
+using size_t = decltype(sizeof(0));
+using ptrdiff_t = decltype((char *)0 - (char *)0);
+
+template <typename T> T &&move(T &v) { return static_cast<T &&>(v); }
+
+enum memory_order {
+  memory_order_relaxed,
+  memory_order_acquire,
+  memory_order_release,
+  memory_order_acq_rel,
+  memory_order_seq_cst
+};
+extern void atomic_thread_fence(memory_order);
+extern void atomic_signal_fence(memory_order);
+
+template <typename T> struct atomic {
+  atomic() {}
+  atomic(T v) : v_(v) {}
+  T load(memory_order = memory_order_seq_cst) const { return v_; }
+  void store(T v, memory_order = memory_order_seq_cst) { v_ = v; }
+  T fetch_add(T d, memory_order = memory_order_seq_cst) {
+    T o = v_;
+    v_ = v_ + d;
+    return o;
+  }
+  T v_;
+};
+
+struct thread {
+  thread() {}
+  template <typename F> explicit thread(F f) { (void)f; }
+  void join() {}
+  static unsigned hardware_concurrency() { return 1; }
+};
+struct jthread {
+  jthread() {}
+  template <typename F> explicit jthread(F f) { (void)f; }
+};
+
+struct mutex {
+  void lock() {}
+  void unlock() {}
+  bool try_lock() { return true; }
+};
+struct recursive_mutex {
+  void lock() {}
+  void unlock() {}
+};
+
+template <typename M> struct lock_guard {
+  explicit lock_guard(M &m) : m_(m) {}
+  ~lock_guard() { }
+  M &m_;
+};
+template <typename M> struct unique_lock {
+  explicit unique_lock(M &m) : m_(m) {}
+  M &m_;
+};
+template <typename... M> struct scoped_lock {
+  explicit scoped_lock(M &...m) { (void)sizeof...(m); }
+};
+
+template <typename T> struct vector {
+  vector() {}
+  explicit vector(size_t n) : n_(n) {}
+  T &operator[](size_t i) { return d_[i]; }
+  const T &operator[](size_t i) const { return d_[i]; }
+  T *data() { return d_; }
+  size_t size() const { return n_; }
+  T *d_ = nullptr;
+  size_t n_ = 0;
+};
+
+}  // namespace std
+
+namespace dws {
+namespace race {
+
+template <typename T>
+void read(const T *p, std::size_t count = 1, std::ptrdiff_t stride = 1) {
+  (void)p;
+  (void)count;
+  (void)stride;
+}
+template <typename T>
+void write(T *p, std::size_t count = 1, std::ptrdiff_t stride = 1) {
+  (void)p;
+  (void)count;
+  (void)stride;
+}
+
+class region {
+public:
+  explicit region(const char *label) { (void)label; }
+};
+
+template <typename Mutex> class scoped_lock {
+public:
+  explicit scoped_lock(Mutex &m) : m_(m) {}
+  Mutex &m_;
+};
+
+}  // namespace race
+
+namespace rt {
+
+class TaskGroup {
+public:
+  TaskGroup() {}
+  void wait() {}
+};
+
+class Scheduler {
+public:
+  template <typename F> void spawn(TaskGroup &g, F f) {
+    (void)g;
+    f();
+  }
+};
+
+template <typename F>
+void parallel_for(Scheduler &s, std::size_t begin, std::size_t end, F f) {
+  (void)s;
+  for (std::size_t i = begin; i < end; ++i)
+    f(i);
+}
+
+struct StdAtomicsPolicy {
+  template <typename T> using atomic = std::atomic<T>;
+  static void fence(std::memory_order o) { std::atomic_thread_fence(o); }
+};
+
+}  // namespace rt
+}  // namespace dws

@@ -1,0 +1,52 @@
+// Fixture for dws-lock-order (runner options: Registry points at
+// lock_order_registry.txt next to this file, EnforcedPaths=fixtures/).
+// Registry order, outermost first: table.shard, sched.inbox,
+// reduce.combine.
+#include "dws_stubs.hpp"
+
+// Macro-wrapped site: the check resolves the declaration to its macro
+// *expansion* line, so the tag sits at the invocation — exactly what
+// the regex pass could not see.
+#define WITH_LOCK(m) dws::race::scoped_lock<std::mutex> wl_guard_(m)
+
+namespace rr = dws::race;
+using Guard = rr::scoped_lock<std::mutex>;  // alias must not hide a site
+
+void tagged_sites(std::mutex &a, std::mutex &b) {
+  rr::scoped_lock<std::mutex> ok(a);  // lock-order: table.shard
+  Guard aliased(b);                   // lock-order: sched.inbox
+  // Multi-line site: the tag may sit on any line the declaration spans.
+  rr::scoped_lock<std::mutex> multi(
+      b);  // lock-order: sched.inbox after table.shard
+  (void)ok;
+  (void)aliased;
+  (void)multi;
+}
+
+void bad_sites(std::mutex &a) {
+  // expect-next-line: dws-lock-order
+  rr::scoped_lock<std::mutex> missing(a);
+  // expect-next-line: dws-lock-order
+  rr::scoped_lock<std::mutex> unregistered(a);  // lock-order: nosuch.class
+  // expect-next-line: dws-lock-order
+  rr::scoped_lock<std::mutex> malformed(a);  // lock-order: table.shard following sched.inbox
+  // Back edge: reduce.combine is innermost, so holding it while taking
+  // table.shard inverts the registry order.
+  // expect-next-line: dws-lock-order
+  rr::scoped_lock<std::mutex> inverted(a);  // lock-order: table.shard after reduce.combine
+  (void)missing;
+  (void)unregistered;
+  (void)malformed;
+  (void)inverted;
+}
+
+void macro_sites(std::mutex &a, std::mutex &b) {
+  WITH_LOCK(a);  // lock-order: table.shard
+  // expect-next-line: dws-lock-order
+  WITH_LOCK(b);
+}
+
+void sanctioned_site(std::mutex &a) {
+  rr::scoped_lock<std::mutex> waved(a);  // dws-lint-sanction: fixture exercising the suppression path
+  (void)waved;
+}

@@ -1,0 +1,47 @@
+// Fixture for dws-raw-sync. `// expect: <check>` marks a line that must
+// produce exactly one diagnostic; `// expect-next-line: <check>` marks
+// the following line. Everything unmarked must stay silent.
+#include "dws_stubs.hpp"
+
+using WorkerThread = std::thread;  // the alias must not hide the spawn
+
+void spawn_raw() {
+  std::thread t([] {});   // expect: dws-raw-sync
+  t.join();
+  WorkerThread u([] {});  // expect: dws-raw-sync
+  u.join();
+  std::jthread j([] {});  // expect: dws-raw-sync
+}
+
+void os_escapes(dws_pid_t victim) {
+  kill(victim, 9);  // expect: dws-raw-sync
+  pthread_t tid;
+  pthread_create(&tid, nullptr, nullptr, nullptr);  // expect: dws-raw-sync
+}
+
+void raw_guards(std::mutex &m) {
+  std::lock_guard<std::mutex> g(m);   // expect: dws-raw-sync
+  std::unique_lock<std::mutex> u(m);  // expect: dws-raw-sync
+  m.lock();    // expect: dws-raw-sync
+  m.unlock();  // expect: dws-raw-sync
+}
+
+void sanctioned(std::mutex &m) {
+  std::thread s([] {});  // dws-lint-sanction: fixture exercising the suppression path
+  s.join();
+  std::lock_guard<std::mutex> g(m);  // dws-lint-sanction: fixture exercising the suppression path
+  // An empty justification must NOT suppress.
+  // expect-next-line: dws-raw-sync
+  std::thread e([] {});  // dws-lint-sanction:
+  e.join();
+}
+
+void negatives(std::mutex &m) {
+  // A core-count query constructs nothing — the regex pass used to
+  // need an allowlist entry for this; the AST check simply never fires.
+  unsigned n = std::thread::hardware_concurrency();
+  (void)n;
+  // The discipline-approved guard is not a raw guard.
+  dws::race::scoped_lock<std::mutex> ok(m);
+  (void)ok;
+}

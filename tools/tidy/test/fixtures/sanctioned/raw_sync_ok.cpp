@@ -1,0 +1,15 @@
+// Negative fixture for dws-raw-sync: this file lives under the
+// sanctioned/ directory the runner passes as every *SanctionedPaths
+// option, so none of these otherwise-flagged constructs may diagnose.
+#include "../dws_stubs.hpp"
+
+void sanctioned_constructs(std::mutex &m, dws_pid_t victim) {
+  std::thread t([] {});
+  t.join();
+  kill(victim, 9);
+  pthread_t tid;
+  pthread_create(&tid, nullptr, nullptr, nullptr);
+  std::lock_guard<std::mutex> g(m);
+  m.lock();
+  m.unlock();
+}

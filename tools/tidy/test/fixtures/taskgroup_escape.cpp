@@ -1,0 +1,57 @@
+// Fixture for dws-taskgroup-escape (runner option: ExemptPaths points
+// away from this file). TaskGroup must stay automatic; every escape
+// vector below must diagnose, the borrowing idioms must not.
+#include "dws_stubs.hpp"
+
+namespace rt = dws::rt;
+using Group = rt::TaskGroup;      // alias must not hide the type
+using GroupPtr = rt::TaskGroup *; // nor the indirection
+
+// expect-next-line: dws-taskgroup-escape
+rt::TaskGroup *make_group() {
+  // expect-next-line: dws-taskgroup-escape
+  return new rt::TaskGroup();
+}
+
+// expect-next-line: dws-taskgroup-escape
+Group *typedef_new() {
+  // expect-next-line: dws-taskgroup-escape
+  GroupPtr g = nullptr;
+  // expect-next-line: dws-taskgroup-escape
+  g = new Group();
+  return g;
+}
+
+// expect-next-line: dws-taskgroup-escape
+static rt::TaskGroup g_global;
+
+void tls_group() {
+  // expect-next-line: dws-taskgroup-escape
+  thread_local rt::TaskGroup g_tls;
+  (void)g_tls;
+}
+
+struct Stash {
+  // expect-next-line: dws-taskgroup-escape
+  rt::TaskGroup *parked_;
+  // expect-next-line: dws-taskgroup-escape
+  GroupPtr aliased_;
+};
+
+// expect-next-line: dws-taskgroup-escape
+rt::TaskGroup &reborrow(rt::TaskGroup &g) { return g; }
+
+struct Observer {
+  const rt::TaskGroup *watched_;  // dws-lint-sanction: detector keys shadow state by group identity
+};
+
+// NEGATIVE: the blessed shape — automatic group, borrowed by reference
+// down the call tree, waited before unwind.
+void helper(rt::TaskGroup &g) { g.wait(); }
+
+void run(rt::Scheduler &s) {
+  rt::TaskGroup g;
+  s.spawn(g, [] {});
+  helper(g);
+  g.wait();
+}

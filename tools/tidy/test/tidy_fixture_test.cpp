@@ -1,0 +1,187 @@
+// Drives the real clang-tidy binary with `-load=<dws_tidy_checks>` over
+// the fixture corpus and asserts exact agreement with the fixtures'
+// `// expect: <check>` / `// expect-next-line: <check>` markers — every
+// expected diagnostic present, no unexpected ones, per (file, line).
+//
+// Compile definitions injected by CMake:
+//   DWS_CLANG_TIDY   absolute path of the clang-tidy binary
+//   DWS_TIDY_PLUGIN  absolute path of libdws_tidy_checks
+//   DWS_FIXTURE_DIR  absolute path of the fixtures/ directory
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string runCommand(const std::string &cmd) {
+  std::string out;
+  FILE *pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr)
+    return out;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0)
+    out.append(buf, n);
+  pclose(pipe);
+  return out;
+}
+
+// (line -> count) of diagnostics expected in a fixture file.
+std::map<int, int> parseExpectations(const std::string &path,
+                                     const std::string &check) {
+  std::map<int, int> expected;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open fixture " << path;
+  std::string line;
+  int lineno = 0;
+  const std::string same = "// expect: " + check;
+  const std::string next = "// expect-next-line: " + check;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find(same) != std::string::npos)
+      ++expected[lineno];
+    if (line.find(next) != std::string::npos)
+      ++expected[lineno + 1];
+  }
+  return expected;
+}
+
+// (line -> count) of `[check]` warnings clang-tidy reported *in the
+// fixture file itself* (stub-header noise and "N warnings generated"
+// chatter are ignored).
+std::map<int, int> parseDiagnostics(const std::string &output,
+                                    const std::string &fixturePath,
+                                    const std::string &check) {
+  std::map<int, int> got;
+  std::istringstream in(output);
+  std::string line;
+  const std::string tag = "[" + check + "]";
+  while (std::getline(in, line)) {
+    if (line.find(": warning: ") == std::string::npos ||
+        line.find(tag) == std::string::npos)
+      continue;
+    size_t firstColon = line.find(':');
+    if (firstColon == std::string::npos)
+      continue;
+    // Windows-style drive letters are not a concern here; the first
+    // colon ends the path.
+    std::string file = line.substr(0, firstColon);
+    if (file.size() < fixturePath.size() ||
+        file.compare(file.size() - fixturePath.size(), fixturePath.size(),
+                     fixturePath) != 0)
+      continue;
+    size_t secondColon = line.find(':', firstColon + 1);
+    if (secondColon == std::string::npos)
+      continue;
+    int lineno =
+        std::atoi(line.substr(firstColon + 1, secondColon - firstColon - 1)
+                      .c_str());
+    ++got[lineno];
+  }
+  return got;
+}
+
+std::string describe(const std::map<int, int> &m) {
+  std::string s;
+  for (const auto &kv : m) {
+    if (!s.empty())
+      s += ", ";
+    s += "line " + std::to_string(kv.first);
+    if (kv.second > 1)
+      s += " (x" + std::to_string(kv.second) + ")";
+  }
+  return s.empty() ? "<none>" : s;
+}
+
+// Runs one check over one fixture and compares against its markers.
+void runFixture(const std::string &fixture, const std::string &check,
+                const std::vector<std::pair<std::string, std::string>>
+                    &options) {
+  const std::string path = std::string(DWS_FIXTURE_DIR) + "/" + fixture;
+
+  std::string config = "{Checks: '-*," + check + "', CheckOptions: [";
+  bool first = true;
+  for (const auto &kv : options) {
+    if (!first)
+      config += ", ";
+    first = false;
+    config += "{key: '" + check + "." + kv.first + "', value: '" + kv.second +
+              "'}";
+  }
+  config += "]}";
+
+  std::string cmd = std::string(DWS_CLANG_TIDY) + " -load=" + DWS_TIDY_PLUGIN +
+                    " --config=\"" + config + "\" " + path +
+                    " -- -std=c++17";
+  std::string output = runCommand(cmd);
+
+  // A fixture that fails to *parse* would otherwise surface as a
+  // baffling expectation diff.
+  EXPECT_EQ(output.find(" error: "), std::string::npos)
+      << "clang-tidy reported errors over " << fixture << ":\n"
+      << output;
+
+  std::map<int, int> expected = parseExpectations(path, check);
+  std::map<int, int> got = parseDiagnostics(output, fixture, check);
+
+  EXPECT_EQ(expected, got)
+      << check << " over " << fixture << "\n  expected: " << describe(expected)
+      << "\n  got:      " << describe(got) << "\nfull clang-tidy output:\n"
+      << output;
+}
+
+TEST(DwsTidyPlugin, Loads) {
+  std::string cmd = std::string(DWS_CLANG_TIDY) + " -load=" + DWS_TIDY_PLUGIN +
+                    " --checks=-*,dws-* --list-checks";
+  std::string output = runCommand(cmd);
+  for (const char *check :
+       {"dws-raw-sync", "dws-lock-order", "dws-annotation-coverage",
+        "dws-atomics-policy", "dws-taskgroup-escape"}) {
+    EXPECT_NE(output.find(check), std::string::npos)
+        << "plugin did not register " << check << "; --list-checks said:\n"
+        << output;
+  }
+}
+
+TEST(DwsTidyPlugin, RawSync) {
+  runFixture("raw_sync.cpp", "dws-raw-sync",
+             {{"ThreadSanctionedPaths", "sanctioned/"},
+              {"KillSanctionedPaths", "sanctioned/"},
+              {"MutexSanctionedPaths", "sanctioned/"}});
+}
+
+TEST(DwsTidyPlugin, RawSyncSanctionedDir) {
+  runFixture("sanctioned/raw_sync_ok.cpp", "dws-raw-sync",
+             {{"ThreadSanctionedPaths", "sanctioned/"},
+              {"KillSanctionedPaths", "sanctioned/"},
+              {"MutexSanctionedPaths", "sanctioned/"}});
+}
+
+TEST(DwsTidyPlugin, LockOrder) {
+  runFixture("lock_order.cpp", "dws-lock-order",
+             {{"Registry",
+               std::string(DWS_FIXTURE_DIR) + "/lock_order_registry.txt"},
+              {"EnforcedPaths", "fixtures/"}});
+}
+
+TEST(DwsTidyPlugin, AnnotationCoverage) {
+  runFixture("annotation_coverage.cpp", "dws-annotation-coverage",
+             {{"AppsPaths", "fixtures/"}});
+}
+
+TEST(DwsTidyPlugin, AtomicsPolicy) {
+  runFixture("atomics_policy.cpp", "dws-atomics-policy", {});
+}
+
+TEST(DwsTidyPlugin, TaskGroupEscape) {
+  runFixture("taskgroup_escape.cpp", "dws-taskgroup-escape",
+             {{"ExemptPaths", "no-such-dir/"}});
+}
+
+}  // namespace
