@@ -22,7 +22,7 @@ BENCHES=(
   bench_bws_comparison bench_asymmetric bench_worksharing bench_cache_model
   bench_machine_width bench_fig4_confidence bench_adaptive_tsleep
   bench_blocked_linalg bench_timeline bench_deque bench_spawn
-  bench_deadlock_overhead
+  bench_deadlock_overhead bench_false_sharing
 )
 
 # Fail fast, before any figure is regenerated, if a bench binary is
@@ -95,6 +95,20 @@ run bench_timeline --out="$OUT"
 run bench_deque --benchmark_min_time=0.1
 run bench_spawn --out="$OUT/BENCH_spawn_steal.json"
 run bench_deadlock_overhead --out="$OUT/BENCH_deadlock_overhead.json"
+run bench_false_sharing --out="$OUT/BENCH_false_sharing.json"
+
+# Layout audit: regenerate the cache-line map of every concurrent struct
+# and diff it against the committed golden — an unreviewed layout change
+# fails the whole experiment run before any figure is trusted.
+LAYOUT_AUDIT="$BUILD/tools/layout_audit/layout_audit"
+if [ -x "$LAYOUT_AUDIT" ]; then
+  echo "== layout_audit"
+  "$LAYOUT_AUDIT" --out "$OUT/layout_audit.json" --golden docs/layout_golden.json
+  echo
+else
+  echo "missing $LAYOUT_AUDIT — rebuild first" >&2
+  exit 1
+fi
 
 # Guardrail-artifact schema validation: BENCH_*.json files are consumed
 # by the perf-guardrail CI job and by cross-PR comparisons, so a bench
@@ -161,6 +175,67 @@ if [ "${#BENCH_ARTIFACTS[@]}" -gt 0 ]; then
 else
   echo "WARNING: no BENCH_*.json artifacts found in $OUT/" >&2
 fi
+
+# Layout-audit schema validation: layout_audit.json is consumed by the
+# CI layout gate and by humans reviewing golden diffs; same fail-fast
+# policy as the bench artifacts.
+validate_layout_schema() {
+  local py
+  py=$(command -v python3 || command -v python || true)
+  if [ -z "$py" ]; then
+    echo "WARNING: python3 not found — layout_audit.json schema not validated" >&2
+    return 0
+  fi
+  "$py" - "$1" <<'PYEOF'
+import json, sys
+
+path = sys.argv[1]
+failures = 0
+def err(msg):
+    global failures
+    print(f"layout-audit schema drift in {path}: {msg}", file=sys.stderr)
+    failures += 1
+
+try:
+    with open(path) as f:
+        doc = json.load(f)
+except (OSError, ValueError) as e:
+    err(f"unreadable or invalid JSON ({e})")
+    sys.exit(1)
+
+if doc.get("schema") != "dws-layout-audit-v1":
+    err("missing or unknown top-level 'schema'")
+for key in ("cache_line_bytes", "pointer_bytes"):
+    if not isinstance(doc.get(key), int):
+        err(f"missing or mistyped top-level '{key}'")
+structs = doc.get("structs")
+if not isinstance(structs, list) or not structs:
+    err("missing or empty 'structs'")
+    structs = []
+for i, s in enumerate(structs):
+    for key, typ in (("name", str), ("size", int), ("align", int),
+                     ("cache_lines", int), ("packed_ok", bool),
+                     ("fields", list), ("conflicts", list)):
+        if not isinstance(s.get(key), typ):
+            err(f"structs[{i}] missing or mistyped '{key}'")
+    for j, f in enumerate(s.get("fields") or []):
+        for key in ("name", "offset", "size", "align", "lines", "domain"):
+            if key not in f:
+                err(f"structs[{i}].fields[{j}] missing '{key}'")
+sys.exit(1 if failures else 0)
+PYEOF
+}
+echo "== validating layout_audit.json schema"
+validate_layout_schema "$OUT/layout_audit.json"
+echo "   schema ok"
+
+# The guardrail artifacts double as the repo's committed reference
+# numbers (BENCH_*.json at the repo root): refresh them from this run so
+# the committed copies always describe the code that produced them.
+for artifact in "${BENCH_ARTIFACTS[@]}"; do
+  cp "$artifact" "$(basename "$artifact")"
+done
+echo "refreshed $(ls BENCH_*.json 2>/dev/null | tr '\n' ' ')at the repo root"
 
 echo "all experiment outputs written to $OUT/"
 if [ "${DWS_SKIP_CHECKS:-0}" != "1" ]; then

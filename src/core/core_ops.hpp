@@ -13,8 +13,31 @@
 
 #include "core/atomics_policy.hpp"
 #include "core/types.hpp"
+#include "util/layout.hpp"
 
 namespace dws {
+
+/// Historical packed slot layout: one bare CAS word, so 16 slots share a
+/// 64-byte cache line and every co-runner's claim/release invalidates its
+/// 15 neighbours' lines (the dws-atomic-array anti-pattern). Kept for the
+/// bench_false_sharing A/B guardrail and the model-check proof that the
+/// protocol is layout-independent; production tables use StridedCoreSlot.
+template <typename Policy>
+struct PackedCoreSlot {
+  // dws-layout: packed-ok A/B baseline layout, instantiated only by bench
+  // and model-check code that measures or proves against it.
+  DWS_SHARED typename Policy::template atomic<std::uint32_t> user{kNoProgram};
+};
+
+/// Production slot layout: the CAS word alone on its cache line, so a
+/// claim/release on core c invalidates nobody else's slot. Costs
+/// 64 B/core of shared memory (16 KiB at 256 cores) — noise next to the
+/// coherence traffic the packed layout generates under multi-programmed
+/// churn (see BENCH_false_sharing.json).
+template <typename Policy>
+struct alignas(layout::kCacheLineBytes) StridedCoreSlot {
+  DWS_SHARED typename Policy::template atomic<std::uint32_t> user{kNoProgram};
+};
 
 /// Static home owner of `core` under the initial equipartition: with k
 /// cores and m declared programs, program i (1-based) homes the contiguous
@@ -27,19 +50,25 @@ namespace dws {
          1;
 }
 
-template <typename Policy = StdAtomicsPolicy>
+/// The CAS protocol, parameterized over both the atomics policy (std vs
+/// model-checker instrumented) and the slot layout (strided vs packed).
+/// Every transition goes through slots[core].user, so the protocol is
+/// layout-independent by construction — test_check_core_table instantiates
+/// it over both layouts to prove exactly that.
+template <typename Policy = StdAtomicsPolicy,
+          template <typename> class SlotT = StridedCoreSlot>
 struct CoreOps {
-  using Slot = typename Policy::template atomic<std::uint32_t>;
+  using Slot = SlotT<Policy>;
 
   /// Current active program on `core`, or kNoProgram if free.
   [[nodiscard]] static ProgramId user_of(const Slot* slots, CoreId core) {
-    return slots[core].load(std::memory_order_acquire);
+    return slots[core].user.load(std::memory_order_acquire);
   }
 
   /// CAS free -> pid. True iff this call performed the transition.
   static bool try_claim(Slot* slots, CoreId core, ProgramId pid) {
     std::uint32_t expected = kNoProgram;
-    return slots[core].compare_exchange_strong(
+    return slots[core].user.compare_exchange_strong(
         expected, pid, std::memory_order_acq_rel, std::memory_order_acquire);
   }
 
@@ -49,16 +78,16 @@ struct CoreOps {
   static bool try_reclaim(Slot* slots, unsigned num_cores,
                           unsigned num_programs, CoreId core, ProgramId pid) {
     if (core_home_of(core, num_cores, num_programs) != pid) return false;
-    std::uint32_t current = slots[core].load(std::memory_order_acquire);
+    std::uint32_t current = slots[core].user.load(std::memory_order_acquire);
     if (current == kNoProgram || current == pid) return false;
-    return slots[core].compare_exchange_strong(
+    return slots[core].user.compare_exchange_strong(
         current, pid, std::memory_order_acq_rel, std::memory_order_acquire);
   }
 
   /// CAS pid -> free. True iff `pid` was the user.
   static bool release(Slot* slots, CoreId core, ProgramId pid) {
     std::uint32_t expected = pid;
-    return slots[core].compare_exchange_strong(
+    return slots[core].user.compare_exchange_strong(
         expected, kNoProgram, std::memory_order_acq_rel,
         std::memory_order_acquire);
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <cstring>
 #include <new>
 #include <thread>
@@ -44,8 +45,19 @@ CoreTable::CoreTable(void* mem, unsigned num_cores, unsigned num_programs,
                 "shared-memory table requires lock-free 32-bit atomics");
   static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
                 "liveness epochs require lock-free 64-bit atomics");
+  // Layout revision 2 strides each CAS slot to its own cache line; the
+  // slot array offset (kHeaderBytes + liveness block) is line-aligned, so
+  // the slots are genuinely line-isolated iff the block itself is.
+  static_assert(sizeof(Slot) == layout::kCacheLineBytes);
+  static_assert((kHeaderBytes + kLivenessSlots * sizeof(LivenessRecord)) %
+                    layout::kCacheLineBytes ==
+                0);
+  assert(reinterpret_cast<std::uintptr_t>(mem) % alignof(Slot) == 0 &&
+         "core table memory must be cache-line aligned (mmap pages are; "
+         "CoreTableLocal over-aligns its heap block)");
   if (initialize) {
     Header* h = new (mem_) Header;
+    h->layout_version = kLayoutVersion;
     h->num_cores = num_cores;
     h->num_programs = num_programs;
     h->registered.store(0, std::memory_order_relaxed);
@@ -56,7 +68,7 @@ CoreTable::CoreTable(void* mem, unsigned num_cores, unsigned num_programs,
     }
     Slot* s = slots();
     for (unsigned i = 0; i < num_cores; ++i) {
-      new (&s[i]) Slot(kNoProgram);
+      new (&s[i]) Slot{};  // member initializer frees the core
     }
     // Publish: attachers spin on the magic before trusting the contents.
     h->magic.store(kMagic, std::memory_order_release);
@@ -71,7 +83,22 @@ CoreTable::CoreTable(void* mem, unsigned num_cores, unsigned num_programs,
       const auto deadline = std::chrono::steady_clock::now() + attach_timeout;
       auto backoff = std::chrono::microseconds(50);
       for (;;) {
-        if (h->magic.load(std::memory_order_acquire) == kMagic) break;
+        const std::uint32_t seen = h->magic.load(std::memory_order_acquire);
+        if (seen == kMagic) break;
+        // A retired magic means a binary with the old packed slot layout
+        // formatted this block: its slot offsets disagree with ours, so
+        // adopting would index the wrong words. Fail fast with a typed
+        // error rather than spinning out the attach timeout.
+        for (const std::uint32_t retired : kRetiredMagics) {
+          if (seen == retired) {
+            mem_ = nullptr;
+            throw TableAttachError(
+                std::errc::invalid_argument,
+                "core table attach: block was formatted by a binary with a "
+                "retired slot-array layout revision; remove the stale "
+                "segment (CoreTableShm::remove) and restart the co-runners");
+          }
+        }
         if (std::chrono::steady_clock::now() >= deadline) {
           mem_ = nullptr;  // adopted nothing; leave the block untouched
           throw TableAttachError(
@@ -82,6 +109,13 @@ CoreTable::CoreTable(void* mem, unsigned num_cores, unsigned num_programs,
         std::this_thread::sleep_for(backoff);
         backoff = std::min(backoff * 2, std::chrono::microseconds(10000));
       }
+    }
+    if (h->layout_version != kLayoutVersion) {
+      mem_ = nullptr;
+      throw TableAttachError(
+          std::errc::invalid_argument,
+          "core table attach: slot-array layout revision does not match "
+          "this binary");
     }
     if (h->num_cores != num_cores || h->num_programs != num_programs) {
       mem_ = nullptr;
@@ -251,9 +285,17 @@ std::vector<CoreId> CoreTable::cores_used_by(ProgramId pid) const {
 }
 
 CoreTableLocal::CoreTableLocal(unsigned num_cores, unsigned num_programs)
-    : storage_(new std::byte[CoreTable::required_bytes(num_cores)]) {
-  table_ = std::make_unique<CoreTable>(storage_.get(), num_cores,
-                                       num_programs, /*initialize=*/true);
+    // operator new[] only guarantees max_align_t (16 B), but the strided
+    // slot array needs the block cache-line aligned like an mmap page is —
+    // over-allocate and round the base up.
+    : storage_(new std::byte[CoreTable::required_bytes(num_cores) +
+                             layout::kCacheLineBytes - 1]) {
+  const std::uintptr_t raw = reinterpret_cast<std::uintptr_t>(storage_.get());
+  const std::uintptr_t aligned =
+      (raw + layout::kCacheLineBytes - 1) & ~(layout::kCacheLineBytes - 1);
+  table_ = std::make_unique<CoreTable>(reinterpret_cast<void*>(aligned),
+                                       num_cores, num_programs,
+                                       /*initialize=*/true);
 }
 
 }  // namespace dws

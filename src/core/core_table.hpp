@@ -26,7 +26,9 @@
 #include <system_error>
 #include <vector>
 
+#include "core/core_ops.hpp"
 #include "core/types.hpp"
+#include "util/layout.hpp"
 
 namespace dws {
 
@@ -170,21 +172,49 @@ class CoreTable {
   [[nodiscard]] std::vector<CoreId> cores_used_by(ProgramId pid) const;
 
  private:
+  friend struct dws::layout::Access;  // layout_audit reads private layouts
+
   struct Header {
-    std::atomic<std::uint32_t> magic;
+    DWS_SHARED std::atomic<std::uint32_t> magic;
+    /// Slot-array layout revision baked into required_bytes/slots(). Kept
+    /// as an explicit header word *in addition to* the magic bump so a
+    /// future-version attacher can print which revision it found instead
+    /// of just timing out on a foreign magic.
+    std::uint32_t layout_version;
     std::uint32_t num_cores;
     std::uint32_t num_programs;
-    std::atomic<std::uint32_t> registered;
+    DWS_SHARED std::atomic<std::uint32_t> registered;
   };
   /// One per program id in [1, kLivenessSlots]; lives between the header
-  /// and the slot array.
+  /// and the slot array. Four records pack per cache line across
+  /// processes, which is a cross-domain packing by the layout discipline:
+  /// epoch is owner-heartbeat-written, os_pid is CAS-retired by foreign
+  /// sweepers. Heartbeats tick once per coordinator period (milliseconds),
+  /// so the interference traffic is negligible and striding 64 records to
+  /// a line each is not worth 3 KiB of shared memory.
+  // dws-layout: packed-ok heartbeat-rate writes only, one tick per
+  // coordinator period, measured interference is noise
   struct LivenessRecord {
-    std::atomic<std::uint32_t> os_pid;  ///< 0 = unbound / exited / swept
-    std::atomic<std::uint64_t> epoch;   ///< heartbeat counter, 0 = unbound
+    DWS_SHARED std::atomic<std::uint32_t> os_pid;  ///< 0 = unbound/swept
+    DWS_OWNED_BY(program)
+    std::atomic<std::uint64_t> epoch;  ///< heartbeat counter, 0 = unbound
   };
-  using Slot = std::atomic<std::uint32_t>;
+  /// Cacheline-strided CAS slot (layout revision 2). Every co-running
+  /// process hammers its claim/release CAS at these words, so each lives
+  /// alone on its line; the historical packed layout (16 slots/line) is
+  /// kept as PackedCoreSlot for the A/B guardrail and model checker.
+  using Slot = CoreOps<StdAtomicsPolicy>::Slot;
 
-  static constexpr std::uint32_t kMagic = 0xD1575AB1u;
+  /// Layout revision 2: strided slot array. Revision 1 (packed
+  /// std::atomic<uint32_t> slots) published magic 0xD1575AB1; the magic is
+  /// bumped with the layout so revision-1 binaries attaching a revision-2
+  /// segment (or vice versa) fail the attach handshake with a typed
+  /// TableAttachError instead of silently indexing the wrong offsets.
+  static constexpr std::uint32_t kLayoutVersion = 2;
+  static constexpr std::uint32_t kMagic = 0xD1575AB2u;
+  /// Magics of retired layout revisions, recognized only to fail fast
+  /// with a better message than an attach timeout.
+  static constexpr std::uint32_t kRetiredMagics[] = {0xD1575AB1u};
 
   [[nodiscard]] Header* header() const noexcept {
     return static_cast<Header*>(mem_);

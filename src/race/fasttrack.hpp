@@ -85,6 +85,7 @@
 #include "race/lockgraph.hpp"
 #include "race/report.hpp"
 #include "runtime/race_hook.hpp"
+#include "util/layout.hpp"
 
 namespace dws::race {
 
@@ -329,12 +330,14 @@ class FastTrack final : public ParallelHook {
   std::vector<RaceReport> races_;
   std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint8_t>> reported_;
 
-  std::atomic<std::uint64_t> races_found_{0};
-  std::atomic<std::uint64_t> tasks_executed_{0};
-  std::atomic<std::uint64_t> spawn_ordinal_{0};
+  // Detector bookkeeping, bumped from every instrumented thread — one
+  // shared domain; the detector is a diagnostic build, not a perf path.
+  DWS_SHARED std::atomic<std::uint64_t> races_found_{0};
+  DWS_SHARED std::atomic<std::uint64_t> tasks_executed_{0};
+  DWS_SHARED std::atomic<std::uint64_t> spawn_ordinal_{0};
   /// Frame (vector-clock index) allocator: one index per task body plus
   /// one per participating OS thread's root frame.
-  std::atomic<std::uint32_t> next_slot_{0};
+  DWS_SHARED std::atomic<std::uint32_t> next_slot_{0};
 };
 
 }  // namespace dws::race

@@ -17,6 +17,7 @@
 
 #include "core/coordinator_policy.hpp"
 #include "core/types.hpp"
+#include "util/layout.hpp"
 
 namespace dws::rt {
 
@@ -64,6 +65,8 @@ class Coordinator {
   }
 
  private:
+  friend struct dws::layout::Access;  // layout_audit reads private layouts
+
   void thread_main();
 
   Scheduler& sched_;
@@ -73,16 +76,22 @@ class Coordinator {
   std::unique_ptr<StaleSweeper> sweeper_;      // crash tolerance (optional)
 
   std::thread thread_;
-  std::mutex m_;
-  std::condition_variable cv_;
-  bool stop_requested_ = false;  // guarded by m_
+  // Stop/nudge handshake: written by the owning Scheduler (stop, nudge)
+  // and read by the coordinator thread — a different writer set than the
+  // tick counters below, so the two groups get separate lines.
+  DWS_SHARED std::mutex m_;
+  DWS_SHARED std::condition_variable cv_;
+  DWS_SHARED bool stop_requested_ = false;  // guarded by m_
 
-  std::atomic<std::uint64_t> ticks_{0};
-  std::atomic<std::uint64_t> wakes_{0};
-  std::atomic<std::uint64_t> cores_claimed_{0};
-  std::atomic<std::uint64_t> cores_reclaimed_{0};
-  std::atomic<std::uint64_t> stale_programs_swept_{0};
-  std::atomic<std::uint64_t> cores_recovered_{0};
+  // Monitoring counters, written by the coordinator thread alone on its
+  // once-per-period tick and read racily by stats snapshots.
+  alignas(layout::kCacheLineBytes) DWS_OWNED_BY(coordinator)
+      std::atomic<std::uint64_t> ticks_{0};
+  DWS_OWNED_BY(coordinator) std::atomic<std::uint64_t> wakes_{0};
+  DWS_OWNED_BY(coordinator) std::atomic<std::uint64_t> cores_claimed_{0};
+  DWS_OWNED_BY(coordinator) std::atomic<std::uint64_t> cores_reclaimed_{0};
+  DWS_OWNED_BY(coordinator) std::atomic<std::uint64_t> stale_programs_swept_{0};
+  DWS_OWNED_BY(coordinator) std::atomic<std::uint64_t> cores_recovered_{0};
 };
 
 }  // namespace dws::rt

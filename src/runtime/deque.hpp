@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/atomics_policy.hpp"
+#include "util/layout.hpp"
 
 // ThreadSanitizer does not model std::atomic_thread_fence, so the
 // fence-based release in push() is invisible to it and every owner->thief
@@ -218,11 +219,16 @@ class ChaseLevDeque {
   }
 
  private:
+  friend struct dws::layout::Access;  // layout_audit reads private layouts
+
   struct Buffer {
     explicit Buffer(std::size_t cap)
         : capacity(cap), mask(cap - 1), data(new Atomic<T>[cap]) {}
     const std::size_t capacity;
     const std::size_t mask;
+    // dws-layout: packed-ok ring elements are relaxed handoff cells, each
+    // written by the owner and read once by the winning thief — never a
+    // multi-writer CAS target, so striding them would only waste cache
     std::unique_ptr<Atomic<T>[]> data;
 
     void put(std::int64_t i, T v) {
@@ -252,12 +258,13 @@ class ChaseLevDeque {
     return bigger;
   }
 
-  alignas(64) Atomic<std::int64_t> top_;
-  alignas(64) Atomic<std::int64_t> bottom_;
+  alignas(64) DWS_SHARED Atomic<std::int64_t> top_;  // thieves CAS here
+  alignas(64) DWS_OWNED_BY(owner) Atomic<std::int64_t> bottom_;
+  DWS_OWNED_BY(owner)
   std::int64_t top_cache_ = 0;  // owner-local lower bound on top_
-  alignas(64) Atomic<Buffer*> buffer_;
-  alignas(64) Atomic<std::int64_t> inflight_thieves_{0};
-  std::vector<Buffer*> retired_;  // owner-only mutation (inside push)
+  alignas(64) DWS_OWNED_BY(owner) Atomic<Buffer*> buffer_;
+  alignas(64) DWS_SHARED Atomic<std::int64_t> inflight_thieves_{0};
+  std::vector<Buffer*> retired_;  // owner-only mutation (inside push, rare)
 };
 
 }  // namespace dws::rt

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "runtime/scheduler.hpp"
+#include "util/layout.hpp"
 #include "util/timer.hpp"
 
 namespace dws::rt {
@@ -76,10 +77,12 @@ class Observer {
   util::Stopwatch clock_;
 
   std::thread thread_;
-  std::mutex m_;
-  std::condition_variable cv_;
-  bool stop_requested_ = false;  // guarded by m_
-  std::atomic<bool> running_{false};
+  // One stop/start domain, written at millisecond sampling cadence —
+  // cold by the layout discipline's standards, so no striding.
+  DWS_SHARED std::mutex m_;
+  DWS_SHARED std::condition_variable cv_;
+  DWS_SHARED bool stop_requested_ = false;  // guarded by m_
+  DWS_SHARED std::atomic<bool> running_{false};
 };
 
 }  // namespace dws::rt

@@ -24,6 +24,7 @@
 #include "runtime/race_hook.hpp"
 #include "runtime/task.hpp"
 #include "runtime/worker.hpp"
+#include "util/layout.hpp"
 
 namespace dws::rt {
 
@@ -209,6 +210,7 @@ class Scheduler {
  private:
   friend class Worker;
   friend class Coordinator;
+  friend struct dws::layout::Access;  // layout_audit reads private layouts
 
   /// `w` is the spawning worker when it belongs to this scheduler (saves
   /// a second TLS lookup on the hot path), nullptr for external callers.
@@ -236,23 +238,32 @@ class Scheduler {
 
   // Injection inbox for external submissions (run() from the main
   // thread): an intrusive FIFO through TaskBase::inbox_next, so the cold
-  // path allocates nothing beyond the task itself.
-  std::mutex inbox_m_;
-  TaskBase* inbox_head_ = nullptr;  // guarded by inbox_m_
-  TaskBase* inbox_tail_ = nullptr;  // guarded by inbox_m_
-  std::atomic<std::size_t> inbox_size_{0};
-  std::atomic<std::uint64_t> external_spawns_{0};
+  // path allocates nothing beyond the task itself. Line-isolated as one
+  // sharing domain: submitters and draining workers write these together,
+  // and none of it should ping-pong with the idle-gate words below.
+  alignas(layout::kCacheLineBytes) DWS_SHARED std::mutex inbox_m_;
+  DWS_SHARED TaskBase* inbox_head_ = nullptr;  // guarded by inbox_m_
+  DWS_SHARED TaskBase* inbox_tail_ = nullptr;  // guarded by inbox_m_
+  DWS_SHARED std::atomic<std::size_t> inbox_size_{0};
+  DWS_SHARED std::atomic<std::uint64_t> external_spawns_{0};
 
   // Unfinished-task count for the idle gate: workers block here when the
   // program has no work at all instead of spinning per-policy.
-  std::atomic<std::int64_t> total_pending_{0};
-  std::mutex gate_m_;
-  std::condition_variable gate_cv_;
+  // total_pending_ is bumped by every spawn and completion from every
+  // worker — the scheduler's hottest multi-writer word, alone on its line.
+  alignas(layout::kCacheLineBytes) DWS_SHARED
+      std::atomic<std::int64_t> total_pending_{0};
+  alignas(layout::kCacheLineBytes) DWS_SHARED std::mutex gate_m_;
+  DWS_SHARED std::condition_variable gate_cv_;
 
-  std::atomic<bool> shutdown_{false};
-  std::atomic<int> cur_t_sleep_{0};  // resolved in the constructor
+  // Control words: written rarely (shutdown once, T_SLEEP escalation on
+  // sleep-cut events), read on worker loops — keep them off the gate
+  // lines so a gate broadcast does not invalidate every reader.
+  alignas(layout::kCacheLineBytes) DWS_SHARED std::atomic<bool> shutdown_{
+      false};
+  DWS_SHARED std::atomic<int> cur_t_sleep_{0};  // resolved in the constructor
 #ifndef DWS_RACE_DISABLED
-  std::atomic<race::ExecHook*> exec_hook_{nullptr};
+  DWS_SHARED std::atomic<race::ExecHook*> exec_hook_{nullptr};
 #endif
 };
 

@@ -21,6 +21,7 @@
 #include "runtime/race_hook.hpp"
 #include "runtime/strict.hpp"
 #include "runtime/task_pool.hpp"
+#include "util/layout.hpp"
 
 namespace dws::rt {
 
@@ -272,15 +273,22 @@ class TaskGroup {
   }
 
  private:
-  std::atomic<std::int64_t> pending_{0};
+  friend struct dws::layout::Access;  // layout_audit reads private layouts
+
+  // All hot words here form ONE sharing domain — the join protocol:
+  // spawners bump pending_, completers decrement it and signal through
+  // m_/cv_, the creator writes waited_. A TaskGroup lives on the waiting
+  // frame's stack for one join, so striding its words would buy nothing:
+  // the same threads touch all of them back to back.
+  DWS_SHARED std::atomic<std::int64_t> pending_{0};
   std::uintptr_t creator_tag_ = 0;  // 0 == strictness unarmed
   strict::Lineage creator_lineage_;  // empty for non-task creator frames
-  std::atomic<bool> waited_{false};
-  std::atomic<std::int32_t> signalers_{0};  // completers touching m_/cv_
-  std::atomic<bool> has_exception_{false};
+  DWS_SHARED std::atomic<bool> waited_{false};
+  DWS_SHARED std::atomic<std::int32_t> signalers_{0};  // completers, m_/cv_
+  DWS_SHARED std::atomic<bool> has_exception_{false};
   std::exception_ptr exception_;
-  std::mutex m_;
-  std::condition_variable cv_;
+  DWS_SHARED std::mutex m_;
+  DWS_SHARED std::condition_variable cv_;
 };
 
 inline void TaskBase::run_and_destroy() noexcept {

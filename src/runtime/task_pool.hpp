@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "core/atomics_policy.hpp"
+#include "util/layout.hpp"
 
 namespace dws::rt {
 
@@ -70,11 +71,15 @@ class TaskPool {
   static constexpr std::size_t kStorageAlign = alignof(std::max_align_t);
 
   /// One unit of task storage. `next` links free slots (local freelist or
-  /// remote chain) and is dead while the slot holds a live task.
+  /// remote chain) and is dead while the slot holds a live task. It is
+  /// shared-domain: remote release() CAS-chains through it from any
+  /// thread. Slots are already line-aligned, so next never interferes
+  /// with a *different* slot; within its own slot it shares with storage
+  /// only across the free/live phase boundary, never concurrently.
   struct alignas(64) Slot {
     TaskPool* home = nullptr;
     alignas(kStorageAlign) unsigned char storage[SlotBytes];
-    Atomic<Slot*> next{nullptr};
+    DWS_SHARED Atomic<Slot*> next{nullptr};
   };
 
   /// Whether a task type can live in a slot (size and alignment).
@@ -155,6 +160,8 @@ class TaskPool {
   }
 
  private:
+  friend struct dws::layout::Access;  // layout_audit reads private layouts
+
   static std::uintptr_t this_thread_tag() noexcept {
     thread_local char tag;
     return reinterpret_cast<std::uintptr_t>(&tag);
@@ -177,21 +184,28 @@ class TaskPool {
   // Owner-side state on its own line; the remote chain head is the only
   // cross-thread-written word, padded so thief pushes never bounce the
   // owner's freelist line.
-  alignas(64) Slot* local_head_ = nullptr;
+  alignas(64) DWS_OWNED_BY(owner) Slot* local_head_ = nullptr;
   std::uintptr_t owner_tag_ = 0;
   std::vector<std::unique_ptr<Slot[]>> slabs_;
-  alignas(64) Atomic<Slot*> remote_head_{nullptr};
+  alignas(64) DWS_SHARED Atomic<Slot*> remote_head_{nullptr};
 
   // Monitoring-only counters, deliberately OUTSIDE the atomics Policy:
   // routing them through Policy::atomic would multiply the model
   // checker's interleaving space by relaxed counter bumps that carry no
   // synchronization meaning. Each line carries its own waiver so the
   // dws-atomics-policy check stays loud for any *new* raw atomic here.
-  std::atomic<std::uint64_t> slab_allocs_{0};    // dws-lint-sanction: monitoring-only counter, not model-checked state
-  std::atomic<std::uint64_t> slot_allocs_{0};    // dws-lint-sanction: monitoring-only counter, not model-checked state
-  std::atomic<std::uint64_t> local_frees_{0};    // dws-lint-sanction: monitoring-only counter, not model-checked state
-  std::atomic<std::uint64_t> remote_frees_{0};   // dws-lint-sanction: monitoring-only counter, not model-checked state
-  std::atomic<std::uint64_t> remote_drains_{0};  // dws-lint-sanction: monitoring-only counter, not model-checked state
+  // The group starts on a fresh line so owner bumps never dirty the
+  // remote_head_ CAS line above; within the group, owner-bumped and
+  // remote-bumped counters still pack one line — accepted (packed-ok)
+  // because the remote-free path already paid a CAS on remote_head_ one
+  // line over, so the extra interference is marginal on a fallback path.
+  // dws-layout: packed-ok remote-free monitoring counters ride the same
+  // fallback path that just CASed remote_head_; not worth a line each
+  alignas(layout::kCacheLineBytes) DWS_OWNED_BY(owner) std::atomic<std::uint64_t> slab_allocs_{0};  // dws-lint-sanction: monitoring-only counter, not model-checked state
+  DWS_OWNED_BY(owner) std::atomic<std::uint64_t> slot_allocs_{0};    // dws-lint-sanction: monitoring-only counter, not model-checked state
+  DWS_OWNED_BY(owner) std::atomic<std::uint64_t> local_frees_{0};    // dws-lint-sanction: monitoring-only counter, not model-checked state
+  DWS_SHARED std::atomic<std::uint64_t> remote_frees_{0};   // dws-lint-sanction: monitoring-only counter, not model-checked state
+  DWS_SHARED std::atomic<std::uint64_t> remote_drains_{0};  // dws-lint-sanction: monitoring-only counter, not model-checked state
 };
 
 /// The production instantiation used for task storage. 192 bytes leaves

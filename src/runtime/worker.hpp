@@ -15,6 +15,7 @@
 #include "runtime/deque.hpp"
 #include "runtime/task.hpp"
 #include "runtime/task_pool.hpp"
+#include "util/layout.hpp"
 #include "util/rng.hpp"
 
 namespace dws::rt {
@@ -28,7 +29,14 @@ class Scheduler;
 class RelaxedCounter {
  public:
   RelaxedCounter() = default;
-  RelaxedCounter(const RelaxedCounter& o) noexcept : v_(o.load()) {}
+  // Copying is an explicit relaxed load/store pair, exactly like
+  // assignment: the source may be a *live* counter still being bumped by
+  // its owner (Scheduler::stats() aggregates per-worker counters without
+  // quiescing), so the copy must go through the atomic — never a plain
+  // member copy, which would be a racy 64-bit read and could tear.
+  RelaxedCounter(const RelaxedCounter& o) noexcept {
+    v_.store(o.load(), std::memory_order_relaxed);
+  }
   RelaxedCounter& operator=(const RelaxedCounter& o) noexcept {
     v_.store(o.load(), std::memory_order_relaxed);
     return *this;
@@ -47,6 +55,8 @@ class RelaxedCounter {
   }
 
  private:
+  // dws-layout: packed-ok single-field wrapper; each wrapping field
+  // declares the actual sharing domain (see WorkerStats)
   std::atomic<std::uint64_t> v_{0};
 };
 
@@ -54,15 +64,25 @@ class RelaxedCounter {
 /// snapshots, live Scheduler::stats() calls, test assertions) see relaxed
 /// monotonic values; exact totals are only guaranteed after the worker
 /// thread joined or the scheduler quiesced.
-struct WorkerStats {
-  RelaxedCounter tasks_executed;
-  RelaxedCounter steal_attempts;
-  RelaxedCounter steals;
-  RelaxedCounter failed_steals;
-  RelaxedCounter yields;
-  RelaxedCounter sleeps;
-  RelaxedCounter wakes;
+///
+/// The struct is cache-line aligned (and therefore padded to a line
+/// multiple) so the counters — bumped on every task execution and steal
+/// attempt — never share a line with whatever neighbouring Worker field a
+/// *different* thread writes; layout_audit tracks the concrete offsets.
+/// The nine counters packing two lines among themselves is deliberate:
+/// they have a single writer, so there is no destructive interference to
+/// stride away, only the owner's own locality to keep.
+struct alignas(layout::kCacheLineBytes) WorkerStats {
+  DWS_OWNED_BY(worker) RelaxedCounter tasks_executed;
+  DWS_OWNED_BY(worker) RelaxedCounter steal_attempts;
+  DWS_OWNED_BY(worker) RelaxedCounter steals;
+  DWS_OWNED_BY(worker) RelaxedCounter failed_steals;
+  DWS_OWNED_BY(worker) RelaxedCounter yields;
+  DWS_OWNED_BY(worker) RelaxedCounter sleeps;
+  DWS_OWNED_BY(worker) RelaxedCounter wakes;
+  DWS_OWNED_BY(worker)
   RelaxedCounter evictions;  ///< times this worker vacated a reclaimed core
+  DWS_OWNED_BY(worker)
   RelaxedCounter heap_spawns;  ///< spawns that fell back to new (see pool)
 };
 
@@ -116,6 +136,7 @@ class Worker {
 
  private:
   friend class Scheduler;
+  friend struct dws::layout::Access;  // layout_audit reads private layouts
 
   void thread_main();
   /// True when this worker must vacate its core (space-sharing modes only):
@@ -129,17 +150,24 @@ class Worker {
 
   Scheduler& sched_;
   const unsigned id_;
-  util::Xoshiro256 rng_;
+  DWS_OWNED_BY(worker) util::Xoshiro256 rng_;
   StealPolicy policy_;
-  ChaseLevDeque<TaskBase*> deque_;
-  TaskSlabPool pool_;
-  WorkerStats stats_;
+  ChaseLevDeque<TaskBase*> deque_;  // line-isolates its own hot words
+  TaskSlabPool pool_;               // line-isolates its own hot words
+  WorkerStats stats_;               // alignas(64), owner-written only
 
   std::thread thread_;
-  std::atomic<int> state_{static_cast<int>(State::kActive)};
-  std::mutex m_;
-  std::condition_variable cv_;
-  bool wake_pending_ = false;  // guarded by m_
+  // Wake domain: state_ is CASed/stored by the coordinator and the owner,
+  // and m_/cv_/wake_pending_ move together with it under the sleep/wake
+  // handshake — one sharing domain, isolated on its own line(s) so
+  // coordinator wakes never invalidate stats_ (above) in the owner's
+  // cache. thread_ precedes the alignas boundary: it is written only
+  // before/after the thread runs, so sharing its line is harmless.
+  alignas(layout::kCacheLineBytes) DWS_SHARED std::atomic<int> state_{
+      static_cast<int>(State::kActive)};
+  DWS_SHARED std::mutex m_;
+  DWS_SHARED std::condition_variable cv_;
+  DWS_SHARED bool wake_pending_ = false;  // guarded by m_
 };
 
 /// The worker currently executing on this thread (nullptr on external

@@ -1,0 +1,184 @@
+// Cache-line layout discipline for concurrent structs.
+//
+// DWS's hot structures are all built around the same invariant: a word
+// written by one thread (or process) must not share a cache line with a
+// word written by another, or every store turns into a coherence miss for
+// the neighbour ("Scheduling computations with provably low synchronization
+// overheads" makes block transfers the dominating cost at scale). This
+// header gives that invariant a name in the source:
+//
+//  - DWS_OWNED_BY(owner) / DWS_SHARED annotate *fields* with their sharing
+//    domain. "owned_by:worker" means only the owning worker writes it
+//    (foreign threads may read); "shared" means multiple threads write it
+//    (CAS words, inbox heads, shutdown flags). The dws-false-sharing
+//    clang-tidy check (tools/tidy/FalseSharingCheck.cpp) reads these
+//    annotations and requires fields of *different* domains to be
+//    alignas(kCacheLineBytes)-isolated or carry an explicit
+//    `// dws-layout: packed-ok <reason>` sanction.
+//  - The audit API below lets tools/layout_audit enumerate the concrete
+//    layout (size, field offsets, cache-line map, cross-domain conflicts)
+//    of every registered struct and emit results/layout_audit.json, which
+//    CI diffs against the committed docs/layout_golden.json so any layout
+//    change is an explicit, reviewed diff.
+//
+// The annotations compile to [[clang::annotate]] under clang (visible to
+// the tidy plugin's AST matchers) and to nothing under other compilers, so
+// gcc builds are unaffected.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#if defined(__clang__)
+#define DWS_OWNED_BY(owner) [[clang::annotate("dws::owned_by:" #owner)]]
+#define DWS_SHARED [[clang::annotate("dws::shared")]]
+#else
+#define DWS_OWNED_BY(owner)
+#define DWS_SHARED
+#endif
+
+namespace dws::layout {
+
+/// Destructive-interference granularity the layout discipline targets.
+/// std::hardware_destructive_interference_size is deliberately not used:
+/// it is a compile-time constant that varies across compiler versions and
+/// flags, which would make the committed layout golden unstable.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Audit hook: structs registered with tools/layout_audit declare
+/// `friend struct dws::layout::Access;` so the audit translation unit can
+/// take offsetof() of private members without widening their real API.
+struct Access;
+
+// ---- Audit records ----------------------------------------------------
+
+/// One field of an audited struct, as the audit binary reports it.
+struct FieldInfo {
+  std::string name;
+  std::size_t offset = 0;
+  std::size_t size = 0;
+  std::size_t align = 0;
+  /// Sharing domain mirrored from the field's DWS_OWNED_BY/DWS_SHARED
+  /// annotation: "owned_by:<owner>", "shared", or "" for cold/untracked
+  /// fields. The audit registry re-declares the domain (attributes are not
+  /// introspectable at runtime); dws-false-sharing enforces the source
+  /// annotations themselves, so a divergence between the two is a review
+  /// error the golden diff makes visible.
+  std::string domain;
+};
+
+/// A set of fields whose extents overlap one cache line while belonging to
+/// at least two distinct sharing domains — the definition of (potential)
+/// destructive interference this repo audits for.
+struct LineConflict {
+  std::size_t line = 0;  ///< cache-line index within the struct
+  std::vector<std::string> fields;
+  std::vector<std::string> domains;
+};
+
+/// Full audited layout of one struct.
+struct StructInfo {
+  std::string name;
+  std::size_t size = 0;
+  std::size_t align = 0;
+  std::vector<FieldInfo> fields;
+  /// Reason a known cross-domain packing is accepted (mirrors the
+  /// `// dws-layout: packed-ok <reason>` sanction at the declaration);
+  /// empty when the struct is expected conflict-free.
+  std::string packed_ok;
+};
+
+/// Collects one struct's fields and computes its conflicts; append-only
+/// builder used by the DWS_AUDIT_* macros below.
+class StructBuilder {
+ public:
+  StructBuilder(std::vector<StructInfo>& out, std::string name,
+                std::size_t size, std::size_t align)
+      : out_(out) {
+    info_.name = std::move(name);
+    info_.size = size;
+    info_.align = align;
+  }
+  StructBuilder(const StructBuilder&) = delete;
+  StructBuilder& operator=(const StructBuilder&) = delete;
+  ~StructBuilder() { out_.push_back(std::move(info_)); }
+
+  void field(std::string name, std::size_t offset, std::size_t size,
+             std::size_t align, std::string domain) {
+    info_.fields.push_back(
+        {std::move(name), offset, size, align, std::move(domain)});
+  }
+
+  /// Record the struct-level packed-ok sanction (see StructInfo::packed_ok).
+  void packed_ok(std::string reason) { info_.packed_ok = std::move(reason); }
+
+ private:
+  std::vector<StructInfo>& out_;
+  StructInfo info_;
+};
+
+/// Cache lines [first, last] (inclusive) a field extent touches.
+[[nodiscard]] constexpr std::pair<std::size_t, std::size_t> lines_of(
+    std::size_t offset, std::size_t size) noexcept {
+  const std::size_t last = offset + (size > 0 ? size - 1 : 0);
+  return {offset / kCacheLineBytes, last / kCacheLineBytes};
+}
+
+/// Cross-domain conflicts of one audited struct: for every cache line the
+/// struct spans, the domain-annotated fields overlapping it; a conflict is
+/// a line with ≥ 2 distinct non-empty domains. Unannotated (cold) fields
+/// never conflict — the discipline is about *writer* domains.
+[[nodiscard]] inline std::vector<LineConflict> conflicts_of(
+    const StructInfo& s) {
+  std::vector<LineConflict> out;
+  const std::size_t num_lines =
+      (s.size + kCacheLineBytes - 1) / kCacheLineBytes;
+  for (std::size_t line = 0; line < num_lines; ++line) {
+    LineConflict c;
+    c.line = line;
+    for (const FieldInfo& f : s.fields) {
+      if (f.domain.empty()) continue;
+      const auto [first, last] = lines_of(f.offset, f.size);
+      if (line < first || line > last) continue;
+      c.fields.push_back(f.name);
+      bool seen = false;
+      for (const std::string& d : c.domains) seen = seen || d == f.domain;
+      if (!seen) c.domains.push_back(f.domain);
+    }
+    if (c.domains.size() >= 2) out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace dws::layout
+
+// ---- Audit registration macros ----------------------------------------
+//
+// Used inside dws::layout::Access member functions (the friend hook) in
+// tools/layout_audit/main.cpp, one block per struct:
+//
+//   {
+//     DWS_AUDIT_STRUCT(out, dws::WorkerStats);
+//     DWS_AUDIT_FIELD(tasks_executed, "owned_by:worker");
+//     ...
+//   }
+//
+// offsetof on our non-standard-layout structs is conditionally-supported;
+// the audit target compiles with -Wno-invalid-offsetof and every audited
+// type is verified standard-enough by its own tests.
+
+#define DWS_AUDIT_STRUCT(out, ...)                                    \
+  ::dws::layout::StructBuilder dws_audit_builder{                     \
+      (out), #__VA_ARGS__, sizeof(__VA_ARGS__), alignof(__VA_ARGS__)}; \
+  using DwsAuditType = __VA_ARGS__
+
+#define DWS_AUDIT_FIELD(member, domain)                                  \
+  dws_audit_builder.field(                                               \
+      #member, offsetof(DwsAuditType, member),                           \
+      sizeof(static_cast<DwsAuditType*>(nullptr)->member),               \
+      alignof(decltype(static_cast<DwsAuditType*>(nullptr)->member)),    \
+      (domain))
+
+#define DWS_AUDIT_PACKED_OK(reason) dws_audit_builder.packed_ok((reason))

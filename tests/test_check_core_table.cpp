@@ -17,6 +17,7 @@ using check::Options;
 using check::Result;
 using check::Sim;
 
+// Default slot layout (cacheline-strided since shm layout revision 2).
 using Ops = CoreOps<check::CheckAtomicsPolicy>;
 
 Options exhaustive(int preemption_bound = 3) {
@@ -62,7 +63,7 @@ TEST(CoreTableCheck, ClaimRaceHasOneWinner) {
 TEST(CoreTableCheck, ReclaimVsRelease) {
   const Result r = check::explore(exhaustive(), [](Sim& sim) {
     struct State {
-      State() : t(2) { t.slots[0].store(2, std::memory_order_relaxed); }
+      State() : t(2) { t.slots[0].user.store(2, std::memory_order_relaxed); }
       Table t;
       bool reclaimed = false, released = false;
     };
@@ -97,7 +98,7 @@ TEST(CoreTableCheck, ReclaimVsRelease) {
 TEST(CoreTableCheck, ClaimVsReclaimAfterRelease) {
   const Result r = check::explore(exhaustive(), [](Sim& sim) {
     struct State {
-      State() : t(3) { t.slots[0].store(2, std::memory_order_relaxed); }
+      State() : t(3) { t.slots[0].user.store(2, std::memory_order_relaxed); }
       Table t;  // 3 cores, 3 programs: core 0 homes program 1
       bool released = false, reclaimed = false, claimed = false;
     };
@@ -171,8 +172,8 @@ TEST(CoreTableCheck, NaiveClaimImplementationIsCaught) {
     };
     auto st = std::make_shared<State>();
     auto naive_claim = [st](ProgramId pid, bool* won) {
-      if (st->t.slots[0].load(std::memory_order_acquire) == kNoProgram) {
-        st->t.slots[0].store(pid, std::memory_order_release);
+      if (st->t.slots[0].user.load(std::memory_order_acquire) == kNoProgram) {
+        st->t.slots[0].user.store(pid, std::memory_order_release);
         *won = true;
       }
     };
@@ -220,7 +221,7 @@ TEST(CoreTableCheck, AccountingHelpersQuiescent) {
 TEST(CoreTableCheck, StaleSweepVsCooperativeRelease) {
   const Result r = check::explore(exhaustive(), [](Sim& sim) {
     struct State {
-      State() : t(2) { t.slots[0].store(2, std::memory_order_relaxed); }
+      State() : t(2) { t.slots[0].user.store(2, std::memory_order_relaxed); }
       Table t;
       bool coop = false;    // dying owner's in-flight release
       bool forced = false;  // sweeper's force-release
@@ -252,7 +253,7 @@ TEST(CoreTableCheck, StaleSweepVsCooperativeRelease) {
 TEST(CoreTableCheck, StaleSweepVsHomeReclaim) {
   const Result r = check::explore(exhaustive(), [](Sim& sim) {
     struct State {
-      State() : t(2) { t.slots[0].store(2, std::memory_order_relaxed); }
+      State() : t(2) { t.slots[0].user.store(2, std::memory_order_relaxed); }
       Table t;
       bool forced = false;
       bool reclaimed = false;
@@ -273,6 +274,61 @@ TEST(CoreTableCheck, StaleSweepVsHomeReclaim) {
   });
   EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
   EXPECT_FALSE(r.truncated);
+}
+
+// ---- Slot-layout independence (shm layout revision 2) ----
+//
+// The strided slot layout changes only *where* the CAS word lives, never
+// the transitions over it: CoreOps is parameterized on the slot template
+// and every op goes through slots[core].user. Run the claim/release/
+// reclaim arbitration storm over BOTH layouts to prove the protocol's
+// outcomes are layout-independent — a regression here would mean a slot
+// template smuggled semantics (e.g. extra state) into the layout.
+template <template <typename> class SlotT>
+void check_claim_release_reclaim_storm() {
+  using LOps = CoreOps<check::CheckAtomicsPolicy, SlotT>;
+  const Result r = check::explore(exhaustive(), [](Sim& sim) {
+    struct State {
+      State() : slots(new typename LOps::Slot[2]) {
+        slots[0].user.store(2, std::memory_order_relaxed);
+      }
+      std::unique_ptr<typename LOps::Slot[]> slots;
+      bool released = false, reclaimed = false, claimed = false;
+    };
+    auto st = std::make_shared<State>();
+    // Borrower (2) releases its borrowed core, home owner (1) reclaims it,
+    // and a thief-side claim races for the freed slot — the same triangle
+    // as ClaimVsReclaimAfterRelease, on 2 cores / 2 programs.
+    sim.spawn([st] { st->released = LOps::release(st->slots.get(), 0, 2); });
+    sim.spawn(
+        [st] { st->reclaimed = LOps::try_reclaim(st->slots.get(), 2, 2, 0, 1); });
+    sim.spawn([st] { st->claimed = LOps::try_claim(st->slots.get(), 0, 1); });
+    sim.on_exit([st] {
+      check::expect(!st->claimed || st->released,
+                    "claim won without a preceding release");
+      const ProgramId user = LOps::user_of(st->slots.get(), 0);
+      ProgramId expected = 2;
+      if (st->reclaimed || st->claimed) {
+        expected = 1;
+      } else if (st->released) {
+        expected = kNoProgram;
+      }
+      check::expect(user == expected, "slot state inconsistent with winners");
+      check::expect(user != 2u || (!st->released && !st->reclaimed),
+                    "transitions lost under this slot layout");
+    });
+  });
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+  EXPECT_FALSE(r.truncated);
+  EXPECT_GT(r.executions, 1);
+}
+
+TEST(CoreTableCheck, LayoutIndependenceStrided) {
+  check_claim_release_reclaim_storm<StridedCoreSlot>();
+}
+
+TEST(CoreTableCheck, LayoutIndependencePacked) {
+  check_claim_release_reclaim_storm<PackedCoreSlot>();
 }
 
 }  // namespace

@@ -239,6 +239,70 @@ TEST(CrashRecovery, OwnerKilledMidReclaimLeavesNoStuckCores) {
 }
 
 // ---------------------------------------------------------------------------
+// Corpse sweep on the revision-2 (cacheline-strided) slot layout. The
+// dead program's cores interleave with the survivor's core-by-core, so
+// every force-release CAS in the sweep lands on a line whose neighbour
+// slots belong to the survivor: the sweep must free exactly the corpse's
+// cores and leave the interleaved survivor slots untouched — the
+// per-slot-per-line isolation property the layout bump bought. Also
+// pins the shm footprint actually carrying the stride (required_bytes
+// covers one full line per core).
+TEST(CrashRecovery, StridedLayoutCorpseSweepLeavesInterleavedSurvivorAlone) {
+  ShmGuard guard(unique_name("strided"));
+  SyncFlags flags;
+  constexpr unsigned kCores = 8;
+
+  EXPECT_GE(CoreTable::required_bytes(kCores),
+            static_cast<std::size_t>(kCores) * layout::kCacheLineBytes)
+      << "slot array no longer strided one cache line per core?";
+
+  const pid_t child = spawn_process([&] {
+    CoreTableShm shm(guard.name(), kCores, 2);
+    CoreTable& t = shm.table();
+    const ProgramId me = t.register_program();  // id 1
+    if (!t.bind_liveness(me, static_cast<std::uint32_t>(::getpid()))) {
+      return 1;
+    }
+    // Claim the even cores only, leaving the odd ones for the parent:
+    // strictly interleaved ownership across adjacent slot lines.
+    for (CoreId c = 0; c < kCores; c += 2) {
+      if (!t.try_claim(c, me)) return 2;
+    }
+    flags.raise(0);  // crash point: evens held, liveness bound
+    for (;;) std::this_thread::sleep_for(1h);
+  });
+  ASSERT_TRUE(flags.wait_for(0));
+
+  CoreTableShm shm(guard.name(), kCores, 2, fast_timeout());
+  CoreTable& t = shm.table();
+  const ProgramId me = t.register_program();  // id 2
+  ASSERT_TRUE(t.bind_liveness(me, static_cast<std::uint32_t>(::getpid())));
+  for (CoreId c = 1; c < kCores; c += 2) ASSERT_TRUE(t.try_claim(c, me));
+
+  kill_process(child);
+  EXPECT_EQ(wait_process(child), 137);
+
+  constexpr unsigned kStalePeriods = 2;
+  StaleSweeper sweeper(t, me, kStalePeriods);
+  StaleSweepResult result;
+  unsigned sweeps = 0;
+  while (result.empty()) {
+    ASSERT_LE(++sweeps, kStalePeriods + 1);
+    result = sweeper.sweep();
+  }
+  ASSERT_EQ(result.declared_dead.size(), 1u);
+  EXPECT_EQ(result.declared_dead[0], 1u);
+  // Exactly the corpse's even cores were freed...
+  ASSERT_EQ(result.freed.size(), kCores / 2);
+  for (const CoreId c : result.freed) EXPECT_EQ(c % 2, 0u);
+  EXPECT_EQ(t.count_free(), kCores / 2);
+  // ...and every interleaved survivor slot still reads our pid: the
+  // sweep's CASes on the adjacent lines disturbed nothing of ours.
+  for (CoreId c = 1; c < kCores; c += 2) EXPECT_EQ(t.user_of(c), me);
+  EXPECT_EQ(t.count_active(me), kCores / 2);
+}
+
+// ---------------------------------------------------------------------------
 // The headline end-to-end scenario: two full Scheduler instances co-run
 // as separate OS processes over the shm table; one is SIGKILLed while
 // actively working (holding cores); the survivor's coordinator must sweep

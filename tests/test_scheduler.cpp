@@ -296,6 +296,77 @@ TEST(SchedulerStats, CountsTasksExactly) {
             static_cast<std::uint64_t>(kTasks) + 1);
 }
 
+// Regression for the RelaxedCounter copy path: the counter's copy
+// constructor/assignment must be an explicit relaxed load/store pair. A
+// defaulted copy would be a plain 64-bit read racing the owner's
+// fetch_add — undefined behaviour, a TSan report, and a possible torn
+// value on 32-bit targets. The observable contract of an atomic snapshot
+// of a monotonic counter is monotonicity: successive copies never go
+// backwards and never exceed the owner's final quiesced total.
+TEST(SchedulerStats, RelaxedCounterCopiesFromLiveOwnerAreMonotonic) {
+  RelaxedCounter counter;
+  std::atomic<bool> stop{false};
+  constexpr std::uint64_t kBumps = 200000;
+  std::thread owner([&] {
+    for (std::uint64_t i = 0; i < kBumps && !stop.load(); ++i) ++counter;
+  });
+  std::uint64_t last = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const RelaxedCounter copy = counter;       // copy-construct from live
+    RelaxedCounter assigned;
+    assigned = counter;                        // copy-assign from live
+    const std::uint64_t c = copy.load();
+    EXPECT_GE(c, last) << "snapshot went backwards (torn read?)";
+    EXPECT_LE(c, kBumps);
+    EXPECT_GE(assigned.load(), c) << "later snapshot below earlier one";
+    EXPECT_LE(assigned.load(), kBumps);
+    last = c;
+  }
+  stop.store(true);
+  owner.join();
+}
+
+// The same property end-to-end: Scheduler::stats() copies every worker's
+// WorkerStats (nine RelaxedCounters each) while the workers are still
+// executing tasks and bumping them. Live snapshots must be tear-free —
+// per-counter monotonic across calls and bounded by the quiesced final
+// totals. (Under -DDWS_TSAN=ON this test is also the TSan witness that
+// live aggregation is race-annotation clean.)
+TEST(SchedulerStats, LiveAggregationIsTearFree) {
+  Scheduler sched(make_config(SchedMode::kDws, 4));
+  std::atomic<bool> stop{false};
+  std::thread pump([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      parallel_for_each_index(sched, 0, 2000, 8, [](std::int64_t) {});
+    }
+  });
+  std::uint64_t last_tasks = 0;
+  std::uint64_t last_attempts = 0;
+  for (int i = 0; i < 300; ++i) {
+    const SchedulerStats s = sched.stats();
+    const std::uint64_t tasks = s.totals.tasks_executed;
+    const std::uint64_t attempts = s.totals.steal_attempts;
+    EXPECT_GE(tasks, last_tasks) << "live totals went backwards";
+    EXPECT_GE(attempts, last_attempts);
+    // stats() copies each worker's WorkerStats strictly before re-reading
+    // the live counters into totals, so the per-worker copies can only
+    // lag the totals, never exceed them.
+    std::uint64_t per_worker_sum = 0;
+    for (const WorkerStats& w : s.per_worker) {
+      per_worker_sum += w.tasks_executed;
+    }
+    EXPECT_LE(per_worker_sum, tasks);
+    last_tasks = tasks;
+    last_attempts = attempts;
+  }
+  stop.store(true);
+  pump.join();
+  // Quiesced: snapshots taken during the run never exceeded the final
+  // count (a torn read would have produced a wild overshoot).
+  const std::uint64_t final_tasks = sched.stats().totals.tasks_executed;
+  EXPECT_LE(last_tasks, final_tasks);
+}
+
 TEST(SchedulerLifecycle, ImmediateDestructionIsClean) {
   for (SchedMode mode : {SchedMode::kClassic, SchedMode::kAbp, SchedMode::kEp,
                          SchedMode::kDws, SchedMode::kDwsNc}) {

@@ -1,0 +1,208 @@
+#include "AtomicArrayCheck.h"
+
+#include <string>
+#include <vector>
+
+#include "DwsTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/DeclTemplate.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace dws {
+
+static const char kDefaultEnforcedPaths[] = "src/";
+static const char kDefaultIgnoredPaths[] = "src/check/";
+static const char kDefaultHotTypes[] = "RelaxedCounter";
+
+AtomicArrayCheck::AtomicArrayCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      EnforcedPaths(splitPathList(
+          Options.get("EnforcedPaths", kDefaultEnforcedPaths))),
+      IgnoredPaths(
+          splitPathList(Options.get("IgnoredPaths", kDefaultIgnoredPaths))),
+      HotTypes(splitPathList(Options.get("HotTypes", kDefaultHotTypes))),
+      LineBytes(Options.get("LineBytes", 64U)) {}
+
+void AtomicArrayCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "EnforcedPaths", joinPathList(EnforcedPaths));
+  Options.store(Opts, "IgnoredPaths", joinPathList(IgnoredPaths));
+  Options.store(Opts, "HotTypes", joinPathList(HotTypes));
+  Options.store(Opts, "LineBytes", LineBytes);
+}
+
+void AtomicArrayCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(fieldDecl(unless(isImplicit()),
+                               unless(isInTemplateInstantiation()))
+                         .bind("decl"),
+                     this);
+  Finder->addMatcher(varDecl(unless(isImplicit()), unless(parmVarDecl()),
+                             unless(isInTemplateInstantiation()))
+                         .bind("decl"),
+                     this);
+}
+
+namespace {
+
+/// The element type when `T` declares contiguous element storage: a C
+/// array (including dependent-sized), std::array, std::vector, or the
+/// array form of std::unique_ptr. Null QualType otherwise — a plain
+/// unique_ptr<T> owns one element and cannot pack a line.
+QualType arrayElementType(QualType T, ASTContext &Ctx) {
+  if (T.isNull())
+    return {};
+  if (const ArrayType *AT = Ctx.getAsArrayType(T))
+    return AT->getElementType();
+  const auto *RT = T->getAs<RecordType>();
+  if (RT == nullptr)
+    return {};
+  const auto *Spec = dyn_cast<ClassTemplateSpecializationDecl>(RT->getDecl());
+  if (Spec == nullptr)
+    return {};
+  const auto *Tmpl = Spec->getSpecializedTemplate();
+  if (Tmpl == nullptr)
+    return {};
+  const std::string Name = Tmpl->getQualifiedNameAsString();
+  if (Name != "std::vector" && Name != "std::array" &&
+      Name != "std::unique_ptr")
+    return {};
+  const TemplateArgumentList &Args = Spec->getTemplateArgs();
+  if (Args.size() == 0 || Args[0].getKind() != TemplateArgument::Type)
+    return {};
+  QualType Elem = Args[0].getAsType();
+  if (Name == "std::unique_ptr") {
+    const ArrayType *AT = Ctx.getAsArrayType(Elem);
+    if (AT == nullptr)
+      return {};
+    Elem = AT->getElementType();
+  }
+  return Elem;
+}
+
+/// The record definition behind `T`, looking through dependent template
+/// specializations to the primary template's pattern — so
+/// `PackedSlot<Policy>` inside a template still exposes its fields and
+/// attributes. Null for non-record types.
+const CXXRecordDecl *recordDeclFor(QualType T) {
+  if (const CXXRecordDecl *RD = T->getAsCXXRecordDecl())
+    return RD->getDefinition();
+  if (const auto *TST = T->getAs<TemplateSpecializationType>())
+    if (const TemplateDecl *TD = TST->getTemplateName().getAsTemplateDecl())
+      if (const auto *CTD = dyn_cast<ClassTemplateDecl>(TD))
+        if (const CXXRecordDecl *P = CTD->getTemplatedDecl())
+          return P->getDefinition();
+  return nullptr;
+}
+
+/// Hot element: the element type is itself an atomic (typedef-proof, see
+/// typeIsHotAtomic) or a record with at least one atomic field — the
+/// CoreTable::Slot shape, where the CAS word hides one struct level down.
+bool elementIsHot(QualType Elem, const std::vector<std::string> &HotTypes) {
+  if (typeIsHotAtomic(Elem, HotTypes))
+    return true;
+  const CXXRecordDecl *RD = recordDeclFor(Elem);
+  if (RD == nullptr)
+    return false;
+  for (const FieldDecl *FD : RD->fields())
+    if (typeIsHotAtomic(FD->getType(), HotTypes))
+      return true;
+  return false;
+}
+
+/// True when elements already occupy a full line each: concrete types by
+/// their computed alignment, dependent record patterns by an alignas on
+/// the primary template (StridedCoreSlot<Policy> resolves here).
+bool elementLineStrided(QualType Elem, const ASTContext &Ctx,
+                        unsigned LineBytes) {
+  if (!Elem->isDependentType() && !Elem->isIncompleteType())
+    return Ctx.getTypeAlignInChars(Elem).getQuantity() >=
+           static_cast<int64_t>(LineBytes);
+  if (const CXXRecordDecl *RD = recordDeclFor(Elem)) {
+    for (const auto *A : RD->specific_attrs<AlignedAttr>()) {
+      if (A->isAlignmentDependent())
+        return true;  // benefit of the doubt inside template patterns
+      if (A->getAlignment(const_cast<ASTContext &>(Ctx)) >= LineBytes * 8)
+        return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void AtomicArrayCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  ASTContext &Ctx = *Result.Context;
+  const auto *D = Result.Nodes.getNodeAs<DeclaratorDecl>("decl");
+  if (D == nullptr)
+    return;
+  SourceLocation Loc = D->getLocation();
+  if (Loc.isInvalid() || SM.isInSystemHeader(SM.getExpansionLoc(Loc)))
+    return;
+  if (!EnforcedPaths.empty() && !locInAnyPath(SM, Loc, EnforcedPaths))
+    return;
+  if (locInAnyPath(SM, Loc, IgnoredPaths))
+    return;
+
+  QualType T = D->getType();
+  QualType Elem = arrayElementType(T, Ctx);
+  if (!Elem.isNull()) {
+    if (!elementIsHot(Elem, HotTypes))
+      return;
+    if (elementLineStrided(Elem, Ctx, LineBytes))
+      return;
+    if (hasLayoutSanctionNear(SM, Loc))
+      return;
+    // Show how densely the CAS words pack when the element size is known.
+    std::string Density;
+    if (!Elem->isDependentType() && !Elem->isIncompleteType()) {
+      const int64_t Size = Ctx.getTypeSizeInChars(Elem).getQuantity();
+      if (Size > 0 && Size < static_cast<int64_t>(LineBytes))
+        Density =
+            " (" + std::to_string(LineBytes / Size) + " elements per line)";
+    }
+    diag(Loc,
+         "%0 is an array of sub-cacheline atomic elements%1: independently "
+         "written words pack each %2-byte cache line, so every store or CAS "
+         "invalidates its neighbours' lines — the packed CoreTable::Slot "
+         "pattern; stride the element type with alignas(%2) or sanction "
+         "with '// dws-layout: packed-ok <reason>'")
+        << D << llvm::StringRef(Density) << LineBytes;
+    return;
+  }
+
+  // Still-dependent container types (e.g. std::unique_ptr<Atomic<T>[]> in
+  // a template pattern) never desugar: classify by the written spelling,
+  // exactly like dws-atomics-policy does for Policy-injected aliases.
+  if (!T->isDependentType())
+    return;
+  const std::string Spelling = T.getAsString();
+  const bool ArrayLike = Spelling.find("[]") != std::string::npos ||
+                         Spelling.find("vector<") != std::string::npos;
+  if (!ArrayLike)
+    return;
+  bool Hot = Spelling.find("atomic") != std::string::npos ||
+             Spelling.find("Atomic") != std::string::npos;
+  for (const std::string &H : HotTypes)
+    if (!Hot && Spelling.find(H) != std::string::npos)
+      Hot = true;
+  if (!Hot)
+    return;
+  if (hasLayoutSanctionNear(SM, Loc))
+    return;
+  diag(Loc,
+       "%0 is declared as an array of atomics ('%1') in a template pattern; "
+       "unless the element type is alignas(%2)-strided, independently "
+       "written words will pack each %2-byte cache line in every "
+       "instantiation — stride the element type or sanction with "
+       "'// dws-layout: packed-ok <reason>'")
+      << D << llvm::StringRef(Spelling) << LineBytes;
+}
+
+}  // namespace dws
+}  // namespace tidy
+}  // namespace clang

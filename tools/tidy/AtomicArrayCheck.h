@@ -1,0 +1,51 @@
+// dws-atomic-array: flags arrays (C arrays, std::array, std::vector,
+// std::unique_ptr<T[]>) whose elements are sub-cacheline atomics — the
+// historical CoreTable::Slot pattern, where 16 independently-CASed
+// 4-byte words pack one 64-byte line and every co-runner's CAS
+// invalidates its 15 neighbours' cache lines.
+//
+// An array is accepted when:
+//  - the element type is padded/strided to at least a cache line
+//    (alignof(element) >= 64, e.g. StridedCoreSlot), or
+//  - the declaration is sanctioned with `// dws-layout: packed-ok
+//    <reason>` (or a regular `// dws-lint-sanction:`) on its line or in
+//    the comment block directly above — the escape hatch for handoff
+//    buffers like the Chase-Lev ring, whose elements are single-writer
+//    cells rather than CAS targets.
+//
+// Element types are detected through typedef chains (desugared match);
+// inside still-dependent template patterns the written spelling decides
+// (a `std::unique_ptr<Atomic<T>[]>` never desugars), so Policy-atomic
+// element types cannot be laundered through aliases either.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace dws {
+
+class AtomicArrayCheck : public ClangTidyCheck {
+public:
+  AtomicArrayCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  /// Paths the discipline is enforced under (empty = everywhere).
+  std::vector<std::string> EnforcedPaths;
+  /// Paths exempted even when under EnforcedPaths.
+  std::vector<std::string> IgnoredPaths;
+  /// Record type names treated as hot like std::atomic itself.
+  std::vector<std::string> HotTypes;
+  /// Destructive-interference granularity in bytes.
+  unsigned LineBytes;
+};
+
+}  // namespace dws
+}  // namespace tidy
+}  // namespace clang

@@ -1,13 +1,15 @@
 // clang-tidy plugin module for the DWS concurrency discipline.
 //
 // Built as a shared object and loaded with `clang-tidy -load=...`; the
-// five checks below promote scripts/lint.sh's regex passes to
-// AST-accurate analyses (typedef-proof, macro-expansion-aware, immune
-// to doc-comment false positives) and add two audits regexes cannot
-// express at all (annotation coverage, TaskGroup escape).
+// checks below promote scripts/lint.sh's regex passes to AST-accurate
+// analyses (typedef-proof, macro-expansion-aware, immune to doc-comment
+// false positives) and add audits regexes cannot express at all
+// (annotation coverage, TaskGroup escape, cache-line interference).
 
 #include "AnnotationCoverageCheck.h"
+#include "AtomicArrayCheck.h"
 #include "AtomicsPolicyCheck.h"
+#include "FalseSharingCheck.h"
 #include "LockOrderCheck.h"
 #include "RawSyncCheck.h"
 #include "TaskGroupEscapeCheck.h"
@@ -27,6 +29,8 @@ public:
         "dws-annotation-coverage");
     Factories.registerCheck<AtomicsPolicyCheck>("dws-atomics-policy");
     Factories.registerCheck<TaskGroupEscapeCheck>("dws-taskgroup-escape");
+    Factories.registerCheck<FalseSharingCheck>("dws-false-sharing");
+    Factories.registerCheck<AtomicArrayCheck>("dws-atomic-array");
   }
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclTemplate.h"
 #include "llvm/ADT/SmallString.h"
 #include "llvm/ADT/SmallVector.h"
 
@@ -60,6 +62,79 @@ bool lineHasSanction(const SourceManager &SM, SourceLocation Loc) {
     return false;
   llvm::StringRef Just = Line.substr(Pos + std::strlen(Marker)).trim();
   return !Just.empty();
+}
+
+// A line suppresses a layout diagnostic when it carries either sanction
+// marker with a non-empty payload.
+static bool lineStrHasLayoutSanction(llvm::StringRef Line) {
+  static const char LayoutMarker[] = "dws-layout: packed-ok";
+  static const char LintMarker[] = "dws-lint-sanction:";
+  size_t Pos = Line.find(LayoutMarker);
+  if (Pos != llvm::StringRef::npos &&
+      !Line.substr(Pos + std::strlen(LayoutMarker)).trim().empty())
+    return true;
+  Pos = Line.find(LintMarker);
+  return Pos != llvm::StringRef::npos &&
+         !Line.substr(Pos + std::strlen(LintMarker)).trim().empty();
+}
+
+bool hasLayoutSanctionNear(const SourceManager &SM, SourceLocation Loc) {
+  SourceLocation ELoc = SM.getExpansionLoc(Loc);
+  if (ELoc.isInvalid())
+    return false;
+  if (lineStrHasLayoutSanction(lineText(SM, ELoc)))
+    return true;
+  FileID FID = SM.getFileID(ELoc);
+  bool Invalid = false;
+  llvm::StringRef Buf = SM.getBufferData(FID, &Invalid);
+  if (Invalid)
+    return false;
+  // Walk the contiguous comment block directly above the declaration.
+  size_t Off = SM.getFileOffset(ELoc);
+  size_t Begin = Buf.rfind('\n', Off);
+  Begin = Begin == llvm::StringRef::npos ? 0 : Begin;
+  while (Begin > 0) {
+    size_t PrevBegin = Buf.rfind('\n', Begin - 1);
+    PrevBegin = PrevBegin == llvm::StringRef::npos ? 0 : PrevBegin + 1;
+    llvm::StringRef Line = Buf.substr(PrevBegin, Begin - PrevBegin).trim();
+    if (!Line.starts_with("//"))
+      break;
+    if (lineStrHasLayoutSanction(Line))
+      return true;
+    if (PrevBegin == 0)
+      break;
+    Begin = PrevBegin - 1;
+  }
+  return false;
+}
+
+bool typeIsHotAtomic(QualType T, const std::vector<std::string> &HotTypes) {
+  if (T.isNull())
+    return false;
+  T = QualType(T->getBaseElementTypeUnsafe(), 0);
+  if (T->isDependentType()) {
+    const std::string Spelling = T.getAsString();
+    if (Spelling.find("atomic") != std::string::npos ||
+        Spelling.find("Atomic") != std::string::npos)
+      return true;
+    for (const std::string &H : HotTypes)
+      if (Spelling.find(H) != std::string::npos)
+        return true;
+    return false;
+  }
+  const auto *RT = T->getAs<RecordType>();
+  if (RT == nullptr)
+    return false;
+  const RecordDecl *RD = RT->getDecl();
+  if (const auto *Spec = dyn_cast<ClassTemplateSpecializationDecl>(RD)) {
+    const auto *Tmpl = Spec->getSpecializedTemplate();
+    if (Tmpl != nullptr && Tmpl->getQualifiedNameAsString() == "std::atomic")
+      return true;
+  }
+  for (const std::string &H : HotTypes)
+    if (RD->getName() == H)
+      return true;
+  return false;
 }
 
 bool locInAnyPath(const SourceManager &SM, SourceLocation Loc,

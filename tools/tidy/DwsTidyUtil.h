@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "clang/AST/Type.h"
 #include "clang/Basic/SourceLocation.h"
 #include "clang/Basic/SourceManager.h"
 #include "llvm/ADT/StringRef.h"
@@ -37,6 +38,23 @@ llvm::StringRef lineText(const SourceManager &SM, SourceLocation Loc);
 /// True when the line holding `Loc` carries a
 /// `dws-lint-sanction: <non-empty justification>` comment.
 bool lineHasSanction(const SourceManager &SM, SourceLocation Loc);
+
+/// True when the declaration at `Loc` is layout-sanctioned: its own line,
+/// or a contiguous run of pure `//` comment lines immediately above it,
+/// carries `dws-layout: packed-ok <non-empty reason>` (the layout-check
+/// sanction grammar) or a regular `dws-lint-sanction:` with justification.
+/// Layout sanctions get the scan-above form because the flagged
+/// declarations (fields, whole structs) usually carry a doc comment
+/// already and the reason rarely fits the declaration line.
+bool hasLayoutSanctionNear(const SourceManager &SM, SourceLocation Loc);
+
+/// True when `T` names concurrency-hot storage: a (typedef-proof)
+/// std::atomic specialization, a record named in `HotTypes`
+/// ("RelaxedCounter"), or — for still-dependent types inside template
+/// patterns — a written spelling mentioning an atomic (the Policy-injected
+/// `atomic<T>` / `Atomic<T>` aliases never desugar, exactly like in
+/// dws-atomics-policy). Arrays classify by their element type.
+bool typeIsHotAtomic(QualType T, const std::vector<std::string> &HotTypes);
 
 /// True when the file containing `Loc` lies under any of `Paths`. A path
 /// entry matches if the file name starts with it or contains it preceded

@@ -1,0 +1,200 @@
+#include "FalseSharingCheck.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "DwsTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/DeclTemplate.h"
+#include "clang/AST/RecordLayout.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace dws {
+
+static const char kDefaultEnforcedPaths[] = "src/";
+static const char kDefaultIgnoredPaths[] = "src/check/";
+static const char kDefaultHotTypes[] = "RelaxedCounter";
+
+FalseSharingCheck::FalseSharingCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      EnforcedPaths(splitPathList(
+          Options.get("EnforcedPaths", kDefaultEnforcedPaths))),
+      IgnoredPaths(
+          splitPathList(Options.get("IgnoredPaths", kDefaultIgnoredPaths))),
+      HotTypes(splitPathList(Options.get("HotTypes", kDefaultHotTypes))),
+      LineBytes(Options.get("LineBytes", 64U)) {}
+
+void FalseSharingCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "EnforcedPaths", joinPathList(EnforcedPaths));
+  Options.store(Opts, "IgnoredPaths", joinPathList(IgnoredPaths));
+  Options.store(Opts, "HotTypes", joinPathList(HotTypes));
+  Options.store(Opts, "LineBytes", LineBytes);
+}
+
+void FalseSharingCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(cxxRecordDecl(isDefinition(), unless(isImplicit()),
+                                   unless(isInTemplateInstantiation()))
+                         .bind("record"),
+                     this);
+}
+
+namespace {
+
+/// The field's declared sharing domain: "shared", "owned_by:<owner>", or
+/// "" when unannotated. The DWS_OWNED_BY/DWS_SHARED macros compile to
+/// [[clang::annotate("dws::owned_by:<owner>")]] / ("dws::shared").
+std::string fieldDomain(const FieldDecl *FD) {
+  for (const auto *A : FD->specific_attrs<AnnotateAttr>()) {
+    llvm::StringRef Ann = A->getAnnotation();
+    if (Ann == "dws::shared")
+      return "shared";
+    if (Ann.starts_with("dws::owned_by:"))
+      return ("owned_by:" + Ann.substr(std::strlen("dws::owned_by:"))).str();
+  }
+  return {};
+}
+
+/// True when the field is forced onto a fresh cache line: an alignas of at
+/// least LineBytes on the field itself, or a (non-dependent) field type
+/// whose natural alignment already is at least a line.
+bool fieldLineIsolated(const FieldDecl *FD, const ASTContext &Ctx,
+                       unsigned LineBytes) {
+  for (const auto *A : FD->specific_attrs<AlignedAttr>()) {
+    if (A->isAlignmentDependent())
+      return true;  // benefit of the doubt inside template patterns
+    if (A->getAlignment(const_cast<ASTContext &>(Ctx)) >= LineBytes * 8)
+      return true;
+  }
+  QualType T = FD->getType();
+  if (!T.isNull() && !T->isDependentType() && !T->isIncompleteType())
+    return Ctx.getTypeAlignInChars(T).getQuantity() >=
+           static_cast<int64_t>(LineBytes);
+  return false;
+}
+
+}  // namespace
+
+void FalseSharingCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  ASTContext &Ctx = *Result.Context;
+  const auto *RD = Result.Nodes.getNodeAs<CXXRecordDecl>("record");
+  if (RD == nullptr || !RD->isCompleteDefinition() || RD->isInvalidDecl() ||
+      RD->isUnion() || RD->isLambda())
+    return;
+  SourceLocation RecLoc = RD->getLocation();
+  if (RecLoc.isInvalid() || SM.isInSystemHeader(SM.getExpansionLoc(RecLoc)))
+    return;
+  if (!EnforcedPaths.empty() && !locInAnyPath(SM, RecLoc, EnforcedPaths))
+    return;
+  if (locInAnyPath(SM, RecLoc, IgnoredPaths))
+    return;
+
+  struct Info {
+    const FieldDecl *FD;
+    std::string Domain;
+    bool Hot;
+  };
+  std::vector<Info> Fields;
+  for (const FieldDecl *FD : RD->fields()) {
+    if (FD->isBitField() || FD->isUnnamedBitfield())
+      continue;
+    Fields.push_back(
+        {FD, fieldDomain(FD), typeIsHotAtomic(FD->getType(), HotTypes)});
+  }
+
+  // Rule 1: hot fields must declare their sharing domain — the conflict
+  // map below is only as complete as the annotations feeding it.
+  for (const Info &I : Fields) {
+    if (!I.Hot || !I.Domain.empty())
+      continue;
+    if (hasLayoutSanctionNear(SM, I.FD->getLocation()) ||
+        hasLayoutSanctionNear(SM, RecLoc))
+      continue;
+    diag(I.FD->getLocation(),
+         "concurrency-hot field %0 has no sharing-domain annotation; mark it "
+         "DWS_OWNED_BY(owner) or DWS_SHARED (src/util/layout.hpp) so "
+         "cross-domain cache-line packing is checkable, or sanction with "
+         "'// dws-layout: packed-ok <reason>'")
+        << I.FD;
+  }
+
+  // Rule 2: annotated fields of different domains must not share a line.
+  if (!RD->isDependentType()) {
+    const ASTRecordLayout &Layout = Ctx.getASTRecordLayout(RD);
+    struct Extent {
+      const Info *I;
+      uint64_t First, Last;  // cache-line span
+    };
+    std::vector<Extent> Extents;
+    for (const Info &I : Fields) {
+      if (I.Domain.empty())
+        continue;
+      QualType T = I.FD->getType();
+      if (T.isNull() || T->isIncompleteType())
+        continue;
+      const uint64_t Off =
+          Layout.getFieldOffset(I.FD->getFieldIndex()) / 8;
+      const uint64_t Size = Ctx.getTypeSizeInChars(T).getQuantity();
+      Extents.push_back({&I, Off / LineBytes,
+                         (Off + (Size > 0 ? Size - 1 : 0)) / LineBytes});
+    }
+    for (size_t J = 0; J < Extents.size(); ++J) {
+      for (size_t I = 0; I < J; ++I) {
+        if (Extents[I].I->Domain == Extents[J].I->Domain)
+          continue;
+        if (Extents[I].Last < Extents[J].First ||
+            Extents[J].Last < Extents[I].First)
+          continue;
+        const FieldDecl *FI = Extents[I].I->FD;
+        const FieldDecl *FJ = Extents[J].I->FD;
+        if (hasLayoutSanctionNear(SM, FJ->getLocation()) ||
+            hasLayoutSanctionNear(SM, FI->getLocation()) ||
+            hasLayoutSanctionNear(SM, RecLoc))
+          continue;
+        diag(FJ->getLocation(),
+             "field %0 (domain '%1') shares a cache line with %2 (domain "
+             "'%3'): writes from different sharing domains will falsely "
+             "share the line; isolate with alignas(%4) or sanction with "
+             "'// dws-layout: packed-ok <reason>'")
+            << FJ << llvm::StringRef(Extents[J].I->Domain) << FI
+            << llvm::StringRef(Extents[I].I->Domain) << LineBytes;
+        break;  // one report per field is enough
+      }
+    }
+    return;
+  }
+
+  // Dependent record: offsets are unknowable until instantiation, so fall
+  // back to declaration order — a domain change between consecutive
+  // annotated fields must land on an alignas(line) boundary.
+  const Info *Prev = nullptr;
+  for (const Info &I : Fields) {
+    if (I.Domain.empty())
+      continue;
+    if (Prev != nullptr && Prev->Domain != I.Domain &&
+        !fieldLineIsolated(I.FD, Ctx, LineBytes) &&
+        !hasLayoutSanctionNear(SM, I.FD->getLocation()) &&
+        !hasLayoutSanctionNear(SM, Prev->FD->getLocation()) &&
+        !hasLayoutSanctionNear(SM, RecLoc)) {
+      diag(I.FD->getLocation(),
+           "field %0 (domain '%1') directly follows %2 (domain '%3') "
+           "without an alignas(%4) boundary; in this template pattern the "
+           "two domains may share a cache line in every instantiation — "
+           "isolate the field or sanction with "
+           "'// dws-layout: packed-ok <reason>'")
+          << I.FD << llvm::StringRef(I.Domain) << Prev->FD
+          << llvm::StringRef(Prev->Domain) << LineBytes;
+    }
+    Prev = &I;
+  }
+}
+
+}  // namespace dws
+}  // namespace tidy
+}  // namespace clang

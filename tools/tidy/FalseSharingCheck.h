@@ -1,0 +1,57 @@
+// dws-false-sharing: structs holding concurrency-hot fields (std::atomic,
+// RelaxedCounter, Policy-injected `atomic<T>`) must keep their cache-line
+// layout honest:
+//
+//  1. every hot field in an enforced path declares its sharing domain with
+//     the DWS_OWNED_BY(owner) / DWS_SHARED macros (src/util/layout.hpp) —
+//     an unannotated hot field is itself a finding, because conflict
+//     detection is only as good as the domain map;
+//  2. two annotated fields of *different* domains must not share a
+//     64-byte cache line. For concrete records the check computes real
+//     offsets from the AST record layout; for dependent (still-templated)
+//     records it falls back to declaration adjacency: a domain change
+//     between consecutive annotated fields must coincide with an
+//     alignas(64)-or-stronger boundary on the later field.
+//
+// Suppression: `// dws-layout: packed-ok <reason>` (or a regular
+// `// dws-lint-sanction: <justification>`) on the flagged field's line, in
+// the comment block directly above it, or above the struct itself for
+// whole-struct waivers (e.g. CoreTable::LivenessRecord, whose cross-domain
+// packing is accepted because heartbeat traffic is periodic, not hot).
+//
+// Hot-type detection follows the PR-8 checks: the desugared type is
+// matched, so typedef chains cannot launder a std::atomic; dependent types
+// are classified by their written spelling containing "atomic".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace dws {
+
+class FalseSharingCheck : public ClangTidyCheck {
+public:
+  FalseSharingCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  /// Paths the discipline is enforced under (empty = everywhere).
+  std::vector<std::string> EnforcedPaths;
+  /// Paths exempted even when under EnforcedPaths (the model checker's
+  /// own instrumented-atomic internals live here).
+  std::vector<std::string> IgnoredPaths;
+  /// Record type names treated as hot like std::atomic itself.
+  std::vector<std::string> HotTypes;
+  /// Destructive-interference granularity in bytes.
+  unsigned LineBytes;
+};
+
+}  // namespace dws
+}  // namespace tidy
+}  // namespace clang

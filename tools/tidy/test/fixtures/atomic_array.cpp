@@ -1,0 +1,128 @@
+// Fixture for dws-atomic-array: arrays (C arrays, std::array,
+// std::vector, std::unique_ptr<T[]>) of sub-cacheline atomic elements —
+// the packed CoreTable::Slot pattern, 16 independently-CASed words per
+// 64-byte line — must be strided to a line per element or sanctioned.
+#include "dws_stubs.hpp"
+
+// --- concrete containers of bare atomics ------------------------------
+
+struct PackedFlags {
+  // expect-next-line: dws-atomic-array
+  std::atomic<unsigned> words_[64];
+};
+
+struct VectorOfAtomics {
+  // expect-next-line: dws-atomic-array
+  std::vector<std::atomic<int>> flags_;
+};
+
+struct ArrayOfAtomics {
+  // expect-next-line: dws-atomic-array
+  std::array<std::atomic<int>, 16> slots_;
+};
+
+struct HeapRingOfAtomics {
+  // expect-next-line: dws-atomic-array
+  std::unique_ptr<std::atomic<unsigned>[]> cells_;
+};
+
+// A single-element unique_ptr owns one word: nothing packs a line.
+struct SingleAtomic {
+  std::unique_ptr<std::atomic<int>> word_;
+};
+
+// Typedef chains must not hide the element type.
+typedef std::atomic<int> word_t;
+struct TypedefLaundered {
+  // expect-next-line: dws-atomic-array
+  word_t words_[16];
+};
+
+// --- record elements: the CAS word hides one struct level down --------
+
+struct PackedSlot {
+  std::atomic<unsigned> user_;
+};
+struct PackedTable {
+  // expect-next-line: dws-atomic-array
+  PackedSlot slots_[64];
+};
+
+// A line-aligned element type is exactly the prescribed fix: clean.
+struct alignas(64) StridedSlot {
+  std::atomic<unsigned> user_;
+};
+struct StridedTable {
+  StridedSlot slots_[64];
+};
+
+// --- sanctions --------------------------------------------------------
+
+struct SanctionedRing {
+  // dws-layout: packed-ok ring elements are single-writer handoff cells, never CAS targets
+  std::unique_ptr<std::atomic<int>[]> cells_;
+};
+
+struct InlineSanctionedRing {
+  std::atomic<int> cells_[32];  // dws-lint-sanction: startup-only bitmap written before threads exist
+};
+
+// --- cold arrays never flag -------------------------------------------
+
+struct ColdStorage {
+  int raw_[64];
+  std::vector<int> values_;
+  std::vector<PackedSlot *> pointers_;  // pointers to slots, not slots
+};
+
+// --- variables (globals and locals), not just fields ------------------
+
+// expect-next-line: dws-atomic-array
+std::atomic<int> g_core_flags[32];
+
+void stack_table() {
+  // expect-next-line: dws-atomic-array
+  std::atomic<unsigned> claims[16];
+  (void)claims;
+}
+
+// --- dependent template patterns --------------------------------------
+
+// The Policy-injected alias never desugars; the written spelling decides.
+template <typename Policy>
+struct DependentRing {
+  template <typename U> using Atomic = typename Policy::template atomic<U>;
+  // expect-next-line: dws-atomic-array
+  std::unique_ptr<Atomic<unsigned>[]> cells_;
+};
+
+template <typename Policy>
+struct DependentSanctionedRing {
+  template <typename U> using Atomic = typename Policy::template atomic<U>;
+  // dws-layout: packed-ok relaxed handoff cells owned by the deque protocol
+  std::unique_ptr<Atomic<unsigned>[]> cells_;
+};
+
+// Dependent record elements resolve through the primary template: a
+// packed slot pattern flags, an alignas(64) pattern is the fix.
+template <typename Policy>
+struct DepPackedSlot {
+  typename Policy::template atomic<unsigned> user_;
+};
+template <typename Policy>
+struct DepPackedTable {
+  // expect-next-line: dws-atomic-array
+  DepPackedSlot<Policy> slots_[8];
+};
+
+template <typename Policy>
+struct alignas(64) DepStridedSlot {
+  typename Policy::template atomic<unsigned> user_;
+};
+template <typename Policy>
+struct DepStridedTable {
+  DepStridedSlot<Policy> slots_[8];
+};
+
+// Instantiations are excluded: the pattern already carries the report.
+DependentRing<dws::rt::StdAtomicsPolicy> instantiated;

@@ -88,7 +88,28 @@ template <typename T> struct vector {
   size_t n_ = 0;
 };
 
+template <typename T> struct unique_ptr {
+  unique_ptr() {}
+  T *get() const { return p_; }
+  T *p_ = nullptr;
+};
+template <typename T> struct unique_ptr<T[]> {
+  unique_ptr() {}
+  T &operator[](size_t i) const { return p_[i]; }
+  T *p_ = nullptr;
+};
+
+template <typename T, size_t N> struct array {
+  T &operator[](size_t i) { return d_[i]; }
+  T d_[N];
+};
+
 }  // namespace std
+
+// The field-annotation macros from src/util/layout.hpp, expanded the same
+// way (the fixtures are always parsed by clang, so no #ifdef dance).
+#define DWS_OWNED_BY(owner) [[clang::annotate("dws::owned_by:" #owner)]]
+#define DWS_SHARED [[clang::annotate("dws::shared")]]
 
 namespace dws {
 namespace race {

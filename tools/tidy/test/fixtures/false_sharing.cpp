@@ -1,0 +1,117 @@
+// Fixture for dws-false-sharing.
+//
+// Rule 1: concurrency-hot fields (std::atomic through any typedef chain,
+// or a HotTypes record like RelaxedCounter) must declare their sharing
+// domain with DWS_OWNED_BY/DWS_SHARED or carry a layout sanction.
+// Rule 2: annotated fields of *different* domains must not share a
+// 64-byte cache line — concrete records by their real offsets, dependent
+// template patterns by declaration adjacency without an alignas boundary.
+#include "dws_stubs.hpp"
+
+// --- Rule 1: hot but unannotated -------------------------------------
+
+struct Unannotated {
+  // expect-next-line: dws-false-sharing
+  std::atomic<int> counter_;
+};
+
+// A typedef chain must not hide the atomic underneath.
+typedef std::atomic<unsigned long> stat_t;
+struct TypedefLaundered {
+  // expect-next-line: dws-false-sharing
+  stat_t stats_;
+};
+
+// The HotTypes list extends "hot" beyond std::atomic itself.
+struct RelaxedCounter {
+  // dws-layout: packed-ok single-field wrapper, wrapping fields declare the domain
+  std::atomic<unsigned long> v_;
+};
+struct StatsBlock {
+  // expect-next-line: dws-false-sharing
+  RelaxedCounter tasks_;
+};
+
+// A layout sanction in the comment block above the field suppresses.
+struct SanctionedField {
+  // dws-layout: packed-ok monitoring word, written once at shutdown
+  std::atomic<int> drained_;
+};
+
+// An inline dws-lint-sanction on the declaration line also suppresses.
+struct InlineSanctionedField {
+  std::atomic<int> spilled_;  // dws-lint-sanction: monitoring-only counter kept packed on purpose
+};
+
+// --- Rule 2: cross-domain packing, concrete offsets -------------------
+
+struct MixedPacked {
+  DWS_SHARED std::atomic<int> claim_word_;
+  // expect-next-line: dws-false-sharing
+  DWS_OWNED_BY(owner) std::atomic<int> local_count_;
+};
+
+// alignas(64) pushes the owner word onto its own line: clean.
+struct MixedStrided {
+  DWS_SHARED std::atomic<int> claim_word_;
+  alignas(64) DWS_OWNED_BY(owner) std::atomic<int> local_count_;
+};
+
+// Same domain packing together is the point of the annotation, not a
+// conflict.
+struct OwnerBlock {
+  DWS_OWNED_BY(owner) std::atomic<int> a_;
+  DWS_OWNED_BY(owner) std::atomic<int> b_;
+  DWS_OWNED_BY(owner) std::atomic<int> c_;
+};
+
+// A field-level sanction on the later field suppresses the pair.
+struct SanctionedPacking {
+  DWS_SHARED std::atomic<int> flag_;
+  // dws-layout: packed-ok cold configuration word, written before threads start
+  DWS_OWNED_BY(owner) std::atomic<int> config_;
+};
+
+// A struct-level sanction (comment block above the record) waves the
+// whole layout through.
+// dws-layout: packed-ok heartbeat-rate writes only, measured interference is noise
+struct WholeStructSanctioned {
+  DWS_SHARED std::atomic<int> liveness_;
+  DWS_OWNED_BY(program) std::atomic<unsigned> epoch_;
+};
+
+// Unannotated plain fields never conflict with anything: cold by the
+// discipline's definition.
+struct ColdNeighbours {
+  DWS_SHARED std::atomic<int> word_;
+  int configured_cores_;
+  unsigned long seed_;
+};
+
+// --- Rule 2: dependent template patterns (adjacency heuristic) --------
+
+template <typename Policy>
+struct DependentPacked {
+  using Word = typename Policy::template atomic<unsigned>;
+  DWS_SHARED Word cas_word_;
+  // expect-next-line: dws-false-sharing
+  DWS_OWNED_BY(owner) Word owner_word_;
+};
+
+template <typename Policy>
+struct DependentStrided {
+  using Word = typename Policy::template atomic<unsigned>;
+  DWS_SHARED Word cas_word_;
+  alignas(64) DWS_OWNED_BY(owner) Word owner_word_;
+};
+
+template <typename Policy>
+struct DependentSanctioned {
+  using Word = typename Policy::template atomic<unsigned>;
+  DWS_SHARED Word cas_word_;
+  // dws-layout: packed-ok single-writer handoff pair, never CASed concurrently
+  DWS_OWNED_BY(owner) Word owner_word_;
+};
+
+// Instantiations are excluded: the pattern already carries the report.
+DependentStrided<dws::rt::StdAtomicsPolicy> instantiated;

@@ -142,7 +142,8 @@ TEST(DwsTidyPlugin, Loads) {
   std::string output = runCommand(cmd);
   for (const char *check :
        {"dws-raw-sync", "dws-lock-order", "dws-annotation-coverage",
-        "dws-atomics-policy", "dws-taskgroup-escape"}) {
+        "dws-atomics-policy", "dws-taskgroup-escape", "dws-false-sharing",
+        "dws-atomic-array"}) {
     EXPECT_NE(output.find(check), std::string::npos)
         << "plugin did not register " << check << "; --list-checks said:\n"
         << output;
@@ -182,6 +183,16 @@ TEST(DwsTidyPlugin, AtomicsPolicy) {
 TEST(DwsTidyPlugin, TaskGroupEscape) {
   runFixture("taskgroup_escape.cpp", "dws-taskgroup-escape",
              {{"ExemptPaths", "no-such-dir/"}});
+}
+
+TEST(DwsTidyPlugin, FalseSharing) {
+  runFixture("false_sharing.cpp", "dws-false-sharing",
+             {{"EnforcedPaths", "fixtures/"}});
+}
+
+TEST(DwsTidyPlugin, AtomicArray) {
+  runFixture("atomic_array.cpp", "dws-atomic-array",
+             {{"EnforcedPaths", "fixtures/"}});
 }
 
 }  // namespace
