@@ -22,7 +22,7 @@ BENCHES=(
   bench_bws_comparison bench_asymmetric bench_worksharing bench_cache_model
   bench_machine_width bench_fig4_confidence bench_adaptive_tsleep
   bench_blocked_linalg bench_timeline bench_deque bench_spawn
-  bench_deadlock_overhead bench_false_sharing
+  bench_deadlock_overhead bench_false_sharing bench_locality
 )
 
 # Fail fast, before any figure is regenerated, if a bench binary is
@@ -55,7 +55,7 @@ if [ "${DWS_SKIP_CHECKS:-0}" != "1" ]; then
   # -DDWS_RACE=OFF).
   LABELS_RUN=()
   LABELS_EMPTY=()
-  for label in check crash race race-fasttrack race-deadlock; do
+  for label in check crash race race-fasttrack race-deadlock locality; do
     n=$(ctest --test-dir "$BUILD" -N -L "$label" 2>/dev/null \
           | sed -n 's/^Total Tests: //p')
     if [ "${n:-0}" -gt 0 ]; then
@@ -96,6 +96,7 @@ run bench_deque --benchmark_min_time=0.1
 run bench_spawn --out="$OUT/BENCH_spawn_steal.json"
 run bench_deadlock_overhead --out="$OUT/BENCH_deadlock_overhead.json"
 run bench_false_sharing --out="$OUT/BENCH_false_sharing.json"
+run bench_locality --out="$OUT/BENCH_locality.json"
 
 # Layout audit: regenerate the cache-line map of every concurrent struct
 # and diff it against the committed golden — an unreviewed layout change

@@ -35,6 +35,23 @@ struct Config {
   /// to a threshold of 1.
   double wake_threshold = 1.0;
 
+  /// Socket count of the machine model (core/topology.hpp): cores are
+  /// split contiguously across sockets. 1 models a flat machine; 0 asks
+  /// for sysfs auto-detection (with the flat layout as deterministic
+  /// fallback where /sys is absent).
+  unsigned num_sockets = 1;
+
+  /// SMT width of the synthetic machine model: this many consecutive
+  /// cores form one physical core (VERYNEAR victims). Ignored under
+  /// auto-detection, which reads the real sibling map.
+  unsigned smt_per_core = 1;
+
+  /// Victim ordering for steal attempts: TIERED exhausts near distance
+  /// tiers before far ones (locality-aware); UNIFORM is the paper's
+  /// original random victim. On a flat topology the two coincide
+  /// statistically, so TIERED is the default.
+  VictimPolicy victim_policy = VictimPolicy::kTiered;
+
   /// Pin worker i to hardware core i (real runtime only).
   bool pin_threads = true;
 

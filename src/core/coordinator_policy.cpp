@@ -51,7 +51,14 @@ WakeDecision CoordinatorPolicy::decide(const DemandSnapshot& s) const noexcept {
 
 CoordinatorDriver::CoordinatorDriver(CoreTable& table, ProgramId pid,
                                      std::uint64_t seed)
-    : table_(&table), pid_(pid), rng_(seed) {}
+    : CoordinatorDriver(table, pid, seed, nullptr, 0) {}
+
+CoordinatorDriver::CoordinatorDriver(CoreTable& table, ProgramId pid,
+                                     std::uint64_t seed, const Topology* topo,
+                                     CoreId home_core)
+    : table_(&table), pid_(pid), topo_(topo), home_core_(home_core) {
+  (void)seed;  // selection is deterministic now; see class comment
+}
 
 DemandSnapshot CoordinatorDriver::snapshot_cores() const noexcept {
   DemandSnapshot s;
@@ -60,16 +67,26 @@ DemandSnapshot CoordinatorDriver::snapshot_cores() const noexcept {
   return s;
 }
 
+void CoordinatorDriver::order_candidates(std::vector<CoreId>& cores) const {
+  // free_cores()/borrowed_home_cores() scan the table in slot order, so
+  // the input is already id-ascending — but never rely on that: the
+  // tie-break is this sort, not the producer's iteration order.
+  std::sort(cores.begin(), cores.end(), [this](CoreId a, CoreId b) {
+    if (topo_ != nullptr) {
+      const auto ta = topo_->distance(home_core_, a);
+      const auto tb = topo_->distance(home_core_, b);
+      if (ta != tb) return ta < tb;
+    }
+    return a < b;
+  });
+}
+
 AcquireResult CoordinatorDriver::acquire(const WakeDecision& decision) {
   AcquireResult won;
 
   if (decision.wake_on_free > 0) {
     std::vector<CoreId> free = table_->free_cores();
-    // Fisher-Yates shuffle: the paper's coordinator picks free cores at
-    // random, which spreads co-runners across sockets statistically.
-    for (std::size_t i = free.size(); i > 1; --i) {
-      std::swap(free[i - 1], free[rng_.next_below(i)]);
-    }
+    order_candidates(free);
     unsigned need = decision.wake_on_free;
     for (CoreId c : free) {
       if (need == 0) break;
@@ -83,8 +100,10 @@ AcquireResult CoordinatorDriver::acquire(const WakeDecision& decision) {
   }
 
   if (decision.wake_on_reclaim > 0) {
+    std::vector<CoreId> mine = table_->borrowed_home_cores(pid_);
+    order_candidates(mine);
     unsigned need = decision.wake_on_reclaim;
-    for (CoreId c : table_->borrowed_home_cores(pid_)) {
+    for (CoreId c : mine) {
       if (need == 0) break;
       if (table_->try_reclaim(c, pid_)) {
         won.reclaimed.push_back(c);

@@ -16,8 +16,8 @@
 #include <vector>
 
 #include "core/core_table.hpp"
+#include "core/topology.hpp"
 #include "core/types.hpp"
-#include "util/rng.hpp"
 
 namespace dws {
 
@@ -69,13 +69,31 @@ struct AcquireResult {
 };
 
 /// Applies a WakeDecision against a concrete core allocation table:
-/// claims `wake_on_free` randomly chosen free cores (the paper: "randomly
-/// selects N_w free cores") and reclaims up to `wake_on_reclaim` home
-/// cores. Because other coordinators race on the same table, fewer cores
-/// than requested may be obtained; the result is what was won.
+/// claims `wake_on_free` free cores and reclaims up to `wake_on_reclaim`
+/// home cores. Because other coordinators race on the same table, fewer
+/// cores than requested may be obtained; the result is what was won.
+///
+/// Candidate ordering is explicit and deterministic: cores nearest the
+/// program's home socket first (topology tier from `home_core`), core id
+/// ascending within a tier. The paper's coordinator "randomly selects N_w
+/// free cores"; the Fisher-Yates shuffle that used to implement that made
+/// equally-eligible grants iteration-order-dependent — on a NUMA machine
+/// it happily granted remote cores while same-socket ones sat free, and
+/// any reordering of the free list silently changed who got what. Without
+/// a topology (or on a flat one) the order degenerates to core id alone,
+/// which keeps co-runners packing from opposite ends of their own home
+/// ranges rather than interleaving at random.
 class CoordinatorDriver {
  public:
+  /// `seed` is retained for constructor-signature stability (selection
+  /// used to be randomized); it is no longer consumed.
   CoordinatorDriver(CoreTable& table, ProgramId pid, std::uint64_t seed);
+
+  /// Topology-aware ordering: candidates are ranked by distance tier from
+  /// `home_core` (the program's home-partition anchor), then core id.
+  /// `topo`, when non-null, must outlive the driver.
+  CoordinatorDriver(CoreTable& table, ProgramId pid, std::uint64_t seed,
+                    const Topology* topo, CoreId home_core);
 
   /// Build the table-derived half of a demand snapshot (N_f, N_r).
   [[nodiscard]] DemandSnapshot snapshot_cores() const noexcept;
@@ -85,9 +103,14 @@ class CoordinatorDriver {
   AcquireResult acquire(const WakeDecision& decision);
 
  private:
+  /// Sort candidates by (tier from home_core_, core id) — the explicit
+  /// tie-break; by id alone when no topology was given.
+  void order_candidates(std::vector<CoreId>& cores) const;
+
   CoreTable* table_;
   ProgramId pid_;
-  util::Xoshiro256 rng_;
+  const Topology* topo_ = nullptr;
+  CoreId home_core_ = 0;
 };
 
 // ---- Crash tolerance: stale-owner sweeping ----

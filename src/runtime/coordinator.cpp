@@ -10,8 +10,19 @@ Coordinator::Coordinator(Scheduler& sched, double period_ms,
                          double wake_threshold, std::uint64_t seed)
     : sched_(sched), period_ms_(period_ms), policy_(wake_threshold) {
   if (mode_space_shares(sched_.mode())) {
+    // Anchor the topology-aware ordering at the program's first home core
+    // (the home partition is contiguous, so one anchor represents it).
+    CoreId home_core = 0;
+    for (CoreId c = 0; c < sched_.num_workers(); ++c) {
+      if (sched_.table()->home_of(c) == sched_.pid()) {
+        home_core = c;
+        break;
+      }
+    }
     driver_ = std::make_unique<CoordinatorDriver>(*sched_.table(),
-                                                  sched_.pid(), seed);
+                                                  sched_.pid(), seed,
+                                                  &sched_.topology(),
+                                                  home_core);
     if (sched_.config().stale_after_periods > 0) {
       sweeper_ = std::make_unique<StaleSweeper>(
           *sched_.table(), sched_.pid(), sched_.config().stale_after_periods);

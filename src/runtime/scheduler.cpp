@@ -14,6 +14,9 @@ Scheduler::Scheduler(const Config& cfg, CoreTable* shared_table) : cfg_(cfg) {
   if (cfg_.num_cores == 0) cfg_.num_cores = util::hardware_cores();
   const unsigned k = cfg_.num_cores;
   cur_t_sleep_.store(cfg_.effective_t_sleep(k), std::memory_order_relaxed);
+  // Machine model before any worker exists: workers bucket their victims
+  // by distance at construction.
+  topology_ = make_topology(cfg_, k);
 
   if (mode_space_shares(cfg_.mode)) {
     if (shared_table != nullptr) {
@@ -254,6 +257,10 @@ SchedulerStats Scheduler::stats() const {
     s.totals.wakes += ws.wakes;
     s.totals.evictions += ws.evictions;
     s.totals.heap_spawns += ws.heap_spawns;
+    for (unsigned t = 0; t < kNumDistanceTiers; ++t) {
+      s.totals.steal_attempts_by_tier[t] += ws.steal_attempts_by_tier[t];
+      s.totals.steals_by_tier[t] += ws.steals_by_tier[t];
+    }
   }
   if (coordinator_) {
     s.coordinator_ticks = coordinator_->ticks();

@@ -19,6 +19,7 @@
 
 #include "core/config.hpp"
 #include "core/core_table.hpp"
+#include "core/topology.hpp"
 #include "core/types.hpp"
 #include "runtime/coordinator.hpp"
 #include "runtime/race_hook.hpp"
@@ -155,6 +156,9 @@ class Scheduler {
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
   /// The allocation table in use (nullptr for modes that do not use one).
   [[nodiscard]] CoreTable* table() noexcept { return table_; }
+  /// The machine model victim selection and core-exchange rank cores by
+  /// (resolved from Config::num_sockets before any worker starts).
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
 
   /// N_b: queued tasks across all deques plus the injection inbox.
   [[nodiscard]] std::uint64_t queued_tasks() const noexcept;
@@ -229,6 +233,7 @@ class Scheduler {
   }
 
   Config cfg_;
+  Topology topology_;  // immutable after construction; read by all workers
   ProgramId pid_ = kNoProgram;
   CoreTable* table_ = nullptr;               // shared or owned_table_'s
   std::unique_ptr<CoreTableLocal> owned_table_;

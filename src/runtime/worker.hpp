@@ -11,7 +11,9 @@
 #include <thread>
 
 #include "core/steal_policy.hpp"
+#include "core/topology.hpp"
 #include "core/types.hpp"
+#include "core/victim_order.hpp"
 #include "runtime/deque.hpp"
 #include "runtime/task.hpp"
 #include "runtime/task_pool.hpp"
@@ -84,6 +86,12 @@ struct alignas(layout::kCacheLineBytes) WorkerStats {
   RelaxedCounter evictions;  ///< times this worker vacated a reclaimed core
   DWS_OWNED_BY(worker)
   RelaxedCounter heap_spawns;  ///< spawns that fell back to new (see pool)
+  /// Locality breakdown of the steal traffic, indexed by DistanceTier
+  /// (VERYNEAR..VERYFAR). Invariant (asserted by the stats suite): each
+  /// array sums to steal_attempts / steals respectively once the worker
+  /// quiesced. Same single-writer discipline as every counter above.
+  DWS_OWNED_BY(worker) RelaxedCounter steal_attempts_by_tier[kNumDistanceTiers];
+  DWS_OWNED_BY(worker) RelaxedCounter steals_by_tier[kNumDistanceTiers];
 };
 
 class Worker {
@@ -151,6 +159,9 @@ class Worker {
   Scheduler& sched_;
   const unsigned id_;
   DWS_OWNED_BY(worker) util::Xoshiro256 rng_;
+  /// Near-first victim ordering (Config::victim_policy == kTiered); its
+  /// cursor/shuffle state is worker-thread-only like rng_.
+  DWS_OWNED_BY(worker) TieredVictimOrder victim_order_;
   StealPolicy policy_;
   ChaseLevDeque<TaskBase*> deque_;  // line-isolates its own hot words
   TaskSlabPool pool_;               // line-isolates its own hot words

@@ -35,7 +35,7 @@ struct SimEngine::Impl {
 
   // ---- simulated entities ----
   enum class WState : int { kRunnable, kRunning, kSleeping, kWaking, kParked };
-  enum class Op : int { kNone, kPop, kSteal, kExec };
+  enum class Op : int { kNone, kPop, kSteal, kMigrate, kExec };
 
   struct WorkerSt {
     unsigned prog = 0;   // program index (0-based)
@@ -44,15 +44,18 @@ struct SimEngine::Impl {
     std::deque<NodeId> pool;  // back = bottom (owner end), front = top
     StealPolicy policy{SchedMode::kDws, 0};
     Op op = Op::kNone;
-    double op_left = 0.0;       // remaining latency for kPop/kSteal
+    double op_left = 0.0;       // remaining latency for kPop/kSteal/kMigrate
     double op_cost = 0.0;       // full planned latency of the current op
     NodeId exec_node = kNoNode;
+    NodeId mig_node = kNoNode;  // stolen task in flight during kMigrate
     double exec_work_left = 0.0;  // remaining *work* (unscaled) for kExec
     double seg_slowdown = 1.0;    // cache factor of the planned segment
     // stats
     std::uint64_t tasks = 0, steals = 0, failed = 0, yields = 0, sleeps = 0,
                   wakes = 0, evictions = 0;
+    std::uint64_t steals_tier[kNumDistanceTiers] = {0, 0, 0, 0};
     double exec_time = 0.0, cache_penalty = 0.0, steal_overhead = 0.0;
+    double mig_time = 0.0;  // transfer cost charged on cross-tier steals
     double slept_at = 0.0;  // time of the last sleep (adaptive T_SLEEP)
   };
 
@@ -106,6 +109,9 @@ struct SimEngine::Impl {
   std::vector<std::vector<double>> llc_warmth, llc_foreign_seen;
 
   util::Xoshiro256 rng{0};
+
+  // Machine model shared with the coordinator drivers; matches socket_of.
+  Topology topo;
 
   // ---- event queue ----
   enum class Ev : int { kCoreSeg, kCoordTick, kWake, kSample };
@@ -169,6 +175,7 @@ struct SimEngine::Impl {
       }
     }
     rng = util::Xoshiro256(params.seed);
+    topo = params.topology();
 
     table_storage = std::make_unique<CoreTableLocal>(k, m);
     table = &table_storage->table();
@@ -201,11 +208,6 @@ struct SimEngine::Impl {
                                       "' has no home cores (m > k?)");
         }
       }
-      if (p2.spec.mode == SchedMode::kDws) {
-        p2.driver = std::make_unique<CoordinatorDriver>(
-            *table, p2.pid, params.seed ^ (0xC0FFEEULL * (pi + 1)));
-      }
-
       // Start core: first home core, else round-robin fallback.
       p2.start_core = pi % k;
       for (CoreId c = 0; c < k; ++c) {
@@ -213,6 +215,11 @@ struct SimEngine::Impl {
           p2.start_core = c;
           break;
         }
+      }
+      if (p2.spec.mode == SchedMode::kDws) {
+        p2.driver = std::make_unique<CoordinatorDriver>(
+            *table, p2.pid, params.seed ^ (0xC0FFEEULL * (pi + 1)), &topo,
+            p2.start_core);
       }
 
       for (CoreId c = 0; c < k; ++c) {
@@ -536,24 +543,53 @@ struct SimEngine::Impl {
     }
   }
 
+  struct SweepResult {
+    NodeId node = kNoNode;
+    DistanceTier tier = DistanceTier::kVeryNear;
+  };
+
   /// Resolve a steal sweep for worker wi: probe this program's other
-  /// workers starting from a random position; steal the oldest task from
-  /// the first non-empty pool. Returns the node or kNoNode. Under
-  /// work-sharing the "sweep" is a poll of the central FIFO.
-  NodeId resolve_steal_sweep(unsigned wi) {
+  /// workers and steal the oldest task from the first non-empty pool.
+  /// Under VictimPolicy::kTiered the probe order is near-first — all
+  /// same-group victims, then same-socket, then each remote tier — with a
+  /// random rotation within each tier so equally-near victims share the
+  /// load; UNIFORM is the historical random-start circular sweep. Returns
+  /// the node plus the victim's distance tier (for the per-tier counters
+  /// and the migration charge). Under work-sharing the "sweep" is a poll
+  /// of the central FIFO.
+  SweepResult resolve_steal_sweep(unsigned wi) {
     WorkerSt& w = workers[wi];
     ProgSt& p = progs[w.prog];
     if (p.spec.work_sharing) {
-      if (p.central.empty()) return kNoNode;
+      if (p.central.empty()) return {};
       const NodeId node = p.central.front();
       p.central.pop_front();
-      return node;
+      return {node, DistanceTier::kVeryNear};
     }
-    if (k == 1) return kNoNode;  // no victims exist
+    if (k == 1) return {};  // no victims exist
     // Iterate the program's k worker slots from a random start (slot
     // index, not core: BWS migration can detach workers from their
-    // original cores).
+    // original cores). Distance is measured between *current* cores for
+    // the same reason.
     const unsigned start = static_cast<unsigned>(rng.next_below(k));
+    if (params.victim_policy == VictimPolicy::kTiered) {
+      for (unsigned tier = 0; tier < kNumDistanceTiers; ++tier) {
+        for (unsigned off = 0; off < k; ++off) {
+          const unsigned slot = (start + off) % k;
+          const unsigned victim_idx = widx(w.prog, slot);
+          if (victim_idx == wi) continue;
+          WorkerSt& victim = workers[victim_idx];
+          const DistanceTier d = topo.distance(w.core, victim.core);
+          if (static_cast<unsigned>(d) != tier || victim.pool.empty()) {
+            continue;
+          }
+          const NodeId node = victim.pool.front();
+          victim.pool.pop_front();
+          return {node, d};
+        }
+      }
+      return {};
+    }
     for (unsigned off = 0; off < k; ++off) {
       const unsigned slot = (start + off) % k;
       const unsigned victim_idx = widx(w.prog, slot);
@@ -562,10 +598,10 @@ struct SimEngine::Impl {
       if (!victim.pool.empty()) {
         const NodeId node = victim.pool.front();
         victim.pool.pop_front();
-        return node;
+        return {node, topo.distance(w.core, victim.core)};
       }
     }
-    return kNoNode;
+    return {};
   }
 
   void worker_sleep(unsigned wi, bool eviction) {
@@ -646,14 +682,28 @@ struct SimEngine::Impl {
       case Op::kSteal: {
         w.op = Op::kNone;
         w.steal_overhead += w.op_cost;
-        if (const NodeId node = resolve_steal_sweep(wi); node != kNoNode) {
+        if (const SweepResult sw = resolve_steal_sweep(wi);
+            sw.node != kNoNode) {
           // A successful central-queue poll (work-sharing) is a pop, not
           // a steal; only deque sweeps count toward the steal stats.
           if (!progs[w.prog].spec.work_sharing) {
             ++w.steals;
-            emit(TraceKind::kSteal, w.prog, w.core, node);
+            ++w.steals_tier[static_cast<int>(sw.tier)];
+            emit(TraceKind::kSteal, w.prog, w.core, sw.node);
+            const double mig =
+                params.steal_tier_migration_us[static_cast<int>(sw.tier)];
+            if (mig > 0.0) {
+              // The stolen task's working set crosses the interconnect
+              // before execution can begin (tier-dependent NUMA cost).
+              w.op = Op::kMigrate;
+              w.op_cost = mig;
+              w.op_left = mig;
+              w.mig_node = sw.node;
+              w.mig_time += mig;
+              return true;
+            }
           }
-          begin_exec(w, node);
+          begin_exec(w, sw.node);
           return true;
         }
         ++w.failed;
@@ -677,6 +727,14 @@ struct SimEngine::Impl {
             pick_next(c);
             return false;
         }
+        return true;
+      }
+      case Op::kMigrate: {
+        // Transfer finished: the stolen task is now local; run it.
+        w.op = Op::kNone;
+        const NodeId node = w.mig_node;
+        w.mig_node = kNoNode;
+        begin_exec(w, node);
         return true;
       }
       case Op::kExec: {
@@ -904,6 +962,10 @@ struct SimEngine::Impl {
         r.exec_time_us += w.exec_time;
         r.cache_penalty_us += w.cache_penalty;
         r.steal_overhead_us += w.steal_overhead;
+        r.migration_us += w.mig_time;
+        for (unsigned t = 0; t < kNumDistanceTiers; ++t) {
+          r.steals_by_tier[t] += w.steals_tier[t];
+        }
       }
       result.programs.push_back(std::move(r));
     }

@@ -70,6 +70,11 @@ struct ProgramResult {
   double exec_time_us = 0.0;          ///< wall time spent executing tasks
   double cache_penalty_us = 0.0;      ///< exec time lost to cold caches
   double steal_overhead_us = 0.0;     ///< wall time spent on steal attempts
+  /// Locality breakdown: successful steals by the victim's distance tier
+  /// (VERYNEAR..VERYFAR; sums to `steals`), and the total transfer cost
+  /// charged for them (steal_tier_migration_us).
+  std::uint64_t steals_by_tier[kNumDistanceTiers] = {0, 0, 0, 0};
+  double migration_us = 0.0;
 };
 
 /// One timeline sample (taken every timeline_sample_period_us when that

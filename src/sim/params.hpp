@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/topology.hpp"
 #include "core/types.hpp"
 
 namespace dws::sim {
@@ -43,6 +44,19 @@ struct SimParams {
   /// low-demand period (a serial merge, a narrow factorization tail), so
   /// cores are still released exactly when a co-runner could use them.
   double steal_backoff_cap_us = 500.0;
+  /// Victim ordering for steal sweeps: TIERED probes same-socket victims
+  /// before remote ones (core/victim_order.hpp tier order); UNIFORM is
+  /// the historical random-start circular sweep.
+  VictimPolicy victim_policy = VictimPolicy::kTiered;
+  /// One-off transfer cost charged when a steal *succeeds*, indexed by
+  /// the victim's distance tier (VERYNEAR..VERYFAR): pulling the task's
+  /// working set across the interconnect costs real time, which is what
+  /// makes near-first victim ordering pay off. All-zero by default so the
+  /// paper-reproduction figures are untouched; the locality experiments
+  /// (bench_locality) turn it on explicitly. Order-of-magnitude guidance:
+  /// an LLC-local transfer is free-ish, a cross-socket one costs a few
+  /// steal_cost_us.
+  double steal_tier_migration_us[kNumDistanceTiers] = {0.0, 0.0, 0.0, 0.0};
 
   // ---- Cache model ----
   /// Execution time needed to warm a cold private cache to ~63% warmth.
@@ -97,6 +111,11 @@ struct SimParams {
   [[nodiscard]] unsigned socket_of(CoreId core) const noexcept {
     const unsigned per = (num_cores + num_sockets - 1) / num_sockets;
     return core / per;
+  }
+  /// The machine model matching this parameter set (same contiguous
+  /// core-to-socket split as socket_of).
+  [[nodiscard]] Topology topology() const {
+    return Topology::synthetic(num_cores, num_sockets);
   }
   [[nodiscard]] double speed_of(CoreId core) const noexcept {
     return core < core_speeds.size() ? core_speeds[core] : 1.0;

@@ -5,8 +5,10 @@
 
 #include <algorithm>
 #include <set>
+#include <vector>
 
 #include "core/coordinator_policy.hpp"
+#include "core/topology.hpp"
 
 namespace dws {
 namespace {
@@ -226,12 +228,65 @@ TEST(CoordinatorDriver, SnapshotReflectsTable) {
   EXPECT_EQ(s.reclaimable_cores, 1u);
 }
 
-TEST(CoordinatorDriver, RandomSelectionIsSeedDeterministic) {
+TEST(CoordinatorDriver, SelectionIsDeterministicAcrossSeeds) {
+  // The grant order is a property of the table + topology, not of the
+  // seed: two drivers over identical tables must claim identical cores
+  // even when seeded differently (selection used to be a seeded shuffle).
   CoreTableLocal a(16, 2), b(16, 2);
-  CoordinatorDriver da(a.table(), 1, 999), db(b.table(), 1, 999);
+  CoordinatorDriver da(a.table(), 1, 999), db(b.table(), 1, 31337);
   const auto wa = da.acquire(WakeDecision{.wake_on_free = 6});
   const auto wb = db.acquire(WakeDecision{.wake_on_free = 6});
   EXPECT_EQ(wa.claimed, wb.claimed);
+}
+
+TEST(CoordinatorDriver, EquallyEligibleCoresAreGrantedByAscendingId) {
+  // Regression for the iteration-order dependence: when candidates are
+  // equally eligible the tie-break is explicit — stable by core id — not
+  // whatever order the table scan produced. A reversed-iteration mutant
+  // of order_candidates (or of free_cores()) grants {15,14,13,12} and
+  // fails here.
+  CoreTableLocal local(16, 2);
+  CoordinatorDriver drv(local.table(), /*pid=*/1, /*seed=*/0);
+  const auto won = drv.acquire(WakeDecision{.wake_on_free = 4});
+  EXPECT_EQ(won.claimed, (std::vector<CoreId>{0, 1, 2, 3}));
+}
+
+TEST(CoordinatorDriver, ReclaimAlsoGrantsByAscendingId) {
+  CoreTableLocal local(8, 2);
+  CoreTable& t = local.table();
+  // p2 borrows three of p1's home cores (p1 homes 0-3).
+  for (CoreId c = 0; c < 3; ++c) ASSERT_TRUE(t.try_claim(c, 2));
+  CoordinatorDriver drv(t, 1, 0);
+  const auto won = drv.acquire(WakeDecision{.wake_on_reclaim = 2});
+  EXPECT_EQ(won.reclaimed, (std::vector<CoreId>{0, 1}));
+}
+
+TEST(CoordinatorDriver, TopologyPrefersCoresNearTheHomeSocket) {
+  // Tentpole behaviour: with a machine model attached, the core-exchange
+  // grants cores nearest the requester's home socket first. Program 2
+  // homes the upper socket (cores 8-15) of a 2-socket machine: claiming 6
+  // of the 16 free cores must take 8..13 — not the id-ascending 0..5 that
+  // the flat tie-break alone would pick.
+  const Topology topo = Topology::synthetic(16, 2);
+  CoreTableLocal local(16, 2);
+  CoordinatorDriver drv(local.table(), /*pid=*/2, /*seed=*/0, &topo,
+                        /*home_core=*/8);
+  const auto won = drv.acquire(WakeDecision{.wake_on_free = 6});
+  EXPECT_EQ(won.claimed, (std::vector<CoreId>{8, 9, 10, 11, 12, 13}));
+}
+
+TEST(CoordinatorDriver, SpillsToRemoteSocketOnlyAfterNearIsExhausted) {
+  const Topology topo = Topology::synthetic(8, 2);
+  CoreTableLocal local(8, 2);
+  CoreTable& t = local.table();
+  // Another program occupies most of the home socket (cores 4-7).
+  ASSERT_TRUE(t.try_claim(4, 1));
+  ASSERT_TRUE(t.try_claim(5, 1));
+  ASSERT_TRUE(t.try_claim(6, 1));
+  CoordinatorDriver drv(t, /*pid=*/2, /*seed=*/0, &topo, /*home_core=*/4);
+  const auto won = drv.acquire(WakeDecision{.wake_on_free = 3});
+  // The one near core left (7), then the remote socket in id order.
+  EXPECT_EQ(won.claimed, (std::vector<CoreId>{7, 0, 1}));
 }
 
 TEST(CoordinatorDriver, TwoDriversNeverDoubleClaim) {

@@ -300,6 +300,63 @@ TEST(SimEngine, SingleCoreMachineStillCompletes) {
   }
 }
 
+TEST(SimEngine, PerTierStealsPartitionTotalSteals) {
+  const TaskDag dag = make_fork_join_tree(8, 2, 100.0, 1.0, 1.0, 0.2);
+  for (VictimPolicy policy :
+       {VictimPolicy::kUniform, VictimPolicy::kTiered}) {
+    SimParams params = small_machine(8, 2);
+    params.victim_policy = policy;
+    const SimResult r =
+        simulate_solo(params, spec("p", SchedMode::kClassic, &dag, 4));
+    const auto& p = r.programs[0];
+    std::uint64_t sum = 0;
+    for (unsigned t = 0; t < kNumDistanceTiers; ++t) {
+      sum += p.steals_by_tier[t];
+    }
+    EXPECT_EQ(sum, p.steals) << to_string(policy);
+    EXPECT_GT(p.steals, 0u) << to_string(policy);
+  }
+}
+
+TEST(SimEngine, TieredSweepPrefersNearVictims) {
+  // Plenty of work on both sockets: a tiered thief should essentially
+  // always find a same-socket victim, while the uniform sweep lands on
+  // remote ones roughly half the time on a 2-socket machine.
+  const TaskDag dag = make_fork_join_tree(9, 2, 80.0, 1.0, 1.0, 0.0);
+  SimParams params = small_machine(8, 2);
+  params.victim_policy = VictimPolicy::kTiered;
+  const SimResult r =
+      simulate_solo(params, spec("p", SchedMode::kClassic, &dag, 4));
+  const auto& p = r.programs[0];
+  const auto near = p.steals_by_tier[static_cast<int>(DistanceTier::kNear)];
+  const auto far = p.steals_by_tier[static_cast<int>(DistanceTier::kFar)];
+  ASSERT_GT(p.steals, 0u);
+  EXPECT_GT(near, far) << "near-first ordering did not dominate";
+}
+
+TEST(SimEngine, TierMigrationCostIsChargedAndSlowsRemoteSteals) {
+  const TaskDag dag = make_fork_join_tree(8, 2, 100.0, 1.0, 1.0, 0.0);
+  SimParams base = small_machine(8, 2);
+  base.victim_policy = VictimPolicy::kUniform;  // force remote steals
+  SimParams numa = base;
+  numa.steal_tier_migration_us[static_cast<int>(DistanceTier::kFar)] = 40.0;
+  numa.steal_tier_migration_us[static_cast<int>(DistanceTier::kVeryFar)] =
+      80.0;
+  const SimResult free_r =
+      simulate_solo(base, spec("p", SchedMode::kClassic, &dag, 4));
+  const SimResult numa_r =
+      simulate_solo(numa, spec("p", SchedMode::kClassic, &dag, 4));
+  EXPECT_EQ(free_r.programs[0].migration_us, 0.0);
+  const auto& p = numa_r.programs[0];
+  const auto far = p.steals_by_tier[static_cast<int>(DistanceTier::kFar)];
+  ASSERT_GT(far, 0u) << "uniform sweep never stole cross-socket";
+  // Every FAR steal was charged exactly its tier cost.
+  EXPECT_NEAR(p.migration_us, 40.0 * static_cast<double>(far), 1e-6);
+  // Same work, same seeds, extra transfer latency: the NUMA run cannot be
+  // faster.
+  EXPECT_GE(numa_r.total_time_us, free_r.total_time_us * (1.0 - 1e-9));
+}
+
 TEST(SimEngine, CoreBusyTimeNeverExceedsWallTime) {
   const TaskDag dag = make_fork_join_tree(6, 2, 300.0, 1.0, 1.0, 0.4);
   SimEngine e(small_machine(4), {spec("a", SchedMode::kAbp, &dag, 2, 0.4),

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 
 #include "core/config.hpp"
 #include "core/steal_policy.hpp"
@@ -119,6 +120,76 @@ TEST(StealPolicy, TSleepOneAlsoSleepsOnFirstFailure) {
   // comparison the first failure already meets the threshold.
   StealPolicy p(SchedMode::kDws, 1);
   EXPECT_EQ(p.on_steal_failed(), StealOutcome::kSleep);
+}
+
+TEST(StealPolicy, MidRunThresholdRaiseCannotReArmASpuriousSleep) {
+  // Audit of the set_t_sleep / saturation interplay (adaptive T_SLEEP
+  // raises the threshold mid-run). Two hazards were suspected:
+  //  (a) raising the threshold past the saturation rail leaves a worker
+  //      whose counter is pinned at the rail unable to *ever* sleep, and
+  //  (b) a counter that ran past an old (small) threshold without
+  //      sleeping — impossible in DWS, where the threshold-th failure
+  //      sleeps and resets, but reachable by switching a policy's
+  //      threshold while yielding — fires a "spurious" sleep on the next
+  //      failure even though the new, larger threshold wasn't reached.
+  // (a) is prevented by the clamp; (b) is unreachable because the counter
+  // can only exceed a DWS threshold by the sleep that resets it.
+  StealPolicy p(SchedMode::kDws, 8);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(p.on_steal_failed(), StealOutcome::kYield);
+  }
+  // Raise mid-episode, far past the rail: the clamp keeps the threshold
+  // reachable, and the in-flight failure streak keeps yielding.
+  p.set_t_sleep(StealPolicy::kFailedStealsSaturation + 12345);
+  EXPECT_EQ(p.t_sleep(), StealPolicy::kFailedStealsSaturation);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(p.on_steal_failed(), StealOutcome::kYield);
+  }
+  // Drive the counter to the rail: the clamped threshold still fires.
+  while (p.on_steal_failed() != StealOutcome::kSleep) {
+  }
+  EXPECT_EQ(p.failed_steals(), StealPolicy::kFailedStealsSaturation);
+  p.on_sleep();
+  EXPECT_EQ(p.failed_steals(), 0);
+}
+
+TEST(StealPolicy, SleepFiresIffCounterMeetsThresholdUnderRandomRaises) {
+  // Property sweep for the same interplay: across arbitrary interleavings
+  // of failures and threshold changes (including raises past the rail and
+  // drops below the current count), kSleep is returned exactly when the
+  // post-increment counter is >= the *clamped* threshold — never early,
+  // never skipped. A shadow model tracks the expected state.
+  std::uint64_t x = 0x9E3779B97F4A7C15ULL;  // splitmix64 stream
+  auto rnd = [&x] {
+    std::uint64_t z = (x += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  };
+  StealPolicy p(SchedMode::kDws, 4);
+  int shadow_failed = 0;
+  int shadow_threshold = 4;
+  for (int step = 0; step < 200000; ++step) {
+    if (rnd() % 8 == 0) {
+      // Mix small thresholds, the rail neighbourhood, and beyond-rail.
+      const int raw =
+          static_cast<int>(rnd() % (2u * StealPolicy::kFailedStealsSaturation));
+      p.set_t_sleep(raw);
+      shadow_threshold = std::min(raw, StealPolicy::kFailedStealsSaturation);
+      ASSERT_EQ(p.t_sleep(), shadow_threshold);
+      continue;
+    }
+    const StealOutcome out = p.on_steal_failed();
+    if (shadow_failed < StealPolicy::kFailedStealsSaturation) ++shadow_failed;
+    const bool should_sleep = shadow_failed >= shadow_threshold;
+    ASSERT_EQ(out, should_sleep ? StealOutcome::kSleep : StealOutcome::kYield)
+        << "step " << step << " failed=" << shadow_failed
+        << " threshold=" << shadow_threshold;
+    if (should_sleep) {
+      p.on_sleep();
+      shadow_failed = 0;
+    }
+  }
 }
 
 TEST(ConfigTSleep, DefaultsToMachineWidth) {

@@ -1,0 +1,294 @@
+// The NUMA machine model and the locality-aware victim ordering built on
+// it: metric properties of Topology::distance (symmetry, triangle
+// inequality, identity), agreement between the synthetic layout and the
+// simulator's socket split, tier-by-tier sweeps of TieredVictimOrder, and
+// the uniform_victim regression suite (single-worker edge + uniformity of
+// the skip-self mapping).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/topology.hpp"
+#include "core/victim_order.hpp"
+#include "sim/params.hpp"
+#include "util/rng.hpp"
+
+namespace dws {
+namespace {
+
+// ---------------------------------------------------------------- Topology
+
+TEST(Topology, SyntheticTwoSocketMatchesThePaperTestbed) {
+  // 2x Xeon E5620 = 16 logical cores in 2 sockets, split contiguously.
+  const Topology t = Topology::synthetic(16, 2);
+  EXPECT_EQ(t.num_cores(), 16u);
+  EXPECT_EQ(t.num_sockets(), 2u);
+  for (CoreId c = 0; c < 16; ++c) {
+    EXPECT_EQ(t.socket_of(c), c < 8 ? 0u : 1u) << "core " << c;
+  }
+  EXPECT_EQ(t.distance(0, 7), DistanceTier::kNear);    // same socket
+  EXPECT_EQ(t.distance(0, 8), DistanceTier::kFar);     // adjacent socket
+  EXPECT_EQ(t.distance(15, 8), DistanceTier::kNear);
+  EXPECT_FALSE(t.flat());
+}
+
+TEST(Topology, SyntheticMatchesSimParamsSocketSplit) {
+  // The simulator's ceil-division split and the Topology factory must
+  // agree on every (cores, sockets) shape, or the cache model and the
+  // victim ordering would disagree about which steals are remote.
+  for (unsigned k : {1u, 2u, 3u, 7u, 8u, 15u, 16u, 17u}) {
+    for (unsigned s : {1u, 2u, 3u, 4u}) {
+      sim::SimParams params;
+      params.num_cores = k;
+      params.num_sockets = s;
+      const Topology t = params.topology();
+      ASSERT_EQ(t.num_cores(), k);
+      for (CoreId c = 0; c < k; ++c) {
+        if (s <= k) {
+          EXPECT_EQ(t.socket_of(c), params.socket_of(c))
+              << "k=" << k << " s=" << s << " core=" << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(Topology, SmtSiblingsAreVeryNear) {
+  // 8 logical cores, 2 sockets, 2-way SMT: {0,1} share a physical core.
+  const Topology t = Topology::synthetic(8, 2, 2);
+  EXPECT_EQ(t.distance(0, 1), DistanceTier::kVeryNear);
+  EXPECT_EQ(t.distance(0, 2), DistanceTier::kNear);  // same socket, other core
+  EXPECT_EQ(t.distance(0, 3), DistanceTier::kNear);
+  EXPECT_EQ(t.distance(0, 4), DistanceTier::kFar);   // other socket
+  EXPECT_EQ(t.group_of(0), t.group_of(1));
+  EXPECT_NE(t.group_of(1), t.group_of(2));
+}
+
+TEST(Topology, LinearSocketChainSeparatesFarFromVeryFar) {
+  // 4 sockets in a chain: 1 hop = FAR, 2+ hops = VERYFAR.
+  const Topology t = Topology::synthetic(16, 4);
+  EXPECT_EQ(t.distance(0, 4), DistanceTier::kFar);      // socket 0 -> 1
+  EXPECT_EQ(t.distance(0, 8), DistanceTier::kVeryFar);  // socket 0 -> 2
+  EXPECT_EQ(t.distance(0, 12), DistanceTier::kVeryFar); // socket 0 -> 3
+  EXPECT_EQ(t.distance(4, 8), DistanceTier::kFar);      // socket 1 -> 2
+}
+
+TEST(Topology, DistanceIsAMetricOnTiers) {
+  // Symmetry, identity and the triangle inequality over the numeric tier
+  // values, for every shape the other layers construct. The triangle
+  // property is what makes "exhaust near tiers first" meaningful: a
+  // detour through a third core can never be shorter than the direct
+  // tier.
+  const Topology shapes[] = {
+      Topology::uniform(1),         Topology::uniform(8),
+      Topology::synthetic(16, 2),   Topology::synthetic(16, 4),
+      Topology::synthetic(12, 3, 2), Topology::synthetic(8, 2, 2),
+      Topology::synthetic(7, 3),
+  };
+  for (const Topology& t : shapes) {
+    const unsigned n = t.num_cores();
+    for (CoreId a = 0; a < n; ++a) {
+      EXPECT_EQ(t.distance(a, a), DistanceTier::kVeryNear);
+      for (CoreId b = 0; b < n; ++b) {
+        EXPECT_EQ(t.distance(a, b), t.distance(b, a))
+            << "asymmetric at (" << a << "," << b << ")";
+        for (CoreId c = 0; c < n; ++c) {
+          EXPECT_LE(static_cast<int>(t.distance(a, c)),
+                    static_cast<int>(t.distance(a, b)) +
+                        static_cast<int>(t.distance(b, c)))
+              << "triangle violated at (" << a << "," << b << "," << c << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(Topology, UniformIsFlat) {
+  EXPECT_TRUE(Topology::uniform(8).flat());
+  EXPECT_TRUE(Topology::uniform(1).flat());
+  EXPECT_FALSE(Topology::synthetic(8, 2).flat());
+  EXPECT_FALSE(Topology::synthetic(8, 1, 2).flat());  // SMT pairs break it
+}
+
+TEST(Topology, SocketAndSmtCountsAreClamped) {
+  const Topology t = Topology::synthetic(4, 99, 99);
+  EXPECT_EQ(t.num_cores(), 4u);
+  EXPECT_LE(t.num_sockets(), 4u);
+  const Topology z = Topology::synthetic(4, 0, 0);  // 0 means "at least 1"
+  EXPECT_EQ(z.num_sockets(), 1u);
+}
+
+TEST(Topology, DetectAlwaysYieldsAValidModel) {
+  // Whatever sysfs says (or doesn't — containers), the result must be a
+  // well-formed, symmetric model of the requested width.
+  const Topology t = Topology::detect(4);
+  ASSERT_EQ(t.num_cores(), 4u);
+  EXPECT_GE(t.num_sockets(), 1u);
+  for (CoreId a = 0; a < 4; ++a) {
+    EXPECT_LT(t.socket_of(a), t.num_sockets());
+    for (CoreId b = 0; b < 4; ++b) {
+      EXPECT_EQ(t.distance(a, b), t.distance(b, a));
+    }
+  }
+}
+
+TEST(Topology, MakeTopologyHonoursTheConfig) {
+  Config cfg;
+  cfg.num_sockets = 2;
+  const Topology t = make_topology(cfg, 8);
+  EXPECT_EQ(t.num_sockets(), 2u);
+  EXPECT_EQ(t.socket_of(3), 0u);
+  EXPECT_EQ(t.socket_of(4), 1u);
+
+  cfg.num_sockets = 0;  // auto-detect; must still be valid everywhere
+  const Topology d = make_topology(cfg, 8);
+  EXPECT_EQ(d.num_cores(), 8u);
+}
+
+TEST(VictimPolicyNames, RoundTrip) {
+  for (VictimPolicy p : {VictimPolicy::kUniform, VictimPolicy::kTiered}) {
+    VictimPolicy parsed{};
+    ASSERT_TRUE(parse_victim_policy(to_string(p), parsed)) << to_string(p);
+    EXPECT_EQ(parsed, p);
+  }
+  VictimPolicy out{};
+  EXPECT_FALSE(parse_victim_policy("bogus", out));
+}
+
+// ------------------------------------------------------- TieredVictimOrder
+
+TEST(TieredVictimOrder, SweepIsAPermutationWithNonDecreasingTiers) {
+  const Topology topo = Topology::synthetic(8, 2, 2);
+  util::Xoshiro256 rng(42);
+  for (unsigned self = 0; self < 8; ++self) {
+    TieredVictimOrder order(topo, self, 8);
+    ASSERT_EQ(order.size(), 7u);
+    for (int sweep = 0; sweep < 4; ++sweep) {
+      std::set<unsigned> seen;
+      int prev_tier = -1;
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        const VictimPick pick = order.next(rng);
+        ASSERT_NE(pick.victim, kNoVictim);
+        ASSERT_NE(pick.victim, self);
+        ASSERT_LT(pick.victim, 8u);
+        EXPECT_EQ(pick.tier, topo.distance(self, pick.victim));
+        EXPECT_GE(static_cast<int>(pick.tier), prev_tier)
+            << "tier order regressed mid-sweep";
+        prev_tier = static_cast<int>(pick.tier);
+        seen.insert(pick.victim);
+      }
+      EXPECT_EQ(seen.size(), 7u) << "sweep skipped or repeated a victim";
+    }
+  }
+}
+
+TEST(TieredVictimOrder, NearVictimsAreProbedBeforeRemoteOnes) {
+  const Topology topo = Topology::synthetic(16, 2);
+  util::Xoshiro256 rng(7);
+  TieredVictimOrder order(topo, /*self=*/0, 16);
+  // Cores 1..7 share socket 0 with the thief; they must be handed out
+  // before any of 8..15, in every sweep, whatever the shuffles do.
+  for (int sweep = 0; sweep < 8; ++sweep) {
+    for (int i = 0; i < 7; ++i) {
+      const VictimPick pick = order.next(rng);
+      EXPECT_LT(pick.victim, 8u) << "remote victim before near exhausted";
+      EXPECT_EQ(pick.tier, DistanceTier::kNear);
+    }
+    for (int i = 0; i < 8; ++i) {
+      const VictimPick pick = order.next(rng);
+      EXPECT_GE(pick.victim, 8u);
+      EXPECT_EQ(pick.tier, DistanceTier::kFar);
+    }
+  }
+}
+
+TEST(TieredVictimOrder, RestartRewindsToTheNearestTier) {
+  const Topology topo = Topology::synthetic(16, 2);
+  util::Xoshiro256 rng(11);
+  TieredVictimOrder order(topo, /*self=*/0, 16);
+  // Walk deep into the far tier, then simulate a successful steal.
+  for (int i = 0; i < 10; ++i) (void)order.next(rng);
+  order.restart();
+  const VictimPick pick = order.next(rng);
+  EXPECT_EQ(pick.tier, DistanceTier::kNear)
+      << "a fresh hunger episode must start near-first";
+}
+
+TEST(TieredVictimOrder, WithinTierOrderIsShuffledAcrossSweeps) {
+  const Topology topo = Topology::uniform(16);
+  util::Xoshiro256 rng(3);
+  TieredVictimOrder order(topo, /*self=*/0, 16);
+  std::vector<std::vector<unsigned>> sweeps;
+  for (int s = 0; s < 6; ++s) {
+    std::vector<unsigned> one;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      one.push_back(order.next(rng).victim);
+    }
+    sweeps.push_back(std::move(one));
+  }
+  // 15! orderings; six identical consecutive sweeps means the reshuffle
+  // is not happening.
+  bool any_different = false;
+  for (std::size_t s = 1; s < sweeps.size(); ++s) {
+    if (sweeps[s] != sweeps[0]) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(TieredVictimOrder, SingleWorkerHasNoVictims) {
+  const Topology topo = Topology::uniform(1);
+  util::Xoshiro256 rng(1);
+  TieredVictimOrder order(topo, 0, 1);
+  EXPECT_TRUE(order.empty());
+  EXPECT_EQ(order.next(rng).victim, kNoVictim);
+}
+
+// ------------------------------------------------- uniform_victim (legacy)
+
+TEST(UniformVictim, SingleWorkerReturnsNoVictim) {
+  // Regression: with one worker there are zero victims and the guard must
+  // fire *before* the rng draw — next_below(0) would otherwise be asked
+  // for a uniform draw from an empty range (it pins to 0, which would
+  // then be "steal from yourself").
+  util::Xoshiro256 rng(5);
+  EXPECT_EQ(uniform_victim(rng, 1, 0), kNoVictim);
+  EXPECT_EQ(uniform_victim(rng, 0, 0), kNoVictim);
+}
+
+TEST(UniformVictim, NeverSelfNeverOutOfRange) {
+  util::Xoshiro256 rng(99);
+  for (unsigned n = 2; n <= 8; ++n) {
+    for (unsigned self = 0; self < n; ++self) {
+      for (int i = 0; i < 2000; ++i) {
+        const unsigned v = uniform_victim(rng, n, self);
+        ASSERT_LT(v, n);
+        ASSERT_NE(v, self);
+      }
+    }
+  }
+}
+
+TEST(UniformVictim, CoverageIsUniformAcrossVictims) {
+  // Pins the skip-self mapping: every victim id (including those above
+  // `self`, which are reached via the +1 shift) must land within 10% of
+  // the expected share. A modulo-biased draw or an off-by-one in the
+  // shift skews the tails far beyond that.
+  constexpr unsigned kN = 8;
+  constexpr unsigned kSelf = 3;
+  constexpr int kDraws = 70000;
+  util::Xoshiro256 rng(1234);
+  std::vector<int> hits(kN, 0);
+  for (int i = 0; i < kDraws; ++i) ++hits[uniform_victim(rng, kN, kSelf)];
+  EXPECT_EQ(hits[kSelf], 0);
+  const double expected = static_cast<double>(kDraws) / (kN - 1);
+  for (unsigned v = 0; v < kN; ++v) {
+    if (v == kSelf) continue;
+    EXPECT_NEAR(hits[v], expected, 0.10 * expected) << "victim " << v;
+  }
+}
+
+}  // namespace
+}  // namespace dws
